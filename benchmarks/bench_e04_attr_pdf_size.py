@@ -1,0 +1,56 @@
+"""E4 — A-ERank running time against the per-tuple pdf size s.
+
+A-ERank's cost is ``O(S log S)`` in the *total* pdf size
+``S = N * s``, so at fixed N the time should grow roughly linearly in
+``s`` — much gentler than the quadratic blow-up a naive per-pair
+evaluation would suffer.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    Table,
+    attribute_workload,
+    growth_exponent,
+    measure_seconds,
+)
+from repro.core import attribute_expected_ranks
+
+N = 4000
+PDF_SIZES = (2, 4, 8, 16, 32)
+
+
+def test_pdf_size_scaling_is_quasilinear(benchmark, record):
+    times = {}
+    for pdf_size in PDF_SIZES:
+        relation = attribute_workload("uu", N, pdf_size=pdf_size)
+        times[pdf_size] = measure_seconds(
+            lambda relation=relation: attribute_expected_ranks(relation),
+            repeats=3,
+        )
+
+    table = Table(
+        f"E4 — A-ERank time vs pdf size s (uu, N={N})",
+        ["s", "seconds", "us per alternative"],
+    )
+    for pdf_size in PDF_SIZES:
+        table.add_row(
+            [
+                pdf_size,
+                times[pdf_size],
+                1e6 * times[pdf_size] / (N * pdf_size),
+            ]
+        )
+    exponent = growth_exponent(
+        list(PDF_SIZES), [times[s] for s in PDF_SIZES]
+    )
+    table.add_note(
+        f"fitted exponent in s: {exponent:.2f} "
+        "(cost is O(N s log(N s)) — near-linear in s)"
+    )
+    record("e04_attr_pdf_size", table)
+
+    assert exponent < 1.5
+
+    relation = attribute_workload("uu", N, pdf_size=8)
+    benchmark(attribute_expected_ranks, relation)

@@ -1,0 +1,72 @@
+"""E7 — T-ERank versus brute force: running time against N.
+
+Tuple-level twin of E3: T-ERank computes every expected rank from one
+sorted pass with prefix sums (``O(N log N)`` including the sort),
+against the direct ``O(N^2)`` pairwise evaluation of equation (7).
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    Table,
+    growth_exponent,
+    measure_seconds,
+    tuple_workload,
+)
+from repro.core import (
+    tuple_expected_ranks,
+    tuple_expected_ranks_quadratic,
+)
+
+FAST_SIZES = (2000, 4000, 8000, 16000)
+SLOW_SIZES = (250, 500, 1000, 2000)
+
+
+def test_t_erank_scales_quasilinearly(benchmark, record):
+    fast_times = {}
+    for size in FAST_SIZES:
+        relation = tuple_workload("uu", size)
+        fast_times[size] = measure_seconds(
+            lambda relation=relation: tuple_expected_ranks(relation),
+            repeats=3,
+        )
+    slow_times = {}
+    for size in SLOW_SIZES:
+        relation = tuple_workload("uu", size)
+        slow_times[size] = measure_seconds(
+            lambda relation=relation: tuple_expected_ranks_quadratic(
+                relation
+            ),
+            repeats=1,
+        )
+
+    table = Table(
+        "E7 — T-ERank vs brute force (uu, 30% rules), seconds",
+        ["N", "T-ERank (s)", "BFS O(N^2) (s)"],
+    )
+    for size in sorted(set(FAST_SIZES) | set(SLOW_SIZES)):
+        table.add_row(
+            [
+                size,
+                fast_times.get(size, float("nan")),
+                slow_times.get(size, float("nan")),
+            ]
+        )
+    fast_exponent = growth_exponent(
+        list(FAST_SIZES), [fast_times[s] for s in FAST_SIZES]
+    )
+    slow_exponent = growth_exponent(
+        list(SLOW_SIZES), [slow_times[s] for s in SLOW_SIZES]
+    )
+    table.add_note(
+        f"fitted exponents: T-ERank {fast_exponent:.2f} (paper: "
+        f"~N log N), BFS {slow_exponent:.2f} (paper: ~N^2)"
+    )
+    record("e07_tuple_scaling", table)
+
+    assert fast_exponent < 1.5
+    assert slow_exponent > 1.6
+    assert fast_times[2000] < slow_times[2000]
+
+    relation = tuple_workload("uu", 8000)
+    benchmark(tuple_expected_ranks, relation)

@@ -1,0 +1,57 @@
+"""E9 — A-MQRank running time against N (the O(N^3) dynamic program).
+
+Section 7's stated complexity for attribute-level median/quantile
+ranks is cubic in N (for constant pdf size): each of the N tuples
+mixes s Poisson-binomial convolutions of quadratic cost.  The fitted
+growth exponent should sit clearly above the quasi-linear expected-
+rank algorithms and approach three.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    Table,
+    attribute_workload,
+    growth_exponent,
+    measure_seconds,
+)
+from repro.core import attribute_rank_distributions
+
+SIZES = (40, 80, 160, 320)
+
+
+def test_a_mqrank_is_cubic_shaped(benchmark, record):
+    times = {}
+    for size in SIZES:
+        relation = attribute_workload("uu", size, pdf_size=3)
+        times[size] = measure_seconds(
+            lambda relation=relation: attribute_rank_distributions(
+                relation
+            ),
+            repeats=1,
+        )
+
+    table = Table(
+        "E9 — A-MQRank (full rank distributions) time vs N (s=3)",
+        ["N", "seconds"],
+    )
+    for size in SIZES:
+        table.add_row([size, times[size]])
+    exponent = growth_exponent(list(SIZES), [times[s] for s in SIZES])
+    table.add_note(
+        f"fitted exponent {exponent:.2f} (paper: O(N^3); convolution "
+        "vectors are numpy, so small N is overhead-dominated)"
+    )
+    record("e09_attr_mq_scaling", table)
+
+    # Clearly super-quadratic territory and far above the O(N log N)
+    # expected-rank pass.
+    assert exponent > 1.8
+
+    relation = attribute_workload("uu", 160, pdf_size=3)
+    benchmark.pedantic(
+        attribute_rank_distributions,
+        args=(relation,),
+        rounds=1,
+        iterations=1,
+    )

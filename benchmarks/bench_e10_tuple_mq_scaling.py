@@ -1,0 +1,97 @@
+"""E10 — T-MQRank running time against N and against the rule count M.
+
+Section 7's tuple-level dynamic program costs ``O(N M^2)``: per tuple,
+one Poisson-binomial over the M rules.  Two sweeps:
+
+* N sweep with proportional M — expect roughly cubic growth overall;
+* M sweep at fixed N (rule size up, M = N/size down) — expect the
+  time to *fall* as rules get larger, the signature of the M^2 factor.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    Table,
+    growth_exponent,
+    measure_seconds,
+    tuple_workload,
+)
+from repro.core import tuple_rank_distributions
+
+SIZES = (100, 200, 400)
+RULE_SIZES = (2, 4, 8)
+FIXED_N = 400
+
+
+def test_time_vs_n(benchmark, record):
+    times = {}
+    for size in SIZES:
+        relation = tuple_workload("uu", size)
+        times[size] = measure_seconds(
+            lambda relation=relation: tuple_rank_distributions(relation),
+            repeats=1,
+        )
+    table = Table(
+        "E10a — T-MQRank time vs N (30% rules, M ~ 0.85 N)",
+        ["N", "M", "seconds"],
+    )
+    for size in SIZES:
+        table.add_row(
+            [size, tuple_workload("uu", size).rule_count, times[size]]
+        )
+    exponent = growth_exponent(list(SIZES), [times[s] for s in SIZES])
+    table.add_note(
+        f"fitted exponent {exponent:.2f} (paper: O(N M^2) with M "
+        "proportional to N here)"
+    )
+    record("e10_tuple_mq_scaling", table)
+    assert exponent > 1.8
+
+    relation = tuple_workload("uu", 200)
+    benchmark.pedantic(
+        tuple_rank_distributions,
+        args=(relation,),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_time_vs_rule_count(record, benchmark):
+    table = Table(
+        f"E10b — T-MQRank time vs rule granularity (N={FIXED_N}, "
+        "all tuples in rules)",
+        ["rule size", "M", "seconds"],
+    )
+    times = []
+    for rule_size in RULE_SIZES:
+        relation = tuple_workload(
+            "uu",
+            FIXED_N,
+            rule_fraction=1.0,
+            rule_size=rule_size,
+            probability_high=1.0 / rule_size,
+        )
+        seconds = measure_seconds(
+            lambda relation=relation: tuple_rank_distributions(relation),
+            repeats=1,
+        )
+        times.append(seconds)
+        table.add_row([rule_size, relation.rule_count, seconds])
+    table.add_note(
+        "fewer, larger rules shrink M and the M^2 convolution cost"
+    )
+    record("e10_tuple_mq_scaling", table)
+
+    # Time decreases as M shrinks (weakly, overhead aside).
+    assert times[-1] < times[0]
+
+    relation = tuple_workload(
+        "uu", FIXED_N, rule_fraction=1.0, rule_size=4,
+        probability_high=0.25,
+    )
+    benchmark.pedantic(
+        tuple_rank_distributions,
+        args=(relation,),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,69 @@
+"""E14 — Sensitivity of quantile ranks to phi.
+
+Section 7 generalises the median to arbitrary quantiles.  Sweeping phi
+from optimistic (0.1: rank a tuple by a near-best-case world) to
+conservative (0.9: near-worst-case) shows how the answer drifts:
+overlap with the median answer decays smoothly on both sides, and
+per-tuple quantile statistics are monotone in phi by construction.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, tuple_workload
+from repro.core import rank, t_mqrank
+from repro.stats import kendall_tau_coefficient, topk_recall
+
+N = 300
+K = 10
+PHIS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def test_phi_sweep(benchmark, record):
+    relation = tuple_workload("uu", N)
+    median_full = list(
+        rank(relation, N, method="median_rank").tids()
+    )
+    median_topk = median_full[:K]
+
+    table = Table(
+        f"E14 — quantile-rank answers vs phi (uu, N={N}, k={K})",
+        ["phi", f"top-{K} overlap with median", "tau vs median"],
+    )
+    overlaps = []
+    for phi in PHIS:
+        result = rank(relation, N, method="quantile_rank", phi=phi)
+        full = list(result.tids())
+        overlap = topk_recall(full[:K], median_topk)
+        overlaps.append(overlap)
+        table.add_row(
+            [
+                phi,
+                overlap,
+                round(kendall_tau_coefficient(full, median_full), 3),
+            ]
+        )
+    table.add_note(
+        "phi = 0.5 is the median itself; agreement decays smoothly "
+        "toward the optimistic and conservative extremes"
+    )
+    record("e14_quantile_sweep", table)
+
+    middle = PHIS.index(0.5)
+    assert overlaps[middle] == 1.0
+    assert overlaps[0] <= overlaps[middle]
+    assert overlaps[-1] <= overlaps[middle]
+
+    # Monotonicity of per-tuple statistics in phi (Definition 9).
+    stats_low = t_mqrank(relation, K, phi=0.25).statistics
+    stats_high = t_mqrank(relation, K, phi=0.75).statistics
+    assert all(
+        stats_low[tid] <= stats_high[tid] for tid in stats_low
+    )
+
+    benchmark.pedantic(
+        t_mqrank,
+        args=(relation, K),
+        kwargs={"phi": 0.9},
+        rounds=1,
+        iterations=1,
+    )

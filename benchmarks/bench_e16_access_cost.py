@@ -1,0 +1,112 @@
+"""E16 — When does pruning pay?  Modeled access-cost crossover.
+
+Section 5.2 motivates pruning with "scenarios [where] accessing a
+tuple is considerably expensive (if it requires significant IO
+access)".  This experiment makes the trade explicit: total query cost
+is modeled as ``compute_seconds + latency * tuples_accessed`` and
+swept over per-tuple latencies from free (in-memory) to 1 ms (remote
+store).  Expected shape: the exact pass wins at zero latency (it does
+less bound bookkeeping), and the pruned scan takes over as soon as
+accesses carry any real cost — dramatically so on skewed data.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    Table,
+    attribute_workload,
+    measure_seconds,
+    tuple_workload,
+)
+from repro.core import a_erank, a_erank_prune, t_erank, t_erank_prune
+
+K = 10
+LATENCIES = (0.0, 1e-5, 1e-4, 1e-3)  # seconds per tuple access
+
+
+def _modeled_costs(
+    exact_seconds, pruned_seconds, total, accessed
+):
+    rows = []
+    for latency in LATENCIES:
+        exact_cost = exact_seconds + latency * total
+        pruned_cost = pruned_seconds + latency * accessed
+        rows.append((latency, exact_cost, pruned_cost))
+    return rows
+
+
+def test_attribute_level_crossover(benchmark, record):
+    relation = attribute_workload("zipf", 2000)
+    exact_seconds = measure_seconds(
+        lambda: a_erank(relation, K), repeats=3
+    )
+    pruned = a_erank_prune(relation, K)
+    pruned_seconds = measure_seconds(
+        lambda: a_erank_prune(relation, K), repeats=3
+    )
+    accessed = pruned.metadata["tuples_accessed"]
+
+    table = Table(
+        f"E16a — modeled cost, attribute-level (zipf, N={relation.size}"
+        f", k={K}; pruned accesses {accessed})",
+        ["latency/tuple (s)", "exact (s)", "pruned (s)", "winner"],
+    )
+    winners = []
+    for latency, exact_cost, pruned_cost in _modeled_costs(
+        exact_seconds, pruned_seconds, relation.size, accessed
+    ):
+        winner = "pruned" if pruned_cost < exact_cost else "exact"
+        winners.append(winner)
+        table.add_row([latency, exact_cost, pruned_cost, winner])
+    table.add_note(
+        "cost model: compute + latency x accesses; the paper's "
+        "expensive-access motivation quantified"
+    )
+    record("e16_access_cost", table)
+
+    assert winners[-1] == "pruned"  # 1 ms/tuple: pruning must win
+
+    benchmark.pedantic(
+        a_erank_prune, args=(relation, K), rounds=2, iterations=1
+    )
+
+
+def test_tuple_level_crossover(record, benchmark):
+    relation = tuple_workload("uu", 10_000)
+    exact_seconds = measure_seconds(
+        lambda: t_erank(relation, K), repeats=3
+    )
+    pruned = t_erank_prune(relation, K)
+    pruned_seconds = measure_seconds(
+        lambda: t_erank_prune(relation, K), repeats=3
+    )
+    accessed = pruned.metadata["tuples_accessed"]
+
+    table = Table(
+        f"E16b — modeled cost, tuple-level (uu, N={relation.size}, "
+        f"k={K}; pruned accesses {accessed})",
+        ["latency/tuple (s)", "exact (s)", "pruned (s)", "winner"],
+    )
+    winners = []
+    for latency, exact_cost, pruned_cost in _modeled_costs(
+        exact_seconds, pruned_seconds, relation.size, accessed
+    ):
+        winner = "pruned" if pruned_cost < exact_cost else "exact"
+        winners.append(winner)
+        table.add_row([latency, exact_cost, pruned_cost, winner])
+    table.add_note(
+        "T-ERank-Prune's bookkeeping is so light it usually wins even "
+        "at zero latency"
+    )
+    record("e16_access_cost", table)
+
+    assert winners[-1] == "pruned"
+    # The margin at 1 ms/tuple is at least the access ratio.
+    final_latency = LATENCIES[-1]
+    exact_cost = exact_seconds + final_latency * relation.size
+    pruned_cost = pruned_seconds + final_latency * accessed
+    assert exact_cost / pruned_cost > 2.0
+
+    benchmark.pedantic(
+        t_erank_prune, args=(relation, K), rounds=3, iterations=1
+    )

@@ -1,0 +1,77 @@
+"""E17 — PRF^e interpolates between ranking semantics (Appendix A).
+
+Appendix A relates the paper to the parameterized-ranking-function
+framework of Li et al. [29].  Sweeping PRF^e's alpha from ~0 to 1
+should slide the induced ranking from "who tops the world" (score
+dominated — near U-Topk / top-1-probability behaviour) toward pure
+membership probability, passing through Global-Topk-like regimes in
+between.  Kendall tau against the fixed reference rankings tracks the
+interpolation; the reductions themselves (step weights == Global-Topk,
+position weights == U-kRanks) are asserted exactly.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, tuple_workload
+from repro.core import (
+    exponential_weights,
+    prf_rank,
+    rank,
+    step_weights,
+)
+from repro.stats import kendall_tau_coefficient
+
+N = 120
+ALPHAS = (0.001, 0.3, 0.6, 0.9, 0.99, 1.0)
+
+
+def test_alpha_interpolation(benchmark, record):
+    relation = tuple_workload("uu", N)
+    expected_full = list(rank(relation, N).tids())
+    probability_full = list(
+        rank(relation, N, method="probability_only").tids()
+    )
+
+    table = Table(
+        f"E17 — PRF^e alpha sweep (uu, N={N}): Kendall tau against "
+        "fixed references",
+        ["alpha", "tau vs expected_rank", "tau vs probability_only"],
+    )
+    toward_probability = []
+    for alpha in ALPHAS:
+        full = list(
+            prf_rank(
+                relation, N, exponential_weights(N, alpha)
+            ).tids()
+        )
+        tau_expected = kendall_tau_coefficient(full, expected_full)
+        tau_probability = kendall_tau_coefficient(
+            full, probability_full
+        )
+        toward_probability.append(tau_probability)
+        table.add_row(
+            [alpha, round(tau_expected, 3), round(tau_probability, 3)]
+        )
+    table.add_note(
+        "alpha -> 1 converges to membership-probability order; small "
+        "alpha orders by top-position mass"
+    )
+    record("e17_prf_interpolation", table)
+
+    # Drift toward probability order is monotone-ish: the endpoint is
+    # a perfect match and dominates every earlier alpha.
+    assert toward_probability[-1] == 1.0
+    assert toward_probability[-1] >= max(toward_probability[:-1])
+    assert toward_probability[0] < 0.9
+
+    # Exact reduction: step weights reproduce Global-Topk.
+    step = prf_rank(relation, 10, step_weights(N, 10))
+    reference = rank(relation, 10, method="global_topk")
+    assert step.tids() == reference.tids()
+
+    benchmark.pedantic(
+        prf_rank,
+        args=(relation, 10, exponential_weights(N, 0.9)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,63 @@
+"""Shared infrastructure for the experiment suite.
+
+Every experiment prints a paper-style table.  Because pytest captures
+stdout, tables are (a) written to ``benchmarks/results/<exp>.txt`` so
+they survive any run, and (b) replayed in the terminal summary at the
+end of the session so ``pytest benchmarks/ --benchmark-only`` shows
+them inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SESSION_TABLES: list[Table] = []
+
+
+@pytest.fixture
+def record():
+    """Persist a finished table and queue it for the terminal summary.
+
+    Usage: ``record("e03_attr_scaling", table)``.
+    """
+
+    def _record(experiment_id: str, table: Table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        rendered = table.render()
+        if path.exists():
+            path.write_text(path.read_text() + "\n\n" + rendered + "\n")
+        else:
+            path.write_text(rendered + "\n")
+        _SESSION_TABLES.append(table)
+        print()
+        print(rendered)
+
+    return _record
+
+
+def pytest_sessionstart(session):
+    """Start each session with a clean results directory."""
+    if RESULTS_DIR.exists():
+        for stale in RESULTS_DIR.glob("*.txt"):
+            stale.unlink()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SESSION_TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment tables")
+    for table in _SESSION_TABLES:
+        terminalreporter.write_line("")
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"tables also written to {RESULTS_DIR}/"
+    )

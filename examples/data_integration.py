@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Data integration: tuple-level ranking over conflicting records.
+
+The motivating scenario of the paper's tuple-level model: records
+matched from multiple sources carry a confidence, and contradictory
+matches form exclusion rules (at most one can be real).  Here, iceberg
+sighting reports from radar / visual / satellite sources are ranked by
+drift distance; pairs of reports that cannot both be real share a rule.
+
+The demo ranks the reports under expected, median, and 0.9-quantile
+ranks, shows how a rule redistributes probability mass, and contrasts
+the early-stop T-ERank-Prune scan against the exact pass.
+
+Run:  python examples/data_integration.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    rank,
+    t_erank,
+    t_erank_prune,
+    tuple_rank_distribution,
+)
+from repro.datagen import iceberg_sightings
+
+REPORTS = 400
+K = 6
+
+
+def main() -> None:
+    reports = iceberg_sightings(REPORTS, conflict_fraction=0.4, seed=7)
+    multi_rules = [r for r in reports.rules if not r.is_singleton]
+    print(
+        f"{reports.size} sighting reports, {len(multi_rules)} conflict "
+        f"pairs, E[|W|] = {reports.expected_world_size():.1f} real "
+        "objects expected."
+    )
+    print()
+
+    exact = t_erank(reports, K)
+    print(f"Top-{K} by expected rank:")
+    for item in exact:
+        row = reports.tuple_by_id(item.tid)
+        rule = reports.rule_of(item.tid)
+        conflict = "" if rule.is_singleton else (
+            " [conflicts with "
+            + ", ".join(t for t in rule if t != item.tid)
+            + "]"
+        )
+        print(
+            f"  #{item.position + 1} {item.tid:12s} "
+            f"drift={row.score:7.2f} confidence={row.probability:.2f} "
+            f"r={item.statistic:7.2f}{conflict}"
+        )
+    print()
+
+    median = rank(reports, K, method="median_rank")
+    conservative = rank(reports, K, method="quantile_rank", phi=0.9)
+    print("Same query under other rank statistics:")
+    print(f"  median rank        -> {median.tids()}")
+    print(f"  0.9-quantile rank  -> {conservative.tids()}")
+    overlap = len(set(exact.tids()) & set(conservative.tids()))
+    print(f"  expected vs 0.9-quantile overlap: {overlap}/{K}")
+    print()
+
+    pruned = t_erank_prune(reports, K)
+    print(
+        f"T-ERank-Prune touched {pruned.metadata['tuples_accessed']} of "
+        f"{reports.size} reports and returned the identical top-{K}: "
+        f"{pruned.tids() == exact.tids()}"
+    )
+    print()
+
+    # Zoom into the best-ranked conflicted report's rank distribution.
+    conflicted = min(
+        (
+            tid
+            for rule in multi_rules
+            for tid in rule
+        ),
+        key=lambda tid: exact.statistics.get(
+            tid, t_erank(reports, reports.size).statistics[tid]
+        ),
+    )
+    distribution = tuple_rank_distribution(reports, conflicted)
+    print(f"Rank distribution of best conflicted report {conflicted}:")
+    print(
+        f"  median={distribution.median()}, "
+        f"E[rank]={distribution.expectation():.1f}, "
+        f"Pr[rank <= {K - 1}] = {distribution.cdf(K - 1):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Entity resolution: scoring functions, operators, and ranking.
+
+The paper's opening motivation — data integration produces candidate
+matches with confidences, contradictory candidates are mutually
+exclusive, and analysts want the best matches overall.  This example
+drives the full front end:
+
+1. a synthetic integration workload (similarity features + confidences
+   + per-entity exclusion rules),
+2. a user-defined weighted-sum scoring function,
+3. relational operators (filter by source) before ranking,
+4. expected-rank top-k with the early-stop scan,
+5. per-answer drill-down into the rank distribution.
+
+Run:  python examples/entity_resolution.py
+"""
+
+from __future__ import annotations
+
+from repro.core import rank, t_erank_prune, tuple_rank_distribution
+from repro.datagen import MATCH_WEIGHTS, integration_matches
+from repro.engine import select
+
+ENTITIES = 150
+K = 8
+
+
+def main() -> None:
+    matches = integration_matches(ENTITIES, seed=42)
+    multi = [r for r in matches.rules if not r.is_singleton]
+    print(
+        f"{matches.size} candidate matches for {ENTITIES} entities; "
+        f"{len(multi)} entities have contradictory candidates."
+    )
+    print(f"scoring function: weighted sum {MATCH_WEIGHTS}")
+    print()
+
+    best = rank(matches, K)
+    print(f"Top-{K} matches by expected rank:")
+    for item in best:
+        row = matches.tuple_by_id(item.tid)
+        print(
+            f"  #{item.position + 1} {item.tid:12s} "
+            f"{row.attributes['entity']:10s} "
+            f"score={row.score:6.1f} conf={row.probability:.2f} "
+            f"src={row.attributes['source']:12s} "
+            f"r={item.statistic:6.2f}"
+        )
+    print()
+
+    pruned = t_erank_prune(matches, K)
+    print(
+        f"Early-stop scan touched {pruned.metadata['tuples_accessed']} "
+        f"of {matches.size} candidates; same answer: "
+        f"{pruned.tids() == best.tids()}"
+    )
+    print()
+
+    # Analysts often restrict to a trusted source before ranking.
+    trusted = select(
+        matches,
+        lambda tid, attributes: attributes["source"] != "crawl",
+    )
+    trusted_best = rank(trusted, K)
+    print(
+        f"Excluding the 'crawl' source leaves {trusted.size} "
+        f"candidates; top-{K} overlap with the unfiltered answer: "
+        f"{len(set(trusted_best.tids()) & set(best.tids()))}/{K}"
+    )
+    print()
+
+    champion = best[0].tid
+    distribution = tuple_rank_distribution(matches, champion)
+    print(
+        f"Champion {champion}: Pr[rank 0] = "
+        f"{distribution.probability_of(0):.3f}, median rank "
+        f"{distribution.median()}, Pr[top-{K}] = "
+        f"{distribution.cdf(K - 1):.3f}"
+    )
+    print()
+
+    # Why does the champion beat the runner-up?  Expected ranks
+    # decompose exactly into per-competitor contributions.
+    from repro.core import explain_pair
+
+    runner_up = best[1].tid
+    print(explain_pair(matches, champion, runner_up).describe())
+
+
+if __name__ == "__main__":
+    main()

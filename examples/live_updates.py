@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Live updates: a maintained store under churn, plus robustness.
+
+Tuple-level stores rarely sit still — new candidate records arrive,
+stale ones retire, confidences get recalibrated.  Section 6.2 of the
+paper notes the only global the pruned ranking needs, ``E[|W|]``, is
+maintainable in O(1) under such updates.  This walkthrough
+
+1. streams inserts / deletes / probability updates through
+   :class:`MaintainedTupleStore`, re-querying as it goes,
+2. shows ``E[|W|]`` tracking the stream without recomputation, and
+3. finishes with a sensitivity profile: how much the current top-k
+   would churn if every confidence wobbled by 1-20%.
+
+Run:  python examples/live_updates.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import stability_profile
+from repro.engine import MaintainedTupleStore
+
+K = 5
+STREAM_STEPS = 400
+
+
+def main() -> None:
+    rng = random.Random(7)
+    store = MaintainedTupleStore()
+    store.bulk_insert(
+        (f"seed{i}", rng.uniform(10, 100), rng.uniform(0.2, 1.0))
+        for i in range(50)
+    )
+    print(
+        f"Seeded {len(store)} tuples; "
+        f"E[|W|] = {store.expected_world_size():.2f}"
+    )
+    print(f"initial top-{K}: {store.topk(K).tids()}")
+    print()
+
+    alive = list(store.score_order())
+    inserts = deletes = updates = 0
+    counter = 0
+    for step in range(STREAM_STEPS):
+        action = rng.random()
+        if action < 0.45:
+            tid = f"live{counter}"
+            counter += 1
+            store.insert(
+                tid,
+                score=rng.uniform(10, 100),
+                probability=rng.uniform(0.2, 1.0),
+            )
+            alive.append(tid)
+            inserts += 1
+        elif action < 0.7 and len(alive) > 10:
+            tid = alive.pop(rng.randrange(len(alive)))
+            store.delete(tid)
+            deletes += 1
+        else:
+            store.update_probability(
+                rng.choice(alive), rng.uniform(0.2, 1.0)
+            )
+            updates += 1
+        if step % 100 == 99:
+            answer = store.topk(K)
+            print(
+                f"after {step + 1:3d} ops: N={len(store):3d} "
+                f"E[|W|]={store.expected_world_size():6.2f} "
+                f"top-{K}={answer.tids()}"
+            )
+    print()
+    print(
+        f"stream totals: {inserts} inserts, {deletes} deletes, "
+        f"{updates} probability updates — E[|W|] maintained in O(1) "
+        "throughout (store.validate() audits it)"
+    )
+    store.validate()
+    print()
+
+    snapshot = store.snapshot()
+    print("Robustness of the final top-5 to confidence noise:")
+    for report in stability_profile(
+        snapshot, K, noises=(0.01, 0.05, 0.1, 0.2), trials=25, rng=1
+    ):
+        core = sorted(report.stable_core())
+        print(
+            f"  noise ±{report.noise:4.0%}: mean churn "
+            f"{report.mean_churn:5.1%}, stable core "
+            f"{len(core)}/{K} {core}"
+        )
+
+
+if __name__ == "__main__":
+    main()

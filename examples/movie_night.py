@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Movie night: aggregated-ratings ranking, end to end.
+
+The paper's running motivation for attribute-level uncertainty is
+aggregated user ratings (the MystiQ movie data): a movie's "score" is
+a distribution over the rating scale, not a number.  This walkthrough
+
+1. generates a synthetic catalogue of movies with rating pdfs,
+2. stores it in the mini engine and persists it to disk,
+3. ranks it under expected / median / conservative-quantile semantics,
+4. draws ASCII rank-distribution sparklines for the contenders, and
+5. round-trips the whole thing through the CSV format + CLI loader.
+
+Run:  python examples/movie_night.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.cli import load_relation
+from repro.core import attribute_rank_distribution, rank
+from repro.datagen import movie_ratings
+from repro.engine import ProbabilisticDatabase, save_attribute_csv
+
+CATALOGUE = 120
+K = 5
+BARS = " .:-=+*#%@"
+
+
+def sparkline(masses, cap=0.6) -> str:
+    """Map probabilities to ASCII intensity characters."""
+    cells = []
+    for mass in masses:
+        level = min(int(mass / cap * (len(BARS) - 1)), len(BARS) - 1)
+        cells.append(BARS[level])
+    return "".join(cells)
+
+
+def main() -> None:
+    catalogue = movie_ratings(CATALOGUE, rating_levels=10, seed=11)
+    db = ProbabilisticDatabase()
+    db.create_relation("catalogue", catalogue)
+    print(
+        f"{CATALOGUE} movies; ratings are pdfs over 1..10 "
+        f"({db.describe('catalogue')['possible_worlds']:.3g} possible "
+        "worlds)."
+    )
+    print()
+
+    expected = db.topk("catalogue", K)
+    median = db.topk("catalogue", K, method="median_rank")
+    cautious = db.topk(
+        "catalogue", K, method="quantile_rank", phi=0.9
+    )
+    print(f"Top-{K} by expected rank :", ", ".join(expected.tids()))
+    print(f"Top-{K} by median rank   :", ", ".join(median.tids()))
+    print(f"Top-{K} by 0.9-quantile  :", ", ".join(cautious.tids()))
+    print()
+
+    print("Rank-distribution sparklines of the expected-rank winners")
+    print("(columns = ranks 0..14; darker = more probable; Definition-6")
+    print(" shared ties, matching the expected-rank statistics):")
+    for item in expected:
+        dist = attribute_rank_distribution(
+            catalogue, item.tid, ties="shared"
+        )
+        masses = [dist.probability_of(r) for r in range(15)]
+        title = catalogue.tuple_by_id(item.tid).attributes["title"]
+        print(
+            f"  {item.tid:9s} |{sparkline(masses)}| "
+            f"E[rank]={dist.expectation():5.2f} "
+            f"median={dist.median():2d}  {title}"
+        )
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "catalogue.csv"
+        save_attribute_csv(catalogue, csv_path)
+        reloaded = load_relation(csv_path)
+        again = rank(reloaded, K)
+        print(
+            "CSV round-trip preserves the ranking:",
+            again.tids() == expected.tids(),
+        )
+        print(
+            f"(equivalent CLI: python -m repro topk {csv_path.name} "
+            f"-k {K})"
+        )
+
+
+if __name__ == "__main__":
+    main()

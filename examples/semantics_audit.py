@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 5: the ranking-property matrix.
+
+Audits every registered ranking definition against the five properties
+of Section 4.1 (exact-k, containment, unique ranking, value
+invariance, stability) on the paper's own worked examples plus a batch
+of randomized relations, then prints the matrix with the violating
+counterexamples.
+
+Run:  python examples/semantics_audit.py
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.bench import Table
+from repro.core import rank
+from repro.core.properties import PROPERTY_NAMES, property_matrix
+from repro.datagen import generate_tuple_relation
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+
+
+def paper_fixtures():
+    figure2 = AttributeLevelRelation(
+        [
+            AttributeTuple("t1", DiscretePDF([100, 70], [0.4, 0.6])),
+            AttributeTuple("t2", DiscretePDF([92, 80], [0.6, 0.4])),
+            AttributeTuple("t3", DiscretePDF([85], [1.0])),
+        ]
+    )
+    figure4 = TupleLevelRelation(
+        [
+            TupleLevelTuple("t1", 100, 0.4),
+            TupleLevelTuple("t2", 92, 0.5),
+            TupleLevelTuple("t3", 85, 1.0),
+            TupleLevelTuple("t4", 80, 0.5),
+        ],
+        rules=[ExclusionRule("tau2", ["t2", "t4"])],
+    )
+    return [figure2, figure4]
+
+
+def main() -> None:
+    relations = paper_fixtures()
+    # A few randomized relations widen the net for counterexamples —
+    # seed 125 is the known U-kRanks stability violation instance.
+    for seed in (7, 125):
+        relations.append(
+            generate_tuple_relation(
+                5,
+                rule_fraction=0.4,
+                seed=seed,
+                probability_low=0.1,
+                score_low=1,
+                score_high=100,
+            )
+        )
+
+    methods = {
+        "expected_rank": functools.partial(rank, method="expected_rank"),
+        "median_rank": functools.partial(rank, method="median_rank"),
+        "u_topk": functools.partial(rank, method="u_topk"),
+        "u_kranks": functools.partial(rank, method="u_kranks"),
+        "pt_k": functools.partial(rank, method="pt_k", threshold=0.4),
+        "global_topk": functools.partial(rank, method="global_topk"),
+        "expected_score": functools.partial(
+            rank, method="expected_score"
+        ),
+    }
+
+    matrix = property_matrix(methods, relations, ks=[1, 2, 3])
+
+    table = Table(
+        "Figure 5 — ranking definitions versus Section 4.1 properties",
+        ["method", *PROPERTY_NAMES],
+    )
+    for method, row in matrix.items():
+        table.add_row(
+            [method]
+            + ["Y" if row[name].holds else "N" for name in PROPERTY_NAMES]
+        )
+    table.add_note(
+        "paper's matrix: only the rank-distribution statistics "
+        "(expected/median/quantile rank) satisfy every property"
+    )
+    table.show()
+
+    print("Counterexamples found by the audit:")
+    for method, row in matrix.items():
+        for name in PROPERTY_NAMES:
+            outcome = row[name]
+            if not outcome.holds:
+                print(f"  {method} / {name}: {outcome.counterexample}")
+
+
+if __name__ == "__main__":
+    main()

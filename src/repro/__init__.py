@@ -1,0 +1,66 @@
+"""repro — Semantics of Ranking Queries for Probabilistic Data.
+
+A from-scratch Python reproduction of *"Semantics of Ranking Queries
+for Probabilistic Data and Expected Ranks"* (Cormode, Li, Yi — ICDE
+2009; extended TKDE version with Jestes).  The library provides:
+
+* the attribute-level and tuple-level uncertainty models with full
+  possible-world semantics (:mod:`repro.models`);
+* rank distributions and the expected / median / quantile ranks with
+  the paper's exact and pruned algorithms (:mod:`repro.core`);
+* the prior-work baselines U-Topk, U-kRanks, PT-k, Global-Topk,
+  expected score and probability-only (:mod:`repro.baselines`);
+* executable ranking-property checkers regenerating the paper's
+  Figure 5 (:mod:`repro.core.properties`);
+* a small probabilistic database engine (:mod:`repro.engine`),
+  synthetic workload generators (:mod:`repro.datagen`), and the
+  benchmark harness behind EXPERIMENTS.md (:mod:`repro.bench`).
+
+Quickstart
+----------
+>>> from repro import DiscretePDF, AttributeTuple, AttributeLevelRelation, rank
+>>> relation = AttributeLevelRelation([
+...     AttributeTuple("t1", DiscretePDF([100, 70], [0.4, 0.6])),
+...     AttributeTuple("t2", DiscretePDF([92, 80], [0.6, 0.4])),
+...     AttributeTuple("t3", DiscretePDF([85], [1.0])),
+... ])
+>>> rank(relation, 2).tids()
+('t2', 't3')
+"""
+
+from repro.core import (
+    RankDistribution,
+    RankedItem,
+    TopKResult,
+    available_methods,
+    rank,
+    register_method,
+)
+from repro.exceptions import ReproError
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeLevelRelation",
+    "AttributeTuple",
+    "DiscretePDF",
+    "ExclusionRule",
+    "RankDistribution",
+    "RankedItem",
+    "ReproError",
+    "TopKResult",
+    "TupleLevelRelation",
+    "TupleLevelTuple",
+    "__version__",
+    "available_methods",
+    "rank",
+    "register_method",
+]

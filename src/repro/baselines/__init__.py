@@ -1,0 +1,43 @@
+"""Prior-work ranking definitions the paper compares against.
+
+Each baseline is implemented faithfully — including its documented
+property violations, which the property checkers and the E1 benchmark
+then exhibit.  :mod:`repro.baselines.brute_force` additionally provides
+enumeration-based oracles for everything.
+"""
+
+from repro.baselines.brute_force import (
+    brute_force_expected_ranks,
+    brute_force_rank_distributions,
+    brute_force_rank_position_probabilities,
+    brute_force_topk_probabilities,
+    brute_force_topk_answer_probabilities,
+)
+from repro.baselines.common import (
+    rank_position_probabilities,
+    topk_probabilities,
+)
+from repro.baselines.expected_score import expected_score, expected_scores
+from repro.baselines.global_topk import global_topk
+from repro.baselines.probability_only import probability_only
+from repro.baselines.pt_k import pt_k, pt_k_scan
+from repro.baselines.u_kranks import u_kranks
+from repro.baselines.u_topk import u_topk
+
+__all__ = [
+    "brute_force_expected_ranks",
+    "brute_force_rank_distributions",
+    "brute_force_rank_position_probabilities",
+    "brute_force_topk_probabilities",
+    "brute_force_topk_answer_probabilities",
+    "expected_score",
+    "expected_scores",
+    "global_topk",
+    "probability_only",
+    "pt_k",
+    "pt_k_scan",
+    "rank_position_probabilities",
+    "topk_probabilities",
+    "u_kranks",
+    "u_topk",
+]

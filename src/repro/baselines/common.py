@@ -1,0 +1,75 @@
+"""Shared statistics for the prior-work baselines.
+
+U-kRanks, PT-k and Global-Topk all rank by functionals of the same
+table: ``Pr[tuple t occupies position j of a random world's ranking]``
+(positional, index tie-break; in the tuple-level model the tuple must
+appear to occupy a position).  This module computes that table
+efficiently in both models by reusing the Poisson-binomial machinery
+of the rank-distribution framework — one of the observations this
+reproduction makes explicit: the baselines are marginals of the same
+conditional rank pmfs the paper's Section 7 dynamic programs build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.attr_mq_rank import attribute_rank_distribution
+from repro.core.tuple_mq_rank import tuple_present_rank_pmf
+from repro.exceptions import UnsupportedModelError
+from repro.models.attribute import AttributeLevelRelation
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = ["rank_position_probabilities", "topk_probabilities"]
+
+Relation = AttributeLevelRelation | TupleLevelRelation
+
+
+def _require_known_model(relation: object) -> None:
+    if not isinstance(
+        relation, (AttributeLevelRelation, TupleLevelRelation)
+    ):
+        raise UnsupportedModelError(
+            f"unsupported relation type {type(relation).__name__}"
+        )
+
+
+def rank_position_probabilities(
+    relation: Relation,
+) -> dict[str, np.ndarray]:
+    """``table[tid][j] = Pr[tid is ranked j within a random world]``.
+
+    Attribute-level tuples always appear, so each row sums to one and
+    equals the tuple's rank distribution under the index tie rule.
+    Tuple-level rows are ``p(t) * Pr[j tuples beat t | t appears]`` and
+    sum to ``p(t)``.
+    """
+    _require_known_model(relation)
+    size = relation.size
+    table: dict[str, np.ndarray] = {}
+    if isinstance(relation, AttributeLevelRelation):
+        for row in relation:
+            pmf = attribute_rank_distribution(
+                relation, row.tid, ties="by_index"
+            ).pmf
+            padded = np.zeros(size)
+            padded[: pmf.size] = pmf
+            table[row.tid] = padded
+        return table
+    for row in relation:
+        pmf = tuple_present_rank_pmf(relation, row.tid, ties="by_index")
+        padded = np.zeros(size)
+        padded[: min(pmf.size, size)] = pmf[:size]
+        table[row.tid] = row.probability * padded
+    return table
+
+
+def topk_probabilities(relation: Relation, k: int) -> dict[str, float]:
+    """``Pr[tuple is among the top-k of a random world]`` per tuple.
+
+    The per-tuple statistic of PT-k [23] and Global-Topk [48].
+    """
+    table = rank_position_probabilities(relation)
+    return {
+        tid: float(row[: max(k, 0)].sum()) for tid, row in table.items()
+    }

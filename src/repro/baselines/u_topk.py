@@ -1,0 +1,217 @@
+"""The U-Topk baseline (Soliman et al. [42]).
+
+U-Topk returns the top-k *answer* (the ordered vector of a world's k
+best tuples) with the highest support across all possible worlds; two
+worlds ranking the same tuples in different orders support different
+answers, per the paper's Figure 2 walk-through.  The paper (Section 4.2) shows it satisfies unique
+ranking, value invariance and stability, but violates **exact-k** (on
+tiny relations) and — critically — **containment**: the Figure 2
+example has top-1 ``{t1}`` yet top-2 ``{t2, t3}``, completely disjoint.
+
+Tuple-level evaluation is exact, via the classic best-first search
+over score-sorted prefixes: a search state fixes, for every tuple of a
+prefix, whether it was *included* (it appears and is in the candidate
+top-k) or *skipped* (it must be absent).  State probabilities multiply
+per exclusion rule and never increase along a branch, so the first
+complete state popped from a max-heap is the most probable top-k
+answer.
+
+Attribute-level U-Topk has no known polynomial algorithm (a tuple's
+membership in the top-k couples all score draws); following the
+original papers — which define it through the possible-worlds lens —
+the implementation enumerates worlds when feasible and otherwise
+estimates by Monte-Carlo sampling, reporting which route was taken.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.baselines.brute_force import brute_force_topk_answer_probabilities
+from repro.core.result import RankedItem, TopKResult
+from repro.exceptions import RankingError, UnsupportedModelError
+from repro.models.attribute import AttributeLevelRelation
+from repro.models.sampling import sample_attribute_topk_answers
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = ["u_topk"]
+
+
+@dataclass(frozen=True)
+class _SearchState:
+    """A prefix decision: which of the first ``position`` tuples are in
+    the candidate top-k (``chosen``) versus forced absent."""
+
+    position: int
+    chosen: tuple[str, ...]
+    # rule_id -> skipped (forced-absent) probability mass, for rules
+    # without a chosen member.
+    excluded: tuple[tuple[str, float], ...]
+    # rule ids that already contributed a chosen member.
+    rules_with_chosen: frozenset[str]
+
+
+def _tuple_level_u_topk(
+    relation: TupleLevelRelation, k: int
+) -> tuple[tuple[str, ...], float, int]:
+    """Best-first search; returns (answer, probability, states popped)."""
+    ordered = relation.order_by_score()
+    total = len(ordered)
+    counter = itertools.count()
+    initial = _SearchState(0, (), (), frozenset())
+    heap: list[tuple[float, int, _SearchState]] = [
+        (-1.0, next(counter), initial)
+    ]
+    popped = 0
+    while heap:
+        negative_probability, _, state = heapq.heappop(heap)
+        probability = -negative_probability
+        popped += 1
+        if len(state.chosen) == k or state.position == total:
+            return state.chosen, probability, popped
+        row = ordered[state.position]
+        rule = relation.rule_of(row.tid)
+        excluded = dict(state.excluded)
+        rule_mass_excluded = excluded.get(rule.rule_id, 0.0)
+        rule_has_chosen = rule.rule_id in state.rules_with_chosen
+        survivor_mass = 1.0 - rule_mass_excluded
+
+        # Branch 1: include the tuple in the candidate top-k.
+        if not rule_has_chosen and survivor_mass > 0.0:
+            include_probability = (
+                probability * row.probability / survivor_mass
+            )
+            if include_probability > 0.0:
+                next_excluded = dict(excluded)
+                next_excluded.pop(rule.rule_id, None)
+                heapq.heappush(
+                    heap,
+                    (
+                        -include_probability,
+                        next(counter),
+                        _SearchState(
+                            state.position + 1,
+                            state.chosen + (row.tid,),
+                            tuple(sorted(next_excluded.items())),
+                            state.rules_with_chosen | {rule.rule_id},
+                        ),
+                    ),
+                )
+
+        # Branch 2: skip the tuple (it must be absent).
+        if rule_has_chosen:
+            # Absence is implied by the chosen rule mate; free skip.
+            skip_probability = probability
+            next_excluded_items = state.excluded
+        else:
+            remaining = survivor_mass - row.probability
+            if remaining <= 0.0 or survivor_mass <= 0.0:
+                skip_probability = 0.0
+                next_excluded_items = state.excluded
+            else:
+                skip_probability = probability * remaining / survivor_mass
+                next_excluded = dict(excluded)
+                next_excluded[rule.rule_id] = (
+                    rule_mass_excluded + row.probability
+                )
+                next_excluded_items = tuple(sorted(next_excluded.items()))
+        if skip_probability > 0.0:
+            heapq.heappush(
+                heap,
+                (
+                    -skip_probability,
+                    next(counter),
+                    _SearchState(
+                        state.position + 1,
+                        state.chosen,
+                        next_excluded_items,
+                        state.rules_with_chosen,
+                    ),
+                ),
+            )
+    return (), 0.0, popped
+
+
+def _attribute_u_topk(
+    relation: AttributeLevelRelation,
+    k: int,
+    max_worlds: int,
+    samples: int,
+    rng,
+) -> tuple[tuple[str, ...], float, str]:
+    """Enumerate when feasible, otherwise sample; see module docstring."""
+    if relation.world_count() <= max_worlds:
+        support = brute_force_topk_answer_probabilities(
+            relation, k, max_worlds=max_worlds
+        )
+        estimator = "enumeration"
+    else:
+        counts = sample_attribute_topk_answers(
+            relation, k, samples, rng=rng
+        )
+        support = {
+            answer: count / samples for answer, count in counts.items()
+        }
+        estimator = "monte_carlo"
+    order = {tid: index for index, tid in enumerate(relation.tids())}
+    # Answers are ordered vectors already (world-ranking order); break
+    # probability ties deterministically by the members' insertion
+    # positions.
+    answer, best_probability = max(
+        support.items(),
+        key=lambda item: (
+            item[1],
+            tuple(-order[tid] for tid in item[0]),
+        ),
+    )
+    return answer, best_probability, estimator
+
+
+def u_topk(
+    relation: AttributeLevelRelation | TupleLevelRelation,
+    k: int,
+    *,
+    max_worlds: int = 200_000,
+    samples: int = 20_000,
+    rng=None,
+) -> TopKResult:
+    """The most probable top-k answer across all possible worlds.
+
+    Tuple-level relations are solved exactly; attribute-level ones by
+    enumeration up to ``max_worlds`` worlds, else by ``samples``
+    Monte-Carlo draws (``metadata["estimator"]`` reports which).  The
+    answer can legitimately contain fewer than ``k`` tuples when small
+    worlds dominate.
+    """
+    if k < 0:
+        raise RankingError(f"k must be >= 0, got {k!r}")
+    if isinstance(relation, TupleLevelRelation):
+        answer, probability, popped = _tuple_level_u_topk(relation, k)
+        metadata: dict[str, object] = {
+            "answer_probability": probability,
+            "states_popped": popped,
+            "estimator": "best_first_exact",
+            "tuples_accessed": relation.size,
+        }
+    elif isinstance(relation, AttributeLevelRelation):
+        answer, probability, estimator = _attribute_u_topk(
+            relation, k, max_worlds, samples, rng
+        )
+        metadata = {
+            "answer_probability": probability,
+            "estimator": estimator,
+            "tuples_accessed": relation.size,
+        }
+    else:
+        raise UnsupportedModelError(
+            f"unsupported relation type {type(relation).__name__}"
+        )
+    items = tuple(
+        RankedItem(tid=tid, position=position, statistic=None)
+        for position, tid in enumerate(answer)
+    )
+    return TopKResult(
+        method="u_topk", k=k, items=items, statistics={}, metadata=metadata
+    )

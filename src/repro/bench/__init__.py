@@ -1,0 +1,25 @@
+"""Benchmark harness: timing, tables, and canonical named workloads."""
+
+from repro.bench.harness import (
+    Table,
+    geometric_sweep,
+    growth_exponent,
+    measure_seconds,
+)
+from repro.bench.workloads import (
+    ATTRIBUTE_WORKLOADS,
+    TUPLE_WORKLOADS,
+    attribute_workload,
+    tuple_workload,
+)
+
+__all__ = [
+    "ATTRIBUTE_WORKLOADS",
+    "TUPLE_WORKLOADS",
+    "Table",
+    "attribute_workload",
+    "geometric_sweep",
+    "growth_exponent",
+    "measure_seconds",
+    "tuple_workload",
+]

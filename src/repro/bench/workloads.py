@@ -1,0 +1,86 @@
+"""Canonical benchmark workloads, named after the paper's regimes.
+
+Every experiment in EXPERIMENTS.md pulls its inputs from here so the
+distribution codes mean the same thing everywhere:
+
+* ``uu``   — uniform scores, uniform probabilities, independent;
+* ``zipf`` — Zipfian (heavy-tailed) scores, uniform probabilities;
+* ``cor``  — scores and probabilities positively correlated;
+* ``anti`` — negatively correlated (likely tuples score low), the
+  regime that separates ranking definitions most sharply.
+
+Attribute-level workloads vary the center-score distribution; the
+probability shape lives inside each tuple's pdf.  All workloads are
+seeded, so benchmark tables are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.attribute_gen import generate_attribute_relation
+from repro.datagen.tuple_gen import generate_tuple_relation
+from repro.exceptions import WorkloadError
+from repro.models.attribute import AttributeLevelRelation
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = [
+    "ATTRIBUTE_WORKLOADS",
+    "TUPLE_WORKLOADS",
+    "attribute_workload",
+    "tuple_workload",
+]
+
+#: Attribute-level distribution codes -> generator keyword presets.
+ATTRIBUTE_WORKLOADS: dict[str, dict] = {
+    "uu": {"score_distribution": "uniform"},
+    "zipf": {"score_distribution": "zipf"},
+    "norm": {"score_distribution": "normal"},
+}
+
+#: Tuple-level distribution codes -> generator keyword presets.
+TUPLE_WORKLOADS: dict[str, dict] = {
+    "uu": {"score_distribution": "uniform", "correlation": "independent"},
+    "zipf": {"score_distribution": "zipf", "correlation": "independent"},
+    "cor": {"score_distribution": "uniform", "correlation": "positive"},
+    "anti": {"score_distribution": "uniform", "correlation": "negative"},
+}
+
+
+def attribute_workload(
+    code: str,
+    count: int,
+    *,
+    pdf_size: int = 5,
+    seed: int = 7,
+    **overrides,
+) -> AttributeLevelRelation:
+    """Build the named attribute-level workload at size ``count``."""
+    try:
+        preset = dict(ATTRIBUTE_WORKLOADS[code])
+    except KeyError:
+        known = ", ".join(sorted(ATTRIBUTE_WORKLOADS))
+        raise WorkloadError(
+            f"unknown attribute workload {code!r}; known: {known}"
+        ) from None
+    preset.update(overrides)
+    return generate_attribute_relation(
+        count, pdf_size=pdf_size, seed=seed, **preset
+    )
+
+
+def tuple_workload(
+    code: str,
+    count: int,
+    *,
+    seed: int = 7,
+    **overrides,
+) -> TupleLevelRelation:
+    """Build the named tuple-level workload at size ``count``."""
+    try:
+        preset = dict(TUPLE_WORKLOADS[code])
+    except KeyError:
+        known = ", ".join(sorted(TUPLE_WORKLOADS))
+        raise WorkloadError(
+            f"unknown tuple workload {code!r}; known: {known}"
+        ) from None
+    preset.update(overrides)
+    return generate_tuple_relation(count, seed=seed, **preset)

@@ -1,0 +1,386 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands cover the everyday workflow without writing Python:
+
+* ``topk`` — run a ranking query over a relation file;
+* ``describe`` — relation metadata (model, sizes, uncertainty);
+* ``distribution`` — one tuple's exact rank distribution;
+* ``generate`` — write a synthetic workload to a relation file.
+
+Relation files are the CSV/JSON formats of :mod:`repro.engine.io`;
+CSVs are sniffed by header (a ``value`` column means attribute-level,
+a ``score`` column tuple-level).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.core import rank
+from repro.core.semantics import available_methods
+from repro.engine.io import (
+    load_attribute_csv,
+    load_json,
+    load_tuple_csv,
+    save_attribute_csv,
+    save_json,
+    save_tuple_csv,
+)
+from repro.exceptions import ReproError, SchemaError
+from repro.models.attribute import AttributeLevelRelation
+
+__all__ = ["main", "build_parser", "load_relation"]
+
+
+def load_relation(path: Path | str):
+    """Load a relation from ``.json`` or a sniffed ``.csv`` file."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return load_json(path)
+    with path.open(newline="") as handle:
+        header = next(csv.reader(handle), [])
+    if "value" in header:
+        return load_attribute_csv(path)
+    if "score" in header:
+        return load_tuple_csv(path)
+    raise SchemaError(
+        f"{path}: cannot tell the model from columns {header!r} "
+        "(need a 'value' or 'score' column)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Ranking queries over probabilistic data "
+            "(expected / median / quantile ranks and baselines)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    topk = commands.add_parser(
+        "topk", help="run a top-k ranking query over a relation file"
+    )
+    topk.add_argument("file", type=Path, help="relation .csv or .json")
+    topk.add_argument("-k", type=int, default=10, help="answers wanted")
+    topk.add_argument(
+        "--method",
+        default="expected_rank",
+        choices=sorted(available_methods()),
+        help="ranking semantics (default: expected_rank)",
+    )
+    topk.add_argument(
+        "--phi",
+        type=float,
+        default=None,
+        help="quantile for quantile_rank methods",
+    )
+    topk.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="probability threshold for pt_k",
+    )
+    topk.add_argument(
+        "--ties",
+        choices=["shared", "by_index"],
+        default=None,
+        help="tie-breaking rule where the method supports it",
+    )
+    topk.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full result as JSON instead of a table",
+    )
+
+    describe = commands.add_parser(
+        "describe", help="print relation metadata"
+    )
+    describe.add_argument("file", type=Path)
+
+    distribution = commands.add_parser(
+        "distribution", help="print one tuple's rank distribution"
+    )
+    distribution.add_argument("file", type=Path)
+    distribution.add_argument("tid", help="tuple identifier")
+
+    explain = commands.add_parser(
+        "explain",
+        help="explain why one tuple outranks another (expected rank)",
+    )
+    explain.add_argument("file", type=Path)
+    explain.add_argument("better", help="the higher-ranked tuple id")
+    explain.add_argument("worse", help="the lower-ranked tuple id")
+
+    churn = commands.add_parser(
+        "churn",
+        help="top-k churn under random input noise (robustness)",
+    )
+    churn.add_argument("file", type=Path)
+    churn.add_argument("-k", type=int, default=5)
+    churn.add_argument(
+        "--noise",
+        type=float,
+        nargs="+",
+        default=[0.01, 0.05, 0.1, 0.2],
+        help="relative noise levels to probe",
+    )
+    churn.add_argument("--trials", type=int, default=20)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument(
+        "--method", default="expected_rank",
+        choices=sorted(available_methods()),
+    )
+
+    audit = commands.add_parser(
+        "audit",
+        help="check the Section 4.1 ranking properties on a relation",
+    )
+    audit.add_argument("file", type=Path)
+    audit.add_argument(
+        "--methods",
+        default="expected_rank,median_rank,u_topk,u_kranks,global_topk,"
+        "expected_score",
+        help="comma-separated method names to audit",
+    )
+    audit.add_argument(
+        "--max-k",
+        type=int,
+        default=3,
+        help="probe k = 1 .. max-k (default 3)",
+    )
+    audit.add_argument(
+        "--threshold",
+        type=float,
+        default=0.4,
+        help="PT-k threshold, when pt_k is among the methods",
+    )
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic workload"
+    )
+    generate.add_argument(
+        "model", choices=["attribute", "tuple"], help="uncertainty model"
+    )
+    generate.add_argument("out", type=Path, help=".csv or .json output")
+    generate.add_argument("-n", type=int, default=100, help="tuples")
+    generate.add_argument(
+        "--workload",
+        default="uu",
+        help="distribution code (uu/zipf/norm for attribute; "
+        "uu/zipf/cor/anti for tuple)",
+    )
+    generate.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _command_topk(args) -> int:
+    relation = load_relation(args.file)
+    options = {}
+    if args.phi is not None:
+        options["phi"] = args.phi
+    if args.threshold is not None:
+        options["threshold"] = args.threshold
+    if args.ties is not None:
+        options["ties"] = args.ties
+    result = rank(relation, args.k, method=args.method, **options)
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.describe())
+    accessed = result.metadata.get("tuples_accessed")
+    if accessed is not None:
+        print(f"tuples accessed: {accessed} of {relation.size}")
+    for item in result:
+        statistic = (
+            "" if item.statistic is None else f"\t{item.statistic:.6g}"
+        )
+        print(f"{item.position + 1}\t{item.tid}{statistic}")
+    return 0
+
+
+def _command_describe(args) -> int:
+    from repro.models.validation import diagnose
+
+    relation = load_relation(args.file)
+    if isinstance(relation, AttributeLevelRelation):
+        print("model: attribute-level")
+        print(f"tuples: {relation.size}")
+        print(f"max pdf size: {relation.max_pdf_size()}")
+        print(f"possible worlds: {relation.world_count()}")
+        universe = relation.value_universe()
+        print(
+            f"score range: [{universe[0]:g}, {universe[-1]:g}] "
+            f"over {len(universe)} distinct values"
+        )
+    else:
+        print("model: tuple-level (x-relation)")
+        print(f"tuples: {relation.size}")
+        print(f"rules: {relation.rule_count}")
+        multi = sum(
+            1 for rule in relation.rules if not rule.is_singleton
+        )
+        print(f"multi-tuple rules: {multi}")
+        print(
+            f"expected world size: {relation.expected_world_size():g}"
+        )
+    findings = diagnose(relation)
+    if findings:
+        print("diagnostics:")
+        for finding in findings:
+            print(f"  - {finding}")
+    return 0
+
+
+def _command_distribution(args) -> int:
+    relation = load_relation(args.file)
+    if isinstance(relation, AttributeLevelRelation):
+        from repro.core import attribute_rank_distribution
+
+        dist = attribute_rank_distribution(relation, args.tid)
+    else:
+        from repro.core import tuple_rank_distribution
+
+        dist = tuple_rank_distribution(relation, args.tid)
+    print(f"rank distribution of {args.tid}:")
+    for value, mass in dist.items():
+        print(f"  Pr[rank = {value}] = {mass:.6g}")
+    print(f"expected rank: {dist.expectation():.6g}")
+    print(f"median rank: {dist.median()}")
+    print(f"0.9-quantile rank: {dist.quantile(0.9)}")
+    return 0
+
+
+def _command_explain(args) -> int:
+    from repro.core.explain import explain_pair
+
+    relation = load_relation(args.file)
+    explanation = explain_pair(relation, args.better, args.worse)
+    print(explanation.describe())
+    return 0
+
+
+def _command_churn(args) -> int:
+    from repro.core.sensitivity import stability_profile
+
+    relation = load_relation(args.file)
+    profile = stability_profile(
+        relation,
+        args.k,
+        noises=tuple(args.noise),
+        trials=args.trials,
+        method=args.method,
+        rng=args.seed,
+    )
+    print(
+        f"top-{args.k} churn under relative noise "
+        f"({args.trials} trials, method {args.method}):"
+    )
+    for report in profile:
+        core = sorted(report.stable_core())
+        print(
+            f"  noise ±{report.noise:.0%}: mean churn "
+            f"{report.mean_churn:.1%}, stable core "
+            f"{len(core)}/{args.k}"
+        )
+    return 0
+
+
+def _command_audit(args) -> int:
+    import functools
+
+    from repro.bench.harness import Table
+    from repro.core.properties import PROPERTY_NAMES, property_matrix
+
+    relation = load_relation(args.file)
+    methods = {}
+    for name in args.methods.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in available_methods():
+            print(f"error: unknown method {name!r}", file=sys.stderr)
+            return 1
+        options = (
+            {"threshold": args.threshold} if name == "pt_k" else {}
+        )
+        methods[name] = functools.partial(
+            rank, method=name, **options
+        )
+    ks = list(range(1, max(args.max_k, 1) + 1))
+    matrix = property_matrix(methods, [relation], ks=ks)
+    table = Table(
+        f"Ranking-property audit of {args.file}",
+        ["method", *PROPERTY_NAMES],
+    )
+    for name, row in matrix.items():
+        table.add_row(
+            [name]
+            + [
+                "Y" if row[property_name].holds else "N"
+                for property_name in PROPERTY_NAMES
+            ]
+        )
+    print(table.render())
+    failures = [
+        (name, property_name, row[property_name].counterexample)
+        for name, row in matrix.items()
+        for property_name in PROPERTY_NAMES
+        if not row[property_name].holds
+    ]
+    for name, property_name, counterexample in failures:
+        print(f"  {name} / {property_name}: {counterexample}")
+    return 0
+
+
+def _command_generate(args) -> int:
+    from repro.bench.workloads import attribute_workload, tuple_workload
+
+    if args.model == "attribute":
+        relation = attribute_workload(args.workload, args.n, seed=args.seed)
+        writer = save_attribute_csv
+    else:
+        relation = tuple_workload(args.workload, args.n, seed=args.seed)
+        writer = save_tuple_csv
+    if args.out.suffix.lower() == ".json":
+        save_json(relation, args.out)
+    else:
+        writer(relation, args.out)
+    print(f"wrote {relation.size} tuples to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "topk": _command_topk,
+    "describe": _command_describe,
+    "distribution": _command_distribution,
+    "explain": _command_explain,
+    "churn": _command_churn,
+    "audit": _command_audit,
+    "generate": _command_generate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

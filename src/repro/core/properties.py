@@ -1,0 +1,459 @@
+"""Executable ranking-query properties (paper Section 4.1).
+
+Definitions 1-5 of the paper as runnable checkers.  Each checker takes
+an *invoker* — any callable ``invoke(relation, k) -> TopKResult``, e.g.
+``functools.partial(rank, method="pt_k", threshold=0.4)`` — probes it
+on a relation over a range of ``k`` values, and reports whether the
+property held, with a human-readable counterexample when it did not.
+
+Following the paper's formalisation, the top-k answer ``R_k`` is a set
+of *(tuple, rank)* assignments:
+
+* **exact-k** (Def. 1): ``|R_k| = min(k, N)`` entries.
+* **containment** (Def. 2): the assignments of ``R_k`` are a subset of
+  those of ``R_{k+1}`` — positional prefix growth.  The *weak* variant
+  only requires the reported tuple sets to be nested (this is the
+  version PT-k satisfies).
+* **unique ranking** (Def. 3): no tuple occupies two positions.
+* **value invariance** (Def. 5): applying a strictly increasing score
+  transform leaves the answer unchanged.
+* **stability** (Def. 4): boosting a top-k member (stochastically
+  larger score / higher probability) keeps it in the top-k, and
+  diminishing a non-member keeps it out.
+
+:func:`audit_method` aggregates all checks over several relations and
+:func:`property_matrix` regenerates the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.result import TopKResult
+from repro.exceptions import ModelError, ReproError
+from repro.models.attribute import AttributeLevelRelation, AttributeTuple
+from repro.models.pdf import DiscretePDF
+from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+
+__all__ = [
+    "PropertyCheck",
+    "PROPERTY_NAMES",
+    "check_exact_k",
+    "check_containment",
+    "check_unique_ranking",
+    "check_value_invariance",
+    "check_stability",
+    "check_faithfulness",
+    "audit_method",
+    "property_matrix",
+    "boost_tuple",
+    "diminish_tuple",
+]
+
+Relation = AttributeLevelRelation | TupleLevelRelation
+Invoker = Callable[[Relation, int], TopKResult]
+
+#: Canonical property order, matching the columns of Figure 5 (with the
+#: weak-containment refinement the paper discusses for PT-k).
+PROPERTY_NAMES = (
+    "exact_k",
+    "containment",
+    "weak_containment",
+    "unique_ranking",
+    "value_invariance",
+    "stability",
+)
+
+#: Strictly increasing transforms for the value-invariance probe.  The
+#: cube preserves order on all reals; the affine map changes scale and
+#: offset; the compressive map squashes large scores together.
+DEFAULT_TRANSFORMS: tuple[tuple[str, Callable[[float], float]], ...] = (
+    ("affine 2x+1", lambda value: 2.0 * value + 1.0),
+    ("cubic", lambda value: value**3),
+    ("arctan-like", lambda value: value / (1.0 + abs(value)) + value * 1e-9),
+)
+
+
+@dataclass(frozen=True)
+class PropertyCheck:
+    """Outcome of probing one property."""
+
+    name: str
+    holds: bool
+    counterexample: str | None = None
+
+    def __str__(self) -> str:
+        if self.holds:
+            return f"{self.name}: holds"
+        return f"{self.name}: FAILS ({self.counterexample})"
+
+
+def _merge(
+    name: str, outcomes: Iterable[PropertyCheck]
+) -> PropertyCheck:
+    for outcome in outcomes:
+        if not outcome.holds:
+            return outcome
+    return PropertyCheck(name, True)
+
+
+def _k_range(relation: Relation, ks: Sequence[int] | None) -> list[int]:
+    if ks is not None:
+        return [k for k in ks if k >= 1]
+    return list(range(1, relation.size + 1))
+
+
+# ----------------------------------------------------------------------
+# Definition 1: exact-k
+# ----------------------------------------------------------------------
+def check_exact_k(
+    invoke: Invoker,
+    relation: Relation,
+    ks: Sequence[int] | None = None,
+) -> PropertyCheck:
+    """``|R_k| = k`` whenever the relation has at least ``k`` tuples."""
+    for k in _k_range(relation, ks):
+        expected = min(k, relation.size)
+        result = invoke(relation, k)
+        if len(result) != expected:
+            return PropertyCheck(
+                "exact_k",
+                False,
+                f"k={k}: reported {len(result)} entries, "
+                f"expected {expected} ({result.describe()})",
+            )
+    return PropertyCheck("exact_k", True)
+
+
+# ----------------------------------------------------------------------
+# Definition 2: containment (strict and weak)
+# ----------------------------------------------------------------------
+def check_containment(
+    invoke: Invoker,
+    relation: Relation,
+    ks: Sequence[int] | None = None,
+    *,
+    weak: bool = False,
+) -> PropertyCheck:
+    """``R_k`` contained in ``R_{k+1}``.
+
+    Strict mode compares *(position, tuple)* assignments — ``R_k`` must
+    be a positional prefix of ``R_{k+1}`` with strictly more entries.
+    Weak mode compares the reported tuple sets under ``subseteq``.
+    """
+    name = "weak_containment" if weak else "containment"
+    for k in _k_range(relation, ks):
+        if k + 1 > relation.size:
+            break
+        smaller = invoke(relation, k)
+        larger = invoke(relation, k + 1)
+        if weak:
+            if not smaller.tid_set() <= larger.tid_set():
+                return PropertyCheck(
+                    name,
+                    False,
+                    f"k={k}: {sorted(smaller.tid_set())} not a subset "
+                    f"of {sorted(larger.tid_set())}",
+                )
+            continue
+        smaller_pairs = {
+            (item.position, item.tid) for item in smaller.items
+        }
+        larger_pairs = {(item.position, item.tid) for item in larger.items}
+        if not (
+            smaller_pairs <= larger_pairs
+            and len(larger_pairs) > len(smaller_pairs)
+        ):
+            return PropertyCheck(
+                name,
+                False,
+                f"k={k}: top-{k} {smaller.tids()} is not a strict "
+                f"positional prefix of top-{k + 1} {larger.tids()}",
+            )
+    return PropertyCheck(name, True)
+
+
+# ----------------------------------------------------------------------
+# Definition 3: unique ranking
+# ----------------------------------------------------------------------
+def check_unique_ranking(
+    invoke: Invoker,
+    relation: Relation,
+    ks: Sequence[int] | None = None,
+) -> PropertyCheck:
+    """No tuple may occupy more than one reported position."""
+    for k in _k_range(relation, ks):
+        result = invoke(relation, k)
+        tids = result.tids()
+        if len(set(tids)) != len(tids):
+            repeated = sorted(
+                tid for tid in set(tids) if tids.count(tid) > 1
+            )
+            return PropertyCheck(
+                "unique_ranking",
+                False,
+                f"k={k}: tuple(s) {repeated} reported at multiple "
+                f"positions ({result.describe()})",
+            )
+    return PropertyCheck("unique_ranking", True)
+
+
+# ----------------------------------------------------------------------
+# Definition 5: value invariance
+# ----------------------------------------------------------------------
+def check_value_invariance(
+    invoke: Invoker,
+    relation: Relation,
+    ks: Sequence[int] | None = None,
+    *,
+    transforms: Sequence[
+        tuple[str, Callable[[float], float]]
+    ] = DEFAULT_TRANSFORMS,
+    compare: str = "list",
+) -> PropertyCheck:
+    """Strictly increasing score transforms must not change the answer.
+
+    ``compare="list"`` demands the full ordered answer be identical;
+    ``compare="set"`` only the reported tuple set (appropriate for
+    set-valued answers such as U-Topk).
+    """
+    if compare not in ("list", "set"):
+        raise ValueError(f"compare must be 'list' or 'set', got {compare!r}")
+    for k in _k_range(relation, ks):
+        baseline = invoke(relation, k)
+        for label, transform in transforms:
+            transformed = invoke(relation.map_scores(transform), k)
+            if compare == "list":
+                same = baseline.tids() == transformed.tids()
+            else:
+                same = baseline.tid_set() == transformed.tid_set()
+            if not same:
+                return PropertyCheck(
+                    "value_invariance",
+                    False,
+                    f"k={k}, transform {label!r}: answer changed from "
+                    f"{baseline.tids()} to {transformed.tids()}",
+                )
+    return PropertyCheck("value_invariance", True)
+
+
+# ----------------------------------------------------------------------
+# Definition 4: stability
+# ----------------------------------------------------------------------
+def boost_tuple(
+    relation: Relation, tid: str, *, delta: float = 1.0
+) -> Relation:
+    """A copy of the relation where ``tid`` became strictly better.
+
+    Attribute-level: every support value is shifted up by ``delta``,
+    which makes the new score stochastically greater or equal (Def. 4).
+    Tuple-level: the score is raised by ``delta`` and the membership
+    probability absorbs half of its rule's remaining slack.
+    """
+    if isinstance(relation, AttributeLevelRelation):
+        row = relation.tuple_by_id(tid)
+        return relation.replace_tuple(
+            AttributeTuple(tid, row.score.shift(delta), row.attributes)
+        )
+    if isinstance(relation, TupleLevelRelation):
+        row = relation.tuple_by_id(tid)
+        rule = relation.rule_of(tid)
+        rule_mass = sum(
+            relation.tuple_by_id(member).probability for member in rule
+        )
+        slack = max(0.0, 1.0 - rule_mass)
+        return relation.replace_tuple(
+            TupleLevelTuple(
+                tid,
+                row.score + delta,
+                min(1.0, row.probability + slack / 2.0),
+                row.attributes,
+            )
+        )
+    raise ModelError(f"unsupported relation type {type(relation).__name__}")
+
+
+def diminish_tuple(
+    relation: Relation, tid: str, *, delta: float = 1.0
+) -> Relation:
+    """A copy of the relation where ``tid`` became strictly worse."""
+    if isinstance(relation, AttributeLevelRelation):
+        row = relation.tuple_by_id(tid)
+        return relation.replace_tuple(
+            AttributeTuple(tid, row.score.shift(-delta), row.attributes)
+        )
+    if isinstance(relation, TupleLevelRelation):
+        row = relation.tuple_by_id(tid)
+        return relation.replace_tuple(
+            TupleLevelTuple(
+                tid,
+                row.score - delta,
+                row.probability / 2.0,
+                row.attributes,
+            )
+        )
+    raise ModelError(f"unsupported relation type {type(relation).__name__}")
+
+
+def check_stability(
+    invoke: Invoker,
+    relation: Relation,
+    ks: Sequence[int] | None = None,
+    *,
+    delta: float = 1.0,
+) -> PropertyCheck:
+    """Boosted winners must stay in; diminished losers must stay out."""
+    for k in _k_range(relation, ks):
+        if k >= relation.size:
+            break  # with k >= N both directions are vacuous
+        winners = invoke(relation, k).tid_set()
+        for tid in sorted(winners):
+            boosted = boost_tuple(relation, tid, delta=delta)
+            if tid not in invoke(boosted, k).tid_set():
+                return PropertyCheck(
+                    "stability",
+                    False,
+                    f"k={k}: boosting top-k member {tid!r} ejected it",
+                )
+        losers = set(relation.tids()) - winners
+        for tid in sorted(losers):
+            diminished = diminish_tuple(relation, tid, delta=delta)
+            if tid in invoke(diminished, k).tid_set():
+                return PropertyCheck(
+                    "stability",
+                    False,
+                    f"k={k}: diminishing non-member {tid!r} promoted it",
+                )
+    return PropertyCheck("stability", True)
+
+
+# ----------------------------------------------------------------------
+# Further properties (paper Appendix A / Zhang & Chomicki [48])
+# ----------------------------------------------------------------------
+def _dominates(relation: Relation, tid_a: str, tid_b: str) -> bool:
+    """Whether ``tid_a`` strictly dominates ``tid_b``.
+
+    Tuple-level: higher score *and* at least the probability, with one
+    strict.  Attribute-level: stochastically larger score (strict
+    somewhere).  Same-rule tuple-level pairs are skipped by the caller
+    (faithfulness is only stated for independent tuples).
+    """
+    if isinstance(relation, TupleLevelRelation):
+        first = relation.tuple_by_id(tid_a)
+        second = relation.tuple_by_id(tid_b)
+        return (
+            first.score > second.score
+            and first.probability >= second.probability
+        )
+    first = relation.tuple_by_id(tid_a).score
+    second = relation.tuple_by_id(tid_b).score
+    return (
+        first.stochastically_dominates(second)
+        and not second.stochastically_dominates(first)
+    )
+
+
+def check_faithfulness(
+    invoke: Invoker,
+    relation: Relation,
+    ks: Sequence[int] | None = None,
+) -> PropertyCheck:
+    """Faithfulness (the *further property* of Appendix A, from [48]):
+    when ``t_a`` dominates ``t_b`` — better score and no worse
+    probability — reporting ``t_b`` without ``t_a`` is a violation.
+
+    Only independent pairs are examined in the tuple-level model
+    (exclusion-rule mates interact through the rule and are exempt in
+    the original statement).
+    """
+    tids = relation.tids()
+    for k in _k_range(relation, ks):
+        if k >= relation.size:
+            break
+        reported = invoke(relation, k).tid_set()
+        for tid_b in sorted(reported):
+            for tid_a in tids:
+                if tid_a == tid_b or tid_a in reported:
+                    continue
+                if isinstance(
+                    relation, TupleLevelRelation
+                ) and relation.exclusive_with(tid_a, tid_b):
+                    continue
+                if _dominates(relation, tid_a, tid_b):
+                    return PropertyCheck(
+                        "faithfulness",
+                        False,
+                        f"k={k}: {tid_b!r} reported while its "
+                        f"dominator {tid_a!r} is not",
+                    )
+    return PropertyCheck("faithfulness", True)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def audit_method(
+    invoke: Invoker,
+    relations: Sequence[Relation],
+    ks: Sequence[int] | None = None,
+    *,
+    value_invariance_compare: str = "list",
+) -> dict[str, PropertyCheck]:
+    """Probe all properties of one method over several relations.
+
+    A property holds only if it holds on every relation; the first
+    counterexample found is reported.  Relations a method cannot
+    evaluate (e.g. probability-only on attribute-level data) are
+    skipped for that method.
+    """
+    outcomes: dict[str, list[PropertyCheck]] = {
+        name: [] for name in PROPERTY_NAMES
+    }
+    for relation in relations:
+        try:
+            invoke(relation, 1)
+        except ReproError:
+            continue
+        outcomes["exact_k"].append(check_exact_k(invoke, relation, ks))
+        outcomes["containment"].append(
+            check_containment(invoke, relation, ks)
+        )
+        outcomes["weak_containment"].append(
+            check_containment(invoke, relation, ks, weak=True)
+        )
+        outcomes["unique_ranking"].append(
+            check_unique_ranking(invoke, relation, ks)
+        )
+        outcomes["value_invariance"].append(
+            check_value_invariance(
+                invoke, relation, ks, compare=value_invariance_compare
+            )
+        )
+        outcomes["stability"].append(
+            check_stability(invoke, relation, ks)
+        )
+    return {
+        name: _merge(name, checks) for name, checks in outcomes.items()
+    }
+
+
+def property_matrix(
+    methods: Mapping[str, Invoker],
+    relations: Sequence[Relation],
+    ks: Sequence[int] | None = None,
+    *,
+    set_valued_methods: frozenset[str] = frozenset({"u_topk"}),
+) -> dict[str, dict[str, PropertyCheck]]:
+    """Regenerate the paper's Figure 5: method x property outcomes.
+
+    ``set_valued_methods`` use set comparison for value invariance
+    (their answers have no inherent order).
+    """
+    matrix: dict[str, dict[str, PropertyCheck]] = {}
+    for name, invoke in methods.items():
+        compare = "set" if name in set_valued_methods else "list"
+        matrix[name] = audit_method(
+            invoke, relations, ks, value_invariance_compare=compare
+        )
+    return matrix

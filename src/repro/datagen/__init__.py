@@ -1,0 +1,47 @@
+"""Synthetic workload generators for the experiments.
+
+Seeded generators for both uncertainty models (uniform / Zipfian /
+correlated regimes) plus structural stand-ins for the paper's real
+datasets (see the substitution table in DESIGN.md).
+"""
+
+from repro.datagen.attribute_gen import generate_attribute_relation
+from repro.datagen.correlation import (
+    CORRELATION_PRESETS,
+    copula_uniform_pairs,
+)
+from repro.datagen.distributions import (
+    beta_probabilities,
+    dirichlet_weights,
+    normal_scores,
+    resolve_rng,
+    uniform_probabilities,
+    uniform_scores,
+    zipf_scores,
+)
+from repro.datagen.integration import MATCH_WEIGHTS, integration_matches
+from repro.datagen.realworld import (
+    iceberg_sightings,
+    movie_ratings,
+    sensor_readings,
+)
+from repro.datagen.tuple_gen import generate_tuple_relation
+
+__all__ = [
+    "CORRELATION_PRESETS",
+    "beta_probabilities",
+    "copula_uniform_pairs",
+    "dirichlet_weights",
+    "generate_attribute_relation",
+    "generate_tuple_relation",
+    "MATCH_WEIGHTS",
+    "iceberg_sightings",
+    "integration_matches",
+    "movie_ratings",
+    "normal_scores",
+    "resolve_rng",
+    "sensor_readings",
+    "uniform_probabilities",
+    "uniform_scores",
+    "zipf_scores",
+]

@@ -1,0 +1,103 @@
+"""Synthetic attribute-level relations (Figure 1 shaped data).
+
+Each generated tuple gets a discrete score pdf of a configurable
+support size: a *center* drawn from the chosen score distribution,
+support values spread around the center, and Dirichlet-random
+probabilities.  Values are kept strictly positive so the Markov-based
+pruning algorithms remain applicable (their documented precondition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.distributions import (
+    dirichlet_weights,
+    normal_scores,
+    resolve_rng,
+    uniform_scores,
+    zipf_scores,
+)
+from repro.exceptions import WorkloadError
+from repro.models.attribute import AttributeLevelRelation, AttributeTuple
+from repro.models.pdf import DiscretePDF
+
+__all__ = ["generate_attribute_relation"]
+
+_SCORE_SAMPLERS = {
+    "uniform": uniform_scores,
+    "zipf": zipf_scores,
+    "normal": normal_scores,
+}
+
+
+def generate_attribute_relation(
+    count: int,
+    *,
+    pdf_size: int = 5,
+    score_distribution: str = "uniform",
+    spread: float = 0.2,
+    concentration: float = 1.0,
+    seed=None,
+    tid_prefix: str = "t",
+    **score_options,
+) -> AttributeLevelRelation:
+    """Generate ``count`` tuples with random score pdfs.
+
+    Parameters
+    ----------
+    count:
+        Number of tuples ``N``.
+    pdf_size:
+        Support size ``s`` of every score pdf (alternatives per tuple).
+    score_distribution:
+        ``"uniform"``, ``"zipf"`` or ``"normal"`` — the distribution of
+        the per-tuple center score (the ``uu`` / ``zipf`` workloads).
+    spread:
+        Relative half-width of the support around the center: values
+        are drawn in ``center * [1 - spread, 1 + spread]``.
+    concentration:
+        Dirichlet concentration of the per-value probabilities
+        (``1.0`` = uniform over the simplex; larger = more even pdfs).
+    seed:
+        Seed or :class:`numpy.random.Generator`.
+    score_options:
+        Passed to the score sampler (``low``/``high``, ``alpha``, ...).
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count!r}")
+    if pdf_size < 1:
+        raise WorkloadError(f"pdf_size must be >= 1, got {pdf_size!r}")
+    if not 0.0 <= spread < 1.0:
+        raise WorkloadError(f"spread must be in [0, 1), got {spread!r}")
+    try:
+        sampler = _SCORE_SAMPLERS[score_distribution]
+    except KeyError:
+        known = ", ".join(sorted(_SCORE_SAMPLERS))
+        raise WorkloadError(
+            f"unknown score distribution {score_distribution!r}; "
+            f"known: {known}"
+        ) from None
+
+    rng = resolve_rng(seed)
+    centers = sampler(rng, count, **score_options)
+    rows = []
+    for index, center in enumerate(centers):
+        offsets = rng.uniform(-spread, spread, size=pdf_size)
+        values = np.maximum(center * (1.0 + offsets), 1e-6)
+        # Perturb duplicates (possible when spread == 0) apart.
+        values = np.sort(values)
+        for j in range(1, values.size):
+            if values[j] <= values[j - 1]:
+                values[j] = values[j - 1] * (1.0 + 1e-9) + 1e-12
+        weights = dirichlet_weights(
+            rng, pdf_size, concentration=concentration
+        )
+        rows.append(
+            AttributeTuple(
+                f"{tid_prefix}{index}",
+                DiscretePDF(values.tolist(), weights.tolist(),
+                            normalize=True),
+            )
+        )
+    return AttributeLevelRelation(rows)

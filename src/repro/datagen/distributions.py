@@ -1,0 +1,132 @@
+"""Primitive samplers for synthetic workloads.
+
+The paper's experiments draw scores and probabilities from uniform,
+Zipfian (skewed) and correlated distributions.  These helpers return
+numpy arrays; the relation generators assemble them into model
+instances.  All sampling is driven by an explicit
+:class:`numpy.random.Generator` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "resolve_rng",
+    "uniform_scores",
+    "zipf_scores",
+    "normal_scores",
+    "uniform_probabilities",
+    "beta_probabilities",
+    "dirichlet_weights",
+]
+
+
+def resolve_rng(seed_or_rng) -> np.random.Generator:
+    """Accept a Generator, a seed, or ``None`` (fresh entropy)."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def uniform_scores(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    low: float = 1.0,
+    high: float = 1000.0,
+) -> np.ndarray:
+    """Scores uniform on ``[low, high)`` — the ``uu`` workloads."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count!r}")
+    if not low < high:
+        raise WorkloadError(f"need low < high, got [{low!r}, {high!r})")
+    return rng.uniform(low, high, size=count)
+
+
+def zipf_scores(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    alpha: float = 1.5,
+    scale: float = 10.0,
+    cap: float = 1e6,
+) -> np.ndarray:
+    """Heavy-tailed scores — the ``zipf`` workloads.
+
+    Samples Zipf(``alpha``) integers, caps the tail at ``cap / scale``
+    and multiplies by ``scale``; a small uniform jitter breaks ties so
+    score order is almost surely strict.
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count!r}")
+    if alpha <= 1.0:
+        raise WorkloadError(f"zipf alpha must be > 1, got {alpha!r}")
+    raw = rng.zipf(alpha, size=count).astype(float)
+    raw = np.minimum(raw, cap / scale)
+    jitter = rng.uniform(0.0, 0.5, size=count)
+    return scale * (raw + jitter)
+
+
+def normal_scores(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    mean: float = 500.0,
+    std: float = 100.0,
+    minimum: float = 1.0,
+) -> np.ndarray:
+    """Gaussian scores clipped below at ``minimum`` (kept positive so
+    the Markov-based pruning stays applicable)."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count!r}")
+    if std <= 0.0:
+        raise WorkloadError(f"std must be > 0, got {std!r}")
+    return np.maximum(rng.normal(mean, std, size=count), minimum)
+
+
+def uniform_probabilities(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    low: float = 0.02,
+    high: float = 1.0,
+) -> np.ndarray:
+    """Membership probabilities uniform on ``[low, high]``."""
+    if not 0.0 <= low < high <= 1.0:
+        raise WorkloadError(
+            f"need 0 <= low < high <= 1, got [{low!r}, {high!r}]"
+        )
+    return rng.uniform(low, high, size=count)
+
+
+def beta_probabilities(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    a: float = 2.0,
+    b: float = 2.0,
+    floor: float = 1e-3,
+) -> np.ndarray:
+    """Beta-distributed membership probabilities, floored away from 0."""
+    if a <= 0.0 or b <= 0.0:
+        raise WorkloadError(f"beta parameters must be > 0, got {a!r},{b!r}")
+    return np.maximum(rng.beta(a, b, size=count), floor)
+
+
+def dirichlet_weights(
+    rng: np.random.Generator,
+    size: int,
+    *,
+    concentration: float = 1.0,
+) -> np.ndarray:
+    """A random pdf over ``size`` alternatives (symmetric Dirichlet)."""
+    if size < 1:
+        raise WorkloadError(f"size must be >= 1, got {size!r}")
+    if concentration <= 0.0:
+        raise WorkloadError(
+            f"concentration must be > 0, got {concentration!r}"
+        )
+    return rng.dirichlet(np.full(size, concentration))

@@ -1,0 +1,103 @@
+"""Synthetic web data integration workload (paper Section 1).
+
+The paper's first motivating application is data integration / schema
+mapping [19], [9], [20]: records matched across sources come with a
+*confidence* reflecting match quality, and groups of contradictory
+matches for one real-world entity are mutually exclusive.  This
+generator produces such a workload end to end:
+
+* entities, each matched by 1-5 candidate records from different
+  sources;
+* per-candidate similarity features (name / address / phone match
+  scores) whose weighted sum is the ranking score;
+* confidences correlated with similarity (better matches are likelier
+  to be the true one), normalised so each entity's candidates form a
+  valid exclusion rule.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.distributions import resolve_rng
+from repro.engine.scoring import score_tuple_records, weighted_sum
+from repro.exceptions import WorkloadError
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = ["integration_matches", "MATCH_WEIGHTS"]
+
+#: The scoring weights of the integration scenario: name similarity
+#: dominates, address helps, phone seals it.
+MATCH_WEIGHTS = {"name_sim": 60.0, "addr_sim": 30.0, "phone_sim": 10.0}
+
+_SOURCES = ("crawl", "partner-feed", "manual", "legacy")
+
+
+def integration_matches(
+    entities: int = 100,
+    *,
+    max_candidates: int = 4,
+    seed=None,
+) -> TupleLevelRelation:
+    """Candidate record matches for ``entities`` real-world entities.
+
+    Returns an x-relation whose tuples are candidate matches (score =
+    weighted similarity; probability = match confidence) and whose
+    rules group each entity's contradictory candidates.
+
+    Examples
+    --------
+    >>> relation = integration_matches(10, seed=0)
+    >>> relation.rule_count >= 10
+    True
+    """
+    if entities < 0:
+        raise WorkloadError(f"entities must be >= 0, got {entities!r}")
+    if max_candidates < 1:
+        raise WorkloadError(
+            f"max_candidates must be >= 1, got {max_candidates!r}"
+        )
+    rng = resolve_rng(seed)
+    records: list[tuple[str, dict, float]] = []
+    conflicts: list[list[str]] = []
+    for entity in range(entities):
+        candidate_count = int(rng.integers(1, max_candidates + 1))
+        # One latent true match quality per entity; candidates scatter
+        # below it.
+        latent = rng.uniform(0.4, 1.0)
+        group: list[str] = []
+        raw_confidences: list[float] = []
+        for candidate in range(candidate_count):
+            quality = latent * rng.uniform(0.5, 1.0)
+            attributes = {
+                "name_sim": min(1.0, quality * rng.uniform(0.8, 1.2)),
+                "addr_sim": min(1.0, quality * rng.uniform(0.6, 1.3)),
+                "phone_sim": float(rng.random() < quality),
+                "source": _SOURCES[
+                    int(rng.integers(0, len(_SOURCES)))
+                ],
+                "entity": f"entity{entity}",
+            }
+            tid = f"match{entity}_{candidate}"
+            # Confidence tracks quality with noise.
+            raw = quality * rng.uniform(0.6, 1.0)
+            records.append((tid, attributes, raw))
+            raw_confidences.append(raw)
+            group.append(tid)
+        # Normalise so the rule's mass stays below one: some entities
+        # may genuinely have no true match.
+        total = sum(raw_confidences)
+        ceiling = rng.uniform(0.7, 1.0)
+        if total > ceiling:
+            scale = ceiling / total
+            start = len(records) - candidate_count
+            for offset in range(candidate_count):
+                tid, attributes, raw = records[start + offset]
+                records[start + offset] = (
+                    tid,
+                    attributes,
+                    raw * scale,
+                )
+        if len(group) > 1:
+            conflicts.append(group)
+    return score_tuple_records(
+        records, weighted_sum(MATCH_WEIGHTS), conflicts=conflicts
+    )

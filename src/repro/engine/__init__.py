@@ -1,0 +1,58 @@
+"""A miniature probabilistic database engine: catalog, persistence,
+instrumented sorted access, and a planning top-k query front end."""
+
+from repro.engine.access import (
+    AccessCounter,
+    SortedAccessCursor,
+    expected_score_cursor,
+    score_cursor,
+)
+from repro.engine.database import ProbabilisticDatabase, QueryLogEntry
+from repro.engine.maintenance import MaintainedTupleStore
+from repro.engine.operators import (
+    project,
+    select,
+    select_by_score,
+    union_disjoint,
+)
+from repro.engine.io import (
+    load_attribute_csv,
+    load_json,
+    load_tuple_csv,
+    save_attribute_csv,
+    save_json,
+    save_tuple_csv,
+)
+from repro.engine.query import TopKPlan, TopKPlanner
+from repro.engine.views import RankingView
+from repro.engine.scoring import (
+    score_attribute_records,
+    score_tuple_records,
+    weighted_sum,
+)
+
+__all__ = [
+    "AccessCounter",
+    "MaintainedTupleStore",
+    "ProbabilisticDatabase",
+    "QueryLogEntry",
+    "RankingView",
+    "SortedAccessCursor",
+    "TopKPlan",
+    "TopKPlanner",
+    "expected_score_cursor",
+    "load_attribute_csv",
+    "load_json",
+    "load_tuple_csv",
+    "project",
+    "save_attribute_csv",
+    "score_attribute_records",
+    "save_json",
+    "save_tuple_csv",
+    "score_cursor",
+    "select",
+    "score_tuple_records",
+    "select_by_score",
+    "union_disjoint",
+    "weighted_sum",
+]

@@ -1,0 +1,189 @@
+"""A miniature probabilistic database engine.
+
+The paper's algorithms presume a probabilistic DBMS substrate in the
+spirit of MystiQ / Trio / Orion: named uncertain relations plus a
+ranking-query front end.  :class:`ProbabilisticDatabase` provides that
+substrate — registration, persistence, metadata, and a ``topk`` query
+entry point that routes through the semantics registry and records a
+query log the experiments can inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.core.result import TopKResult
+from repro.core.semantics import rank
+from repro.engine.io import load_json, save_json
+from repro.exceptions import EngineError, RelationNotFoundError
+from repro.models.attribute import AttributeLevelRelation
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = ["ProbabilisticDatabase", "QueryLogEntry"]
+
+Relation = AttributeLevelRelation | TupleLevelRelation
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One executed ranking query, for auditing and experiments."""
+
+    relation: str
+    method: str
+    k: int
+    options: Mapping[str, object]
+    tuples_accessed: int | None
+    answer: tuple[str, ...]
+
+
+class ProbabilisticDatabase:
+    """A named collection of uncertain relations with a query front end.
+
+    Examples
+    --------
+    >>> from repro.models import (TupleLevelRelation, TupleLevelTuple,
+    ...                           ExclusionRule)
+    >>> db = ProbabilisticDatabase()
+    >>> db.create_relation("readings", TupleLevelRelation(
+    ...     [TupleLevelTuple("a", 10.0, 0.9),
+    ...      TupleLevelTuple("b", 8.0, 0.8)]))
+    >>> db.topk("readings", 1).tids()
+    ('a',)
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._query_log: list[QueryLogEntry] = []
+
+    # ------------------------------------------------------------------
+    # Catalog operations
+    # ------------------------------------------------------------------
+    def create_relation(self, name: str, relation: Relation) -> None:
+        """Register a relation; names are unique."""
+        if not name:
+            raise EngineError("relation name must be non-empty")
+        if name in self._relations:
+            raise EngineError(f"relation {name!r} already exists")
+        if not isinstance(
+            relation, (AttributeLevelRelation, TupleLevelRelation)
+        ):
+            raise EngineError(
+                f"unsupported relation type {type(relation).__name__}"
+            )
+        self._relations[name] = relation
+
+    def replace_relation(self, name: str, relation: Relation) -> None:
+        """Swap an existing relation's contents."""
+        if name not in self._relations:
+            raise RelationNotFoundError(f"no relation named {name!r}")
+        self._relations[name] = relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        if name not in self._relations:
+            raise RelationNotFoundError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    def relation(self, name: str) -> Relation:
+        """Fetch a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationNotFoundError(
+                f"no relation named {name!r}"
+            ) from None
+
+    def relation_names(self) -> tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def describe(self, name: str) -> dict[str, object]:
+        """Metadata for one relation: model kind, sizes, uncertainty."""
+        relation = self.relation(name)
+        if isinstance(relation, AttributeLevelRelation):
+            return {
+                "name": name,
+                "model": "attribute",
+                "tuples": relation.size,
+                "max_pdf_size": relation.max_pdf_size(),
+                "possible_worlds": relation.world_count(),
+            }
+        return {
+            "name": name,
+            "model": "tuple",
+            "tuples": relation.size,
+            "rules": relation.rule_count,
+            "expected_world_size": relation.expected_world_size(),
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def topk(
+        self,
+        name: str,
+        k: int,
+        method: str = "expected_rank",
+        **options,
+    ) -> TopKResult:
+        """Run a ranking query against a stored relation.
+
+        Every call is appended to :attr:`query_log`.
+        """
+        relation = self.relation(name)
+        result = rank(relation, k, method=method, **options)
+        accessed = result.metadata.get("tuples_accessed")
+        self._query_log.append(
+            QueryLogEntry(
+                relation=name,
+                method=method,
+                k=k,
+                options=dict(options),
+                tuples_accessed=(
+                    int(accessed) if accessed is not None else None
+                ),
+                answer=result.tids(),
+            )
+        )
+        return result
+
+    @property
+    def query_log(self) -> tuple[QueryLogEntry, ...]:
+        """All queries executed so far, oldest first."""
+        return tuple(self._query_log)
+
+    def clear_query_log(self) -> None:
+        """Forget the query history."""
+        self._query_log.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Path | str) -> None:
+        """Persist every relation as ``<directory>/<name>.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, relation in self._relations.items():
+            save_json(relation, directory / f"{name}.json")
+
+    @classmethod
+    def load(cls, directory: Path | str) -> "ProbabilisticDatabase":
+        """Load a database previously written by :meth:`save`."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise EngineError(f"{directory} is not a directory")
+        database = cls()
+        for path in sorted(directory.glob("*.json")):
+            database.create_relation(path.stem, load_json(path))
+        return database

@@ -1,0 +1,214 @@
+"""Serialization of uncertain relations to CSV and JSON.
+
+Formats are deliberately simple and human-editable:
+
+Attribute-level CSV — one row per (tuple, alternative):
+
+    tid,value,probability
+    t1,100,0.4
+    t1,70,0.6
+    t2,92,0.6
+    ...
+
+Tuple-level CSV — one row per tuple, with an optional rule column
+(tuples sharing a non-empty rule label are mutually exclusive):
+
+    tid,score,probability,rule
+    t1,100,0.4,
+    t2,92,0.5,tau2
+    t4,80,0.5,tau2
+
+JSON mirrors the constructors one-to-one and round-trips attributes.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import SchemaError
+from repro.models.attribute import AttributeLevelRelation, AttributeTuple
+from repro.models.pdf import DiscretePDF
+from repro.models.rules import ExclusionRule
+from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+
+__all__ = [
+    "load_attribute_csv",
+    "save_attribute_csv",
+    "load_tuple_csv",
+    "save_tuple_csv",
+    "load_json",
+    "save_json",
+]
+
+
+def _read_rows(path: Path | str, required: tuple[str, ...]) -> list[dict]:
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SchemaError(f"{path}: empty CSV file")
+        missing = [
+            column for column in required if column not in reader.fieldnames
+        ]
+        if missing:
+            raise SchemaError(
+                f"{path}: missing column(s) {', '.join(missing)}"
+            )
+        return list(reader)
+
+
+def load_attribute_csv(path: Path | str) -> AttributeLevelRelation:
+    """Load an attribute-level relation from its CSV format.
+
+    Tuples appear in order of their first row.
+    """
+    rows = _read_rows(path, ("tid", "value", "probability"))
+    alternatives: dict[str, list[tuple[float, float]]] = {}
+    order: list[str] = []
+    for line_number, row in enumerate(rows, start=2):
+        tid = row["tid"]
+        try:
+            value = float(row["value"])
+            probability = float(row["probability"])
+        except (TypeError, ValueError) as error:
+            raise SchemaError(
+                f"line {line_number}: bad numeric field ({error})"
+            ) from None
+        if tid not in alternatives:
+            alternatives[tid] = []
+            order.append(tid)
+        alternatives[tid].append((value, probability))
+    return AttributeLevelRelation(
+        AttributeTuple(tid, DiscretePDF.from_pairs(alternatives[tid]))
+        for tid in order
+    )
+
+
+def save_attribute_csv(
+    relation: AttributeLevelRelation, path: Path | str
+) -> None:
+    """Write an attribute-level relation to its CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["tid", "value", "probability"])
+        for row in relation:
+            for value, probability in row.score.items():
+                writer.writerow([row.tid, repr(value), repr(probability)])
+
+
+def load_tuple_csv(path: Path | str) -> TupleLevelRelation:
+    """Load a tuple-level relation from its CSV format."""
+    rows = _read_rows(path, ("tid", "score", "probability"))
+    tuples: list[TupleLevelTuple] = []
+    rule_members: dict[str, list[str]] = {}
+    for line_number, row in enumerate(rows, start=2):
+        try:
+            score = float(row["score"])
+            probability = float(row["probability"])
+        except (TypeError, ValueError) as error:
+            raise SchemaError(
+                f"line {line_number}: bad numeric field ({error})"
+            ) from None
+        tuples.append(TupleLevelTuple(row["tid"], score, probability))
+        rule_label = (row.get("rule") or "").strip()
+        if rule_label:
+            rule_members.setdefault(rule_label, []).append(row["tid"])
+    rules = [
+        ExclusionRule(rule_id, members)
+        for rule_id, members in rule_members.items()
+        if len(members) > 1
+    ]
+    return TupleLevelRelation(tuples, rules=rules)
+
+
+def save_tuple_csv(relation: TupleLevelRelation, path: Path | str) -> None:
+    """Write a tuple-level relation to its CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["tid", "score", "probability", "rule"])
+        for row in relation:
+            rule = relation.rule_of(row.tid)
+            label = "" if rule.is_singleton else rule.rule_id
+            writer.writerow(
+                [row.tid, repr(row.score), repr(row.probability), label]
+            )
+
+
+def save_json(
+    relation: AttributeLevelRelation | TupleLevelRelation,
+    path: Path | str,
+) -> None:
+    """Write either relation kind to a self-describing JSON document."""
+    if isinstance(relation, AttributeLevelRelation):
+        document = {
+            "model": "attribute",
+            "tuples": [
+                {
+                    "tid": row.tid,
+                    "score": [list(pair) for pair in row.score.items()],
+                    "attributes": row.attributes,
+                }
+                for row in relation
+            ],
+        }
+    else:
+        document = {
+            "model": "tuple",
+            "tuples": [
+                {
+                    "tid": row.tid,
+                    "score": row.score,
+                    "probability": row.probability,
+                    "attributes": row.attributes,
+                }
+                for row in relation
+            ],
+            "rules": [
+                {"rule_id": rule.rule_id, "tids": list(rule.tids)}
+                for rule in relation.rules
+                if not rule.is_singleton
+            ],
+        }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_json(
+    path: Path | str,
+) -> AttributeLevelRelation | TupleLevelRelation:
+    """Load a relation previously written by :func:`save_json`."""
+    document = json.loads(Path(path).read_text())
+    model = document.get("model")
+    if model == "attribute":
+        return AttributeLevelRelation(
+            AttributeTuple(
+                entry["tid"],
+                DiscretePDF.from_pairs(
+                    tuple(pair) for pair in entry["score"]
+                ),
+                entry.get("attributes"),
+            )
+            for entry in document["tuples"]
+        )
+    if model == "tuple":
+        rules = [
+            ExclusionRule(rule["rule_id"], rule["tids"])
+            for rule in document.get("rules", [])
+        ]
+        return TupleLevelRelation(
+            (
+                TupleLevelTuple(
+                    entry["tid"],
+                    entry["score"],
+                    entry["probability"],
+                    entry.get("attributes"),
+                )
+                for entry in document["tuples"]
+            ),
+            rules=rules,
+        )
+    raise SchemaError(f"unknown model kind {model!r}")

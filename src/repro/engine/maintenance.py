@@ -1,0 +1,252 @@
+"""Incrementally maintained x-relation store (paper Section 6.2).
+
+T-ERank-Prune needs ``E[|W|]`` before the scan starts, and the paper
+notes it "can be efficiently maintained in O(1) time when D is updated
+with deletion or insertion of tuples" because it is just the sum of
+membership probabilities.  :class:`MaintainedTupleStore` provides that
+contract: an updatable tuple-level relation that keeps
+
+* ``E[|W|]`` under insert / delete / probability updates in ``O(1)``,
+* the score-sorted order under updates in ``O(log N)`` amortised
+  (a sorted key list with bisection),
+
+and materialises an immutable :class:`TupleLevelRelation` snapshot on
+demand for querying.  Rule membership is declared at insert time; a
+rule's remaining members keep their semantics when one is deleted.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable
+
+from repro.exceptions import EngineError, InvalidRuleError
+from repro.models.pdf import PROBABILITY_TOLERANCE
+from repro.models.rules import ExclusionRule
+from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+
+__all__ = ["MaintainedTupleStore"]
+
+
+class MaintainedTupleStore:
+    """An updatable tuple-level relation with O(1) ``E[|W|]``.
+
+    Examples
+    --------
+    >>> store = MaintainedTupleStore()
+    >>> store.insert("a", score=10.0, probability=0.5)
+    >>> store.insert("b", score=8.0, probability=1.0)
+    >>> store.expected_world_size()
+    1.5
+    >>> store.delete("a")
+    >>> store.expected_world_size()
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[str, TupleLevelTuple] = {}
+        self._rule_of: dict[str, str] = {}
+        self._rule_members: dict[str, list[str]] = {}
+        self._rule_mass: dict[str, float] = {}
+        self._expected_world_size = 0.0
+        # Sorted (negative score, insertion counter, tid) keys so the
+        # score-descending order is maintained under updates.
+        self._sorted_keys: list[tuple[float, int, str]] = []
+        self._key_of: dict[str, tuple[float, int, str]] = {}
+        self._counter = 0
+        #: Monotone mutation counter; ranking views compare against it
+        #: to detect staleness.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        tid: str,
+        *,
+        score: float,
+        probability: float,
+        rule: str | None = None,
+    ) -> None:
+        """Add a tuple, optionally joining the named exclusion rule.
+
+        Raises when the id exists or the rule's mass would exceed one.
+        """
+        if tid in self._rows:
+            raise EngineError(f"tuple {tid!r} already exists")
+        row = TupleLevelTuple(tid, score, probability)
+        rule_id = rule if rule is not None else f"__auto_{tid}"
+        new_mass = self._rule_mass.get(rule_id, 0.0) + row.probability
+        if new_mass > 1.0 + PROBABILITY_TOLERANCE:
+            raise InvalidRuleError(
+                f"rule {rule_id!r} mass would reach {new_mass:g} > 1"
+            )
+        self._rows[tid] = row
+        self._rule_of[tid] = rule_id
+        self._rule_members.setdefault(rule_id, []).append(tid)
+        self._rule_mass[rule_id] = new_mass
+        self._expected_world_size += row.probability
+        key = (-row.score, self._counter, tid)
+        self._counter += 1
+        bisect.insort(self._sorted_keys, key)
+        self._key_of[tid] = key
+        self.version += 1
+
+    def delete(self, tid: str) -> None:
+        """Remove a tuple; its rule keeps the remaining members."""
+        row = self._pop_checked(tid)
+        self._expected_world_size -= row.probability
+        self.version += 1
+
+    def update_probability(self, tid: str, probability: float) -> None:
+        """Change a membership probability in ``O(1)`` (plus rule
+        revalidation)."""
+        row = self._require(tid)
+        rule_id = self._rule_of[tid]
+        new_mass = (
+            self._rule_mass[rule_id] - row.probability + probability
+        )
+        if new_mass > 1.0 + PROBABILITY_TOLERANCE:
+            raise InvalidRuleError(
+                f"rule {rule_id!r} mass would reach {new_mass:g} > 1"
+            )
+        updated = TupleLevelTuple(
+            tid, row.score, probability, row.attributes
+        )
+        self._rule_mass[rule_id] = new_mass
+        self._expected_world_size += probability - row.probability
+        self._rows[tid] = updated
+        self.version += 1
+
+    def update_score(self, tid: str, score: float) -> None:
+        """Change a score; the sorted order is repaired by re-keying."""
+        row = self._require(tid)
+        updated = TupleLevelTuple(
+            tid, score, row.probability, row.attributes
+        )
+        old_key = self._key_of.pop(tid)
+        index = bisect.bisect_left(self._sorted_keys, old_key)
+        del self._sorted_keys[index]
+        key = (-score, self._counter, tid)
+        self._counter += 1
+        bisect.insort(self._sorted_keys, key)
+        self._key_of[tid] = key
+        self._rows[tid] = updated
+        self.version += 1
+
+    def _pop_checked(self, tid: str) -> TupleLevelTuple:
+        row = self._require(tid)
+        del self._rows[tid]
+        rule_id = self._rule_of.pop(tid)
+        self._rule_members[rule_id].remove(tid)
+        self._rule_mass[rule_id] -= row.probability
+        if not self._rule_members[rule_id]:
+            del self._rule_members[rule_id]
+            del self._rule_mass[rule_id]
+        key = self._key_of.pop(tid)
+        index = bisect.bisect_left(self._sorted_keys, key)
+        del self._sorted_keys[index]
+        return row
+
+    def _require(self, tid: str) -> TupleLevelTuple:
+        try:
+            return self._rows[tid]
+        except KeyError:
+            raise EngineError(f"no tuple {tid!r} in the store") from None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._rows
+
+    def expected_world_size(self) -> float:
+        """``E[|W|]``, maintained incrementally — the O(1) guarantee."""
+        return self._expected_world_size
+
+    def score_order(self) -> list[str]:
+        """Tuple ids by decreasing score (insertion tie-break)."""
+        return [tid for _, _, tid in self._sorted_keys]
+
+    def snapshot(self) -> TupleLevelRelation:
+        """An immutable relation reflecting the current contents.
+
+        Tuples are emitted in insertion order; multi-member rules are
+        carried over.  Cost is ``O(N)``.
+        """
+        if not self._rows:
+            raise EngineError("cannot snapshot an empty store")
+        ordered = sorted(
+            self._rows.values(),
+            key=lambda row: self._key_of[row.tid][1],
+        )
+        rules = [
+            ExclusionRule(rule_id, list(members))
+            for rule_id, members in self._rule_members.items()
+            if len(members) > 1
+        ]
+        return TupleLevelRelation(ordered, rules=rules)
+
+    def topk(self, k: int, method: str = "expected_rank", **options):
+        """Query the current snapshot through the semantics registry."""
+        from repro.core.semantics import rank
+
+        return rank(self.snapshot(), k, method=method, **options)
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(
+        cls, relation: TupleLevelRelation
+    ) -> "MaintainedTupleStore":
+        """Seed a store from an immutable relation."""
+        store = cls()
+        for row in relation:
+            rule = relation.rule_of(row.tid)
+            store.insert(
+                row.tid,
+                score=row.score,
+                probability=row.probability,
+                rule=None if rule.is_singleton else rule.rule_id,
+            )
+        return store
+
+    def bulk_insert(
+        self,
+        rows: Iterable[tuple[str, float, float]],
+    ) -> None:
+        """Insert ``(tid, score, probability)`` triples (no rules)."""
+        for tid, score, probability in rows:
+            self.insert(tid, score=score, probability=probability)
+
+    def validate(self) -> None:
+        """Internal-consistency audit (used by tests).
+
+        Recomputes every maintained aggregate from scratch and raises
+        on drift beyond floating-point tolerance.
+        """
+        recomputed = math.fsum(
+            row.probability for row in self._rows.values()
+        )
+        if abs(recomputed - self._expected_world_size) > 1e-6:
+            raise EngineError(
+                f"E[|W|] drifted: maintained "
+                f"{self._expected_world_size!r} vs recomputed "
+                f"{recomputed!r}"
+            )
+        if sorted(self._key_of.values()) != self._sorted_keys:
+            raise EngineError("sorted key index out of sync")
+        for rule_id, members in self._rule_members.items():
+            mass = math.fsum(
+                self._rows[tid].probability for tid in members
+            )
+            if abs(mass - self._rule_mass[rule_id]) > 1e-6:
+                raise EngineError(
+                    f"rule {rule_id!r} mass drifted"
+                )

@@ -1,0 +1,115 @@
+"""Query planning: choosing exact versus pruned execution.
+
+The paper offers two executions per ranking definition — an exact pass
+over all ``N`` tuples, and a pruned scan that touches a prefix but
+requires sorted access (and, in the attribute-level model, strictly
+positive scores for the Markov bounds).  :class:`TopKPlanner` encodes
+those applicability rules so the engine can route a query to the
+cheapest sound algorithm given a declared access cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import TopKResult
+from repro.core.semantics import rank
+from repro.exceptions import EngineError
+from repro.models.attribute import AttributeLevelRelation
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = ["TopKPlan", "TopKPlanner"]
+
+Relation = AttributeLevelRelation | TupleLevelRelation
+
+#: Methods with a pruned twin, and that twin's registry name.
+_PRUNABLE = {
+    "expected_rank": "expected_rank_prune",
+    "median_rank": "quantile_rank_prune",
+    "quantile_rank": "quantile_rank_prune",
+}
+
+
+@dataclass(frozen=True)
+class TopKPlan:
+    """The planner's decision for one query."""
+
+    method: str
+    options: dict
+    reason: str
+
+    def execute(self, relation: Relation, k: int) -> TopKResult:
+        """Run the planned query."""
+        return rank(relation, k, method=self.method, **self.options)
+
+
+class TopKPlanner:
+    """Chooses between exact and pruned execution.
+
+    Parameters
+    ----------
+    expensive_access:
+        Declare that tuple accesses dominate the cost (remote or
+        on-disk data).  Pruned variants are then preferred whenever
+        they are sound for the input.
+    """
+
+    def __init__(self, *, expensive_access: bool = False) -> None:
+        self.expensive_access = expensive_access
+
+    def plan(
+        self,
+        relation: Relation,
+        k: int,
+        method: str = "expected_rank",
+        **options,
+    ) -> TopKPlan:
+        """Pick the algorithm for ``method`` on ``relation``.
+
+        Falls back to the exact algorithm (with an explanatory reason)
+        whenever pruning is not applicable: cheap access, a method with
+        no pruned twin, phi at the boundary, or non-positive scores in
+        the attribute-level model.
+        """
+        if k < 0:
+            raise EngineError(f"k must be >= 0, got {k!r}")
+        if method == "median_rank":
+            options.setdefault("phi", 0.5)
+        if not self.expensive_access:
+            return TopKPlan(method, options, "access is cheap; exact pass")
+        pruned = _PRUNABLE.get(method)
+        if pruned is None:
+            return TopKPlan(
+                method, options, f"{method!r} has no pruned variant"
+            )
+        if pruned == "quantile_rank_prune":
+            phi = options.get("phi", 0.5)
+            if not 0.0 < phi < 1.0:
+                return TopKPlan(
+                    method,
+                    options,
+                    f"phi={phi!r} outside (0, 1); pruning bounds unsound",
+                )
+        if isinstance(relation, AttributeLevelRelation) and any(
+            row.score.min_value <= 0.0 for row in relation
+        ):
+            return TopKPlan(
+                method,
+                options,
+                "non-positive scores; Markov pruning bounds unsound",
+            )
+        return TopKPlan(
+            pruned, options, "expensive access; pruned scan chosen"
+        )
+
+    def execute(
+        self,
+        relation: Relation,
+        k: int,
+        method: str = "expected_rank",
+        **options,
+    ) -> TopKResult:
+        """Plan and run in one step."""
+        return self.plan(relation, k, method, **options).execute(
+            relation, k
+        )

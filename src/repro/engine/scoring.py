@@ -1,0 +1,160 @@
+"""User-defined scoring functions over multi-attribute records.
+
+The paper's setting starts one step earlier than its models: "tuples
+from the underlying database are ranked by a score, usually computed
+based on a user-defined scoring function".  This module builds the two
+uncertainty models from raw multi-attribute records plus such a
+function:
+
+* :func:`score_attribute_records` — each record carries *alternative*
+  attribute assignments with probabilities (e.g. alternative schema
+  matches); the scoring function maps each alternative to a score,
+  producing one uncertain-score tuple per record;
+* :func:`score_tuple_records` — each record is a single assignment
+  with a membership confidence; scoring yields an x-relation, with
+  optional exclusion rules between contradictory records.
+
+Scoring functions are ordinary callables ``f(attributes) -> float``;
+:func:`weighted_sum` builds the most common one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.exceptions import EngineError
+from repro.models.attribute import AttributeLevelRelation, AttributeTuple
+from repro.models.pdf import DiscretePDF
+from repro.models.rules import ExclusionRule
+from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+
+__all__ = [
+    "weighted_sum",
+    "score_attribute_records",
+    "score_tuple_records",
+]
+
+Attributes = Mapping[str, object]
+ScoringFunction = Callable[[Attributes], float]
+
+
+def weighted_sum(weights: Mapping[str, float]) -> ScoringFunction:
+    """The classic linear scoring function ``sum_a w_a * t.a``.
+
+    Missing attributes score zero; non-numeric values raise.
+    """
+    if not weights:
+        raise EngineError("weighted_sum needs at least one weight")
+
+    def score(attributes: Attributes) -> float:
+        total = 0.0
+        for name, weight in weights.items():
+            value = attributes.get(name, 0.0)
+            if not isinstance(value, (int, float)):
+                raise EngineError(
+                    f"attribute {name!r} has non-numeric value "
+                    f"{value!r}"
+                )
+            total += weight * float(value)
+        return total
+
+    return score
+
+
+def _checked_score(
+    scoring: ScoringFunction, attributes: Attributes, tid: str
+) -> float:
+    value = scoring(attributes)
+    if not isinstance(value, (int, float)) or not math.isfinite(value):
+        raise EngineError(
+            f"scoring function returned {value!r} for record {tid!r}"
+        )
+    return float(value)
+
+
+def score_attribute_records(
+    records: Iterable[
+        tuple[str, Sequence[tuple[Attributes, float]]]
+    ],
+    scoring: ScoringFunction,
+) -> AttributeLevelRelation:
+    """Build an attribute-level relation from alternative-set records.
+
+    Each record is ``(tid, [(attributes, probability), ...])``; the
+    alternatives' probabilities must sum to one (each record always
+    exists, in one of its versions).  Alternatives whose scores
+    coincide are merged by the pdf.
+
+    Examples
+    --------
+    >>> relation = score_attribute_records(
+    ...     [("r1", [({"rating": 4, "year": 2001}, 0.7),
+    ...              ({"rating": 2, "year": 2001}, 0.3)])],
+    ...     weighted_sum({"rating": 1.0}),
+    ... )
+    >>> relation.tuple_by_id("r1").score.expectation()
+    3.4
+    """
+    rows = []
+    for tid, alternatives in records:
+        if not alternatives:
+            raise EngineError(f"record {tid!r} has no alternatives")
+        pairs = [
+            (
+                _checked_score(scoring, attributes, tid),
+                probability,
+            )
+            for attributes, probability in alternatives
+        ]
+        # Keep the modal alternative's certain attributes for display.
+        modal_attributes, _ = max(
+            alternatives, key=lambda alternative: alternative[1]
+        )
+        rows.append(
+            AttributeTuple(
+                tid,
+                DiscretePDF.from_pairs(pairs),
+                modal_attributes,
+            )
+        )
+    return AttributeLevelRelation(rows)
+
+
+def score_tuple_records(
+    records: Iterable[tuple[str, Attributes, float]],
+    scoring: ScoringFunction,
+    *,
+    conflicts: Sequence[Sequence[str]] = (),
+) -> TupleLevelRelation:
+    """Build an x-relation from confidence-weighted records.
+
+    Each record is ``(tid, attributes, confidence)``; ``conflicts``
+    lists groups of mutually exclusive record ids (e.g. contradictory
+    matches of the same real-world entity), which become exclusion
+    rules.
+
+    Examples
+    --------
+    >>> relation = score_tuple_records(
+    ...     [("m1", {"sim": 0.9}, 0.8), ("m2", {"sim": 0.4}, 0.2)],
+    ...     weighted_sum({"sim": 100.0}),
+    ...     conflicts=[["m1", "m2"]],
+    ... )
+    >>> relation.exclusive_with("m1", "m2")
+    True
+    """
+    rows = [
+        TupleLevelTuple(
+            tid,
+            _checked_score(scoring, attributes, tid),
+            confidence,
+            attributes,
+        )
+        for tid, attributes, confidence in records
+    ]
+    rules = [
+        ExclusionRule(f"conflict_{index}", group)
+        for index, group in enumerate(conflicts)
+    ]
+    return TupleLevelRelation(rows, rules=rules)

@@ -1,0 +1,88 @@
+"""Materialized ranking views over the maintained store.
+
+A dashboard that shows "current top-k by expected rank" should not
+recompute the ranking on every read when nothing changed.
+:class:`RankingView` materializes one ranking query over a
+:class:`~repro.engine.maintenance.MaintainedTupleStore` and refreshes
+it lazily: the store carries a monotonically increasing *version*
+(bumped by every mutation), and the view recomputes only when its
+cached version is stale.
+
+Views are cheap to create, so several (different ``k``, different
+semantics) can share one store; each tracks its own staleness.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import TopKResult
+from repro.engine.maintenance import MaintainedTupleStore
+from repro.exceptions import EngineError
+
+__all__ = ["RankingView"]
+
+
+class RankingView:
+    """A lazily refreshed top-k answer over a maintained store.
+
+    Examples
+    --------
+    >>> store = MaintainedTupleStore()
+    >>> store.bulk_insert([("a", 10.0, 0.9), ("b", 8.0, 0.8)])
+    >>> view = RankingView(store, k=1)
+    >>> view.current().tids()
+    ('a',)
+    >>> store.update_score("b", 12.0)
+    >>> view.stale
+    True
+    >>> view.current().tids()
+    ('b',)
+    """
+
+    def __init__(
+        self,
+        store: MaintainedTupleStore,
+        k: int,
+        method: str = "expected_rank",
+        **options,
+    ) -> None:
+        if k < 0:
+            raise EngineError(f"k must be >= 0, got {k!r}")
+        self._store = store
+        self.k = k
+        self.method = method
+        self.options = dict(options)
+        self._cached: TopKResult | None = None
+        self._cached_version: int | None = None
+        self.refresh_count = 0
+
+    @property
+    def stale(self) -> bool:
+        """Whether the store changed since the last refresh."""
+        return self._cached_version != self._store.version
+
+    def current(self) -> TopKResult:
+        """The up-to-date answer, recomputing only when stale."""
+        if self._cached is None or self.stale:
+            self._cached = self._store.topk(
+                self.k, method=self.method, **self.options
+            )
+            self._cached_version = self._store.version
+            self.refresh_count += 1
+        return self._cached
+
+    def peek(self) -> TopKResult | None:
+        """The cached answer without refreshing (``None`` before the
+        first read); may be stale — check :attr:`stale`."""
+        return self._cached
+
+    def invalidate(self) -> None:
+        """Drop the cache; the next read recomputes unconditionally."""
+        self._cached = None
+        self._cached_version = None
+
+    def __repr__(self) -> str:
+        state = "stale" if self.stale else "fresh"
+        return (
+            f"RankingView(k={self.k}, method={self.method!r}, "
+            f"{state}, refreshes={self.refresh_count})"
+        )

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "InvalidDistributionError",
+    "InvalidRuleError",
+    "RankingError",
+    "UnknownMethodError",
+    "UnsupportedModelError",
+    "PruningBoundError",
+    "EngineError",
+    "RelationNotFoundError",
+    "SchemaError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """A problem with an uncertain data model instance."""
+
+
+class InvalidDistributionError(ModelError):
+    """A discrete probability distribution is malformed.
+
+    Raised when probabilities are negative, sum to more than one (plus a
+    numerical tolerance), or when values and probabilities disagree in
+    length.
+    """
+
+
+class InvalidRuleError(ModelError):
+    """An exclusion rule is malformed.
+
+    Raised when a rule references unknown tuples, lists a tuple twice,
+    shares a tuple with another rule, or when its total membership
+    probability exceeds one.
+    """
+
+
+class RankingError(ReproError):
+    """A problem occurred while evaluating a ranking query."""
+
+
+class UnknownMethodError(RankingError):
+    """The requested ranking method name is not registered."""
+
+
+class UnsupportedModelError(RankingError):
+    """The ranking method does not support the given uncertainty model."""
+
+
+class PruningBoundError(RankingError):
+    """A pruning algorithm's preconditions do not hold.
+
+    The Markov-inequality bounds used by A-ERank-Prune require strictly
+    positive score values; this error reports such violations instead of
+    silently returning wrong answers.
+    """
+
+
+class EngineError(ReproError):
+    """A problem inside the mini probabilistic database engine."""
+
+
+class RelationNotFoundError(EngineError):
+    """A query referenced a relation name that is not in the database."""
+
+
+class SchemaError(EngineError):
+    """Loaded data does not match the expected relation schema."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator was given invalid parameters."""

@@ -1,0 +1,46 @@
+"""Uncertain data models: the substrate the ranking algorithms run on.
+
+This package implements the two models of paper Section 3 —
+attribute-level uncertainty (random score, certain membership) and
+tuple-level uncertainty (certain score, random membership with
+exclusion rules) — together with their shared possible-worlds
+semantics, exact world enumeration, and Monte-Carlo sampling.
+"""
+
+from repro.models.attribute import AttributeLevelRelation, AttributeTuple
+from repro.models.continuous import (
+    ContinuousScore,
+    ExponentialScore,
+    GaussianScore,
+    UniformScore,
+)
+from repro.models.pdf import DiscretePDF, PROBABILITY_TOLERANCE
+from repro.models.possible_worlds import (
+    AttributeWorld,
+    TupleWorld,
+    enumerate_attribute_worlds,
+    enumerate_tuple_worlds,
+)
+from repro.models.rules import ExclusionRule
+from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+from repro.models.validation import Finding, diagnose
+
+__all__ = [
+    "AttributeLevelRelation",
+    "AttributeTuple",
+    "AttributeWorld",
+    "ContinuousScore",
+    "DiscretePDF",
+    "ExclusionRule",
+    "ExponentialScore",
+    "Finding",
+    "GaussianScore",
+    "UniformScore",
+    "PROBABILITY_TOLERANCE",
+    "TupleLevelRelation",
+    "TupleLevelTuple",
+    "TupleWorld",
+    "diagnose",
+    "enumerate_attribute_worlds",
+    "enumerate_tuple_worlds",
+]

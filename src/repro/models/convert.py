@@ -1,0 +1,87 @@
+"""Conversions between uncertainty models and from certain data.
+
+The paper stresses that although mappings between attribute-level and
+tuple-level relations exist, "these have different sets of tuples to
+rank (often, with different cardinalities)", so *ranking results do not
+transfer* across the mapping.  The converters here exist for data
+preparation and for exercising both models from one source — not as a
+semantic bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.models.attribute import AttributeLevelRelation, AttributeTuple
+from repro.models.pdf import DiscretePDF
+from repro.models.rules import ExclusionRule
+from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+
+__all__ = [
+    "certain_to_attribute_level",
+    "certain_to_tuple_level",
+    "attribute_to_tuple_level",
+]
+
+
+def certain_to_attribute_level(
+    scores: Iterable[tuple[str, float]],
+) -> AttributeLevelRelation:
+    """Lift a deterministic relation: every score pdf is a point mass.
+
+    Ranking this relation with any sound method must reduce to ordinary
+    deterministic top-k — a sanity check used throughout the tests.
+    """
+    return AttributeLevelRelation(
+        AttributeTuple(tid, DiscretePDF.point(score))
+        for tid, score in scores
+    )
+
+
+def certain_to_tuple_level(
+    scores: Iterable[tuple[str, float]],
+) -> TupleLevelRelation:
+    """Lift a deterministic relation: every tuple has probability one."""
+    return TupleLevelRelation(
+        TupleLevelTuple(tid, score, 1.0) for tid, score in scores
+    )
+
+
+def attribute_to_tuple_level(
+    relation: AttributeLevelRelation,
+    *,
+    separator: str = "@",
+) -> TupleLevelRelation:
+    """Expand each uncertain attribute into one exclusion rule.
+
+    Every ``(tuple, value)`` alternative becomes a tuple-level tuple
+    named ``"<tid><separator><index>"`` with that value as its fixed
+    score, and the alternatives of one source tuple form one exclusion
+    rule.  The resulting x-relation has the same possible-world *score
+    multisets* (each source tuple's rule fires exactly one alternative
+    because its pdf sums to one) — but ``N`` changes from the number of
+    tuples to the number of alternatives, which is exactly why the
+    paper treats the two models separately for ranking.
+    """
+    rows: list[TupleLevelTuple] = []
+    rules: list[ExclusionRule] = []
+    for row in relation:
+        member_ids: list[str] = []
+        for index, (value, probability) in enumerate(row.score.items()):
+            tid = f"{row.tid}{separator}{index}"
+            rows.append(TupleLevelTuple(tid, value, probability))
+            member_ids.append(tid)
+        rules.append(ExclusionRule(f"rule_{row.tid}", member_ids))
+    return TupleLevelRelation(rows, rules=rules)
+
+
+def alternatives_of(
+    relation: TupleLevelRelation, source_tid: str, *, separator: str = "@"
+) -> Sequence[str]:
+    """The expanded tuple ids that came from one source tuple.
+
+    Helper for tests that round-trip through
+    :func:`attribute_to_tuple_level`.
+    """
+    prefix = f"{source_tid}{separator}"
+    return tuple(tid for tid in relation.tids() if tid.startswith(prefix))

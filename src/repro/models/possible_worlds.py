@@ -1,0 +1,262 @@
+"""Exact possible-world enumeration (paper Section 3).
+
+Every uncertain relation is a succinct description of a probability
+distribution over deterministic *possible worlds*.  This module
+materialises that distribution — feasible only for small relations, and
+exactly what the test suite needs as a ground-truth oracle for the
+``O(N log N)`` algorithms.
+
+Two world types mirror the two models:
+
+* :class:`AttributeWorld` — every tuple appears, with one concrete
+  score each (Figure 2).
+* :class:`TupleWorld` — a subset of tuples appears (Figure 4).
+
+Both expose ``rank_of`` implementing Definition 6 (``ties="shared"``:
+the rank counts strictly-higher scores only, so tied tuples share the
+better rank) and the Section 7 convention (``ties="by_index"``: among
+equal scores the earlier tuple ranks first).  In a tuple-level world a
+missing tuple ranks after all appearing ones: ``rank = |W|``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, Literal, Mapping, Sequence
+
+from repro.exceptions import ModelError
+from repro.models.attribute import AttributeLevelRelation
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = [
+    "AttributeWorld",
+    "TupleWorld",
+    "enumerate_attribute_worlds",
+    "enumerate_tuple_worlds",
+    "TieRule",
+]
+
+#: How equal scores are ranked.  ``"shared"`` follows Definition 6 of the
+#: paper (rank = number of *strictly* higher scores; ties share a rank);
+#: ``"by_index"`` follows Section 7 (the earlier tuple wins the tie).
+TieRule = Literal["shared", "by_index"]
+
+
+def _check_ties(ties: str) -> None:
+    if ties not in ("shared", "by_index"):
+        raise ValueError(
+            f"ties must be 'shared' or 'by_index', got {ties!r}"
+        )
+
+
+class AttributeWorld:
+    """One possible world of an attribute-level relation.
+
+    Attributes
+    ----------
+    probability:
+        The world's probability ``prod_i p_{i, x_i}``.
+    scores:
+        Mapping from tuple id to the score drawn in this world.
+    """
+
+    __slots__ = ("probability", "scores", "_positions")
+
+    def __init__(
+        self,
+        probability: float,
+        scores: Mapping[str, float],
+        positions: Mapping[str, int],
+    ) -> None:
+        self.probability = probability
+        self.scores = dict(scores)
+        self._positions = positions
+
+    def rank_of(self, tid: str, *, ties: TieRule = "shared") -> int:
+        """The rank of ``tid`` in this world (top tuple has rank 0)."""
+        _check_ties(ties)
+        if tid not in self.scores:
+            raise ModelError(f"no tuple with id {tid!r} in this world")
+        own_score = self.scores[tid]
+        own_position = self._positions[tid]
+        rank = 0
+        for other, score in self.scores.items():
+            if other == tid:
+                continue
+            if score > own_score:
+                rank += 1
+            elif (
+                ties == "by_index"
+                and score == own_score
+                and self._positions[other] < own_position
+            ):
+                rank += 1
+        return rank
+
+    def ranking(self) -> list[str]:
+        """All tuple ids ordered by decreasing score, ties by index."""
+        return sorted(
+            self.scores,
+            key=lambda tid: (-self.scores[tid], self._positions[tid]),
+        )
+
+    def top_k(self, k: int) -> tuple[str, ...]:
+        """The ``k`` best tuple ids (score order, index tie-break)."""
+        return tuple(self.ranking()[:k])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{tid}={score:g}" for tid, score in self.scores.items()
+        )
+        return f"AttributeWorld(p={self.probability:g}, {inner})"
+
+
+class TupleWorld:
+    """One possible world of a tuple-level relation.
+
+    Attributes
+    ----------
+    probability:
+        The world's probability ``prod_j p_W(tau_j)``.
+    appearing:
+        The ids of the tuples present in this world.
+    """
+
+    __slots__ = ("probability", "appearing", "_scores", "_positions")
+
+    def __init__(
+        self,
+        probability: float,
+        appearing: Sequence[str],
+        scores: Mapping[str, float],
+        positions: Mapping[str, int],
+    ) -> None:
+        self.probability = probability
+        self.appearing = frozenset(appearing)
+        self._scores = scores
+        self._positions = positions
+
+    @property
+    def size(self) -> int:
+        """``|W|``, the number of appearing tuples."""
+        return len(self.appearing)
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self.appearing
+
+    def rank_of(self, tid: str, *, ties: TieRule = "shared") -> int:
+        """Definition 6 rank; a missing tuple ranks ``|W|``."""
+        _check_ties(ties)
+        if tid not in self._scores:
+            raise ModelError(f"unknown tuple id {tid!r}")
+        if tid not in self.appearing:
+            return len(self.appearing)
+        own_score = self._scores[tid]
+        own_position = self._positions[tid]
+        rank = 0
+        for other in self.appearing:
+            if other == tid:
+                continue
+            score = self._scores[other]
+            if score > own_score:
+                rank += 1
+            elif (
+                ties == "by_index"
+                and score == own_score
+                and self._positions[other] < own_position
+            ):
+                rank += 1
+        return rank
+
+    def ranking(self) -> list[str]:
+        """Appearing tuple ids by decreasing score, ties by index."""
+        return sorted(
+            self.appearing,
+            key=lambda tid: (-self._scores[tid], self._positions[tid]),
+        )
+
+    def top_k(self, k: int) -> tuple[str, ...]:
+        """The ``min(k, |W|)`` best appearing tuple ids."""
+        return tuple(self.ranking()[:k])
+
+    def __repr__(self) -> str:
+        members = ", ".join(sorted(self.appearing))
+        return f"TupleWorld(p={self.probability:g}, {{{members}}})"
+
+
+def enumerate_attribute_worlds(
+    relation: AttributeLevelRelation,
+    *,
+    max_worlds: int = 1_000_000,
+) -> Iterator[AttributeWorld]:
+    """Yield every possible world of an attribute-level relation.
+
+    The number of worlds is ``prod_i s_i``; enumeration refuses to start
+    beyond ``max_worlds`` to protect against accidental blow-ups.
+    World probabilities sum to one.
+    """
+    count = relation.world_count()
+    if count > max_worlds:
+        raise ModelError(
+            f"refusing to enumerate {count} worlds (max_worlds="
+            f"{max_worlds}); use sampling instead"
+        )
+    positions = {row.tid: index for index, row in enumerate(relation)}
+    per_tuple = [
+        [(row.tid, value, prob) for value, prob in row.score.items()]
+        for row in relation
+    ]
+    for combination in itertools.product(*per_tuple):
+        probability = math.prod(prob for _, _, prob in combination)
+        if probability == 0.0:
+            continue
+        scores = {tid: value for tid, value, _ in combination}
+        yield AttributeWorld(probability, scores, positions)
+
+
+def enumerate_tuple_worlds(
+    relation: TupleLevelRelation,
+    *,
+    max_worlds: int = 1_000_000,
+) -> Iterator[TupleWorld]:
+    """Yield every possible world of a tuple-level relation.
+
+    Each rule independently contributes one member or nothing; the
+    number of worlds is the product over rules of (member count, plus
+    one when the rule's mass is below one).
+    """
+    scores = {row.tid: row.score for row in relation}
+    positions = {row.tid: index for index, row in enumerate(relation)}
+
+    per_rule: list[list[tuple[str | None, float]]] = []
+    world_count = 1
+    for rule in relation.rules:
+        outcomes: list[tuple[str | None, float]] = []
+        total = 0.0
+        for tid in rule:
+            probability = relation.tuple_by_id(tid).probability
+            total += probability
+            if probability > 0.0:
+                outcomes.append((tid, probability))
+        none_probability = max(0.0, 1.0 - total)
+        if none_probability > 0.0:
+            outcomes.append((None, none_probability))
+        if not outcomes:
+            raise ModelError(
+                f"rule {rule.rule_id!r} admits no outcome"
+            )
+        per_rule.append(outcomes)
+        world_count *= len(outcomes)
+        if world_count > max_worlds:
+            raise ModelError(
+                f"refusing to enumerate more than {max_worlds} worlds; "
+                "use sampling instead"
+            )
+
+    for combination in itertools.product(*per_rule):
+        probability = math.prod(prob for _, prob in combination)
+        if probability == 0.0:
+            continue
+        appearing = [tid for tid, _ in combination if tid is not None]
+        yield TupleWorld(probability, appearing, scores, positions)

@@ -1,0 +1,143 @@
+"""Exclusion rules for the tuple-level uncertainty model.
+
+A *generation rule* (paper Section 3, Figure 3) is a set of tuples that
+are mutually exclusive: at most one member appears in any possible
+world.  The paper — like the x-relations model of Trio — requires that
+
+* each tuple belongs to exactly one rule (singleton rules are implied
+  for tuples not mentioned in any multi-tuple rule), and
+* the membership probabilities within one rule sum to at most one, the
+  slack being the probability that *no* member appears.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import InvalidRuleError
+from repro.models.pdf import PROBABILITY_TOLERANCE
+
+__all__ = ["ExclusionRule"]
+
+
+class ExclusionRule:
+    """A mutual-exclusion rule over tuple identifiers.
+
+    Parameters
+    ----------
+    rule_id:
+        A relation-unique rule name (e.g. ``"tau1"``).
+    tids:
+        The identifiers of the member tuples, in the order given.  The
+        order carries no semantics; it is preserved for presentation.
+    """
+
+    __slots__ = ("rule_id", "_tids", "_tid_set")
+
+    def __init__(self, rule_id: str, tids: Iterable[str]) -> None:
+        self.rule_id = rule_id
+        self._tids: tuple[str, ...] = tuple(tids)
+        if not self._tids:
+            raise InvalidRuleError(f"rule {rule_id!r} has no members")
+        self._tid_set = frozenset(self._tids)
+        if len(self._tid_set) != len(self._tids):
+            raise InvalidRuleError(
+                f"rule {rule_id!r} lists a tuple more than once"
+            )
+
+    @property
+    def tids(self) -> tuple[str, ...]:
+        """The member tuple identifiers."""
+        return self._tids
+
+    @property
+    def is_singleton(self) -> bool:
+        """Whether the rule constrains only one tuple (no exclusion)."""
+        return len(self._tids) == 1
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._tid_set
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tids)
+
+    def __len__(self) -> int:
+        return len(self._tids)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExclusionRule):
+            return NotImplemented
+        return self.rule_id == other.rule_id and self._tids == other._tids
+
+    def __hash__(self) -> int:
+        return hash((self.rule_id, self._tids))
+
+    def __repr__(self) -> str:
+        members = ", ".join(self._tids)
+        return f"ExclusionRule({self.rule_id!r}, {{{members}}})"
+
+    def validate_probabilities(
+        self, probability_of: dict[str, float]
+    ) -> float:
+        """Check the rule's total probability mass and return it.
+
+        ``probability_of`` maps tuple ids to membership probabilities.
+        Raises :class:`InvalidRuleError` when a member is missing or the
+        total exceeds one beyond tolerance.
+        """
+        total = 0.0
+        for tid in self._tids:
+            if tid not in probability_of:
+                raise InvalidRuleError(
+                    f"rule {self.rule_id!r} references unknown tuple {tid!r}"
+                )
+            total += probability_of[tid]
+        total = math.fsum(probability_of[tid] for tid in self._tids)
+        if total > 1.0 + PROBABILITY_TOLERANCE:
+            raise InvalidRuleError(
+                f"rule {self.rule_id!r} has total probability {total!r} > 1"
+            )
+        return min(total, 1.0)
+
+
+def cover_with_singletons(
+    rules: Sequence[ExclusionRule],
+    all_tids: Sequence[str],
+    *,
+    prefix: str = "__singleton_",
+) -> list[ExclusionRule]:
+    """Complete a rule set so every tuple appears in exactly one rule.
+
+    Tuples not mentioned by any rule get an implied singleton rule, as
+    in the paper ("we allow rules containing only one tuple and require
+    that all tuples appear in exactly one of the rules").  Raises
+    :class:`InvalidRuleError` if a tuple is claimed by two rules or a
+    rule references an unknown tuple.
+    """
+    claimed: dict[str, str] = {}
+    known = set(all_tids)
+    for rule in rules:
+        for tid in rule:
+            if tid not in known:
+                raise InvalidRuleError(
+                    f"rule {rule.rule_id!r} references unknown tuple {tid!r}"
+                )
+            if tid in claimed:
+                raise InvalidRuleError(
+                    f"tuple {tid!r} appears in rules "
+                    f"{claimed[tid]!r} and {rule.rule_id!r}"
+                )
+            claimed[tid] = rule.rule_id
+    completed = list(rules)
+    existing_ids = {rule.rule_id for rule in rules}
+    for tid in all_tids:
+        if tid not in claimed:
+            rule_id = f"{prefix}{tid}"
+            if rule_id in existing_ids:
+                raise InvalidRuleError(
+                    f"generated singleton rule id {rule_id!r} collides "
+                    "with an explicit rule"
+                )
+            completed.append(ExclusionRule(rule_id, [tid]))
+    return completed

@@ -1,0 +1,185 @@
+"""Monte-Carlo sampling of possible worlds.
+
+For relations too large to enumerate (Section 3's exponential blow-up),
+prior work falls back on sampling possible worlds [26], [34].  The
+estimators here serve two purposes in this reproduction:
+
+* a scalable cross-check of the exact algorithms on mid-size inputs,
+* the attribute-level U-Topk baseline, whose exact computation is
+  exponential and which the original papers only define through the
+  possible-worlds lens.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from typing import Mapping
+
+from repro.models.attribute import AttributeLevelRelation
+from repro.models.possible_worlds import TieRule, _check_ties
+from repro.models.tuple_level import TupleLevelRelation
+
+__all__ = [
+    "sample_attribute_rank_counts",
+    "sample_tuple_rank_counts",
+    "sample_attribute_topk_answers",
+    "sample_tuple_topk_answers",
+    "estimate_expected_ranks",
+]
+
+
+def _resolve_rng(rng_or_seed) -> random.Random:
+    """Accept a :class:`random.Random`, a seed, or ``None``."""
+    if isinstance(rng_or_seed, random.Random):
+        return rng_or_seed
+    return random.Random(rng_or_seed)
+
+
+def _attribute_world_ranks(
+    scores: Mapping[str, float],
+    positions: Mapping[str, int],
+    ties: TieRule,
+) -> dict[str, int]:
+    """Ranks of every tuple in one sampled attribute-level world."""
+    ordered = sorted(
+        scores, key=lambda tid: (-scores[tid], positions[tid])
+    )
+    ranks: dict[str, int] = {}
+    if ties == "by_index":
+        for rank, tid in enumerate(ordered):
+            ranks[tid] = rank
+        return ranks
+    # shared: rank = number of strictly higher scores
+    higher = 0
+    index = 0
+    while index < len(ordered):
+        tie_end = index
+        score = scores[ordered[index]]
+        while tie_end < len(ordered) and scores[ordered[tie_end]] == score:
+            ranks[ordered[tie_end]] = higher
+            tie_end += 1
+        higher += tie_end - index
+        index = tie_end
+    return ranks
+
+
+def sample_attribute_rank_counts(
+    relation: AttributeLevelRelation,
+    samples: int,
+    *,
+    ties: TieRule = "shared",
+    rng=None,
+) -> dict[str, Counter]:
+    """Empirical rank histograms from ``samples`` sampled worlds.
+
+    Returns a mapping from tuple id to a :class:`collections.Counter`
+    of observed rank values.
+    """
+    _check_ties(ties)
+    rng = _resolve_rng(rng)
+    positions = {row.tid: index for index, row in enumerate(relation)}
+    counts: dict[str, Counter] = {row.tid: Counter() for row in relation}
+    for _ in range(samples):
+        scores = relation.instantiate(rng)
+        for tid, rank in _attribute_world_ranks(
+            scores, positions, ties
+        ).items():
+            counts[tid][rank] += 1
+    return counts
+
+
+def sample_tuple_rank_counts(
+    relation: TupleLevelRelation,
+    samples: int,
+    *,
+    ties: TieRule = "shared",
+    rng=None,
+) -> dict[str, Counter]:
+    """Empirical rank histograms for a tuple-level relation.
+
+    Missing tuples are ranked ``|W|``, per Definition 6.
+    """
+    _check_ties(ties)
+    rng = _resolve_rng(rng)
+    positions = {row.tid: index for index, row in enumerate(relation)}
+    scores = {row.tid: row.score for row in relation}
+    counts: dict[str, Counter] = {row.tid: Counter() for row in relation}
+    for _ in range(samples):
+        appearing = relation.instantiate(rng)
+        world_scores = {tid: scores[tid] for tid in appearing}
+        world_ranks = _attribute_world_ranks(world_scores, positions, ties)
+        world_size = len(appearing)
+        present = set(appearing)
+        for tid in counts:
+            if tid in present:
+                counts[tid][world_ranks[tid]] += 1
+            else:
+                counts[tid][world_size] += 1
+    return counts
+
+
+def sample_attribute_topk_answers(
+    relation: AttributeLevelRelation,
+    k: int,
+    samples: int,
+    *,
+    rng=None,
+) -> Counter:
+    """Frequencies of each observed *ordered* top-``k`` answer.
+
+    Keys are tuples of tuple ids in world-ranking order — the
+    estimator behind the attribute-level U-Topk baseline (the paper's
+    U-Topk distinguishes (t2, t3) from (t3, t2)).
+    """
+    rng = _resolve_rng(rng)
+    positions = {row.tid: index for index, row in enumerate(relation)}
+    counts: Counter = Counter()
+    for _ in range(samples):
+        scores = relation.instantiate(rng)
+        ordered = sorted(
+            scores, key=lambda tid: (-scores[tid], positions[tid])
+        )
+        counts[tuple(ordered[:k])] += 1
+    return counts
+
+
+def sample_tuple_topk_answers(
+    relation: TupleLevelRelation,
+    k: int,
+    samples: int,
+    *,
+    rng=None,
+) -> Counter:
+    """Frequencies of each ordered top-``k`` answer (tuple-level)."""
+    rng = _resolve_rng(rng)
+    counts: Counter = Counter()
+    for _ in range(samples):
+        appearing = relation.instantiate(rng)
+        counts[tuple(appearing[:k])] += 1
+    return counts
+
+
+def estimate_expected_ranks(
+    relation: AttributeLevelRelation | TupleLevelRelation,
+    samples: int,
+    *,
+    ties: TieRule = "shared",
+    rng=None,
+) -> dict[str, float]:
+    """Monte-Carlo estimates of every tuple's expected rank."""
+    if isinstance(relation, AttributeLevelRelation):
+        counts = sample_attribute_rank_counts(
+            relation, samples, ties=ties, rng=rng
+        )
+    else:
+        counts = sample_tuple_rank_counts(
+            relation, samples, ties=ties, rng=rng
+        )
+    estimates: dict[str, float] = {}
+    for tid, histogram in counts.items():
+        total = sum(histogram.values())
+        estimates[tid] = (
+            sum(rank * count for rank, count in histogram.items()) / total
+        )
+    return estimates

@@ -1,0 +1,271 @@
+"""The tuple-level uncertainty model (paper Section 3, Figures 3-4).
+
+Each tuple has a *fixed* score but appears only with some membership
+probability ``p(t)``.  Correlations take the form of exclusion rules
+(:mod:`repro.models.rules`): at most one member of a rule appears in any
+world, rules are disjoint, and every tuple belongs to exactly one rule
+(singletons implied).  This is the x-relations model used by all prior
+ranking work the paper compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import InvalidRuleError, ModelError
+from repro.models.pdf import PROBABILITY_TOLERANCE
+from repro.models.rules import ExclusionRule, cover_with_singletons
+
+__all__ = ["TupleLevelTuple", "TupleLevelRelation"]
+
+
+class TupleLevelTuple:
+    """One tuple of a tuple-level uncertain relation.
+
+    Parameters
+    ----------
+    tid:
+        Relation-unique identifier.
+    score:
+        The tuple's fixed score value.
+    probability:
+        Membership probability ``p(t)`` in ``[0, 1]``.
+    attributes:
+        Optional certain attributes, ignored by ranking.
+    """
+
+    __slots__ = ("tid", "score", "probability", "attributes")
+
+    def __init__(
+        self,
+        tid: str,
+        score: float,
+        probability: float,
+        attributes: Mapping[str, object] | None = None,
+    ) -> None:
+        if not math.isfinite(score):
+            raise ModelError(f"tuple {tid!r}: non-finite score {score!r}")
+        if not 0.0 <= probability <= 1.0 + PROBABILITY_TOLERANCE:
+            raise ModelError(
+                f"tuple {tid!r}: probability {probability!r} not in [0, 1]"
+            )
+        self.tid = tid
+        self.score = float(score)
+        self.probability = min(float(probability), 1.0)
+        self.attributes = dict(attributes) if attributes else {}
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleLevelTuple({self.tid!r}, score={self.score:g}, "
+            f"p={self.probability:g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleLevelTuple):
+            return NotImplemented
+        return (
+            self.tid == other.tid
+            and self.score == other.score
+            and self.probability == other.probability
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self.score, self.probability))
+
+
+class TupleLevelRelation:
+    """An x-relation: tuples with membership probabilities plus rules.
+
+    Tuples keep insertion order, which doubles as the tie-breaking
+    order for equal scores.  Rules not covering every tuple are
+    completed with implied singleton rules.
+
+    Examples
+    --------
+    The relation of the paper's Figure 4:
+
+    >>> relation = TupleLevelRelation(
+    ...     [
+    ...         TupleLevelTuple("t1", 100, 0.4),
+    ...         TupleLevelTuple("t2", 92, 0.5),
+    ...         TupleLevelTuple("t3", 85, 1.0),
+    ...         TupleLevelTuple("t4", 80, 0.5),
+    ...     ],
+    ...     rules=[ExclusionRule("tau2", ["t2", "t4"])],
+    ... )
+    >>> relation.expected_world_size()
+    2.4
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[TupleLevelTuple],
+        rules: Sequence[ExclusionRule] | None = None,
+    ) -> None:
+        self._tuples: list[TupleLevelTuple] = list(tuples)
+        self._index: dict[str, int] = {}
+        for position, row in enumerate(self._tuples):
+            if not isinstance(row, TupleLevelTuple):
+                raise ModelError(
+                    f"expected TupleLevelTuple, got {type(row).__name__}"
+                )
+            if row.tid in self._index:
+                raise ModelError(f"duplicate tuple id {row.tid!r}")
+            self._index[row.tid] = position
+
+        self._rules: list[ExclusionRule] = cover_with_singletons(
+            list(rules or []), [row.tid for row in self._tuples]
+        )
+        probability_of = {
+            row.tid: row.probability for row in self._tuples
+        }
+        self._rule_of: dict[str, ExclusionRule] = {}
+        for rule in self._rules:
+            rule.validate_probabilities(probability_of)
+            for tid in rule:
+                self._rule_of[tid] = rule
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``N``, the number of tuples."""
+        return len(self._tuples)
+
+    @property
+    def tuples(self) -> Sequence[TupleLevelTuple]:
+        """The tuples in insertion (tie-breaking) order."""
+        return tuple(self._tuples)
+
+    @property
+    def rules(self) -> Sequence[ExclusionRule]:
+        """All rules, explicit first, implied singletons after."""
+        return tuple(self._rules)
+
+    @property
+    def rule_count(self) -> int:
+        """``M``, the number of rules (singletons included)."""
+        return len(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[TupleLevelTuple]:
+        return iter(self._tuples)
+
+    def __getitem__(self, position: int) -> TupleLevelTuple:
+        return self._tuples[position]
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._index
+
+    def tuple_by_id(self, tid: str) -> TupleLevelTuple:
+        """Look a tuple up by its identifier."""
+        try:
+            return self._tuples[self._index[tid]]
+        except KeyError:
+            raise ModelError(f"no tuple with id {tid!r}") from None
+
+    def position_of(self, tid: str) -> int:
+        """The 0-based insertion position of ``tid``."""
+        try:
+            return self._index[tid]
+        except KeyError:
+            raise ModelError(f"no tuple with id {tid!r}") from None
+
+    def tids(self) -> tuple[str, ...]:
+        """All tuple identifiers in insertion order."""
+        return tuple(row.tid for row in self._tuples)
+
+    def rule_of(self, tid: str) -> ExclusionRule:
+        """The unique rule containing ``tid``."""
+        try:
+            return self._rule_of[tid]
+        except KeyError:
+            raise ModelError(f"no tuple with id {tid!r}") from None
+
+    def exclusive_with(self, tid_a: str, tid_b: str) -> bool:
+        """True when two distinct tuples share an exclusion rule.
+
+        This is the paper's ``t_i ~ t_j`` predicate (``t_i <> t_j`` and
+        same rule); ``t_i`` and ``t_j`` in different rules are
+        independent (the ``t_i <diamond> t_j`` predicate).
+        """
+        if tid_a == tid_b:
+            return False
+        return tid_b in self.rule_of(tid_a)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the algorithms
+    # ------------------------------------------------------------------
+    def expected_world_size(self) -> float:
+        """``E[|W|] = sum_t p(t)`` — rules do not affect it."""
+        return math.fsum(row.probability for row in self._tuples)
+
+    def order_by_score(self) -> list[TupleLevelTuple]:
+        """Tuples sorted by decreasing score, ties by insertion order.
+
+        T-ERank and the Section 7 algorithms assume this order: the
+        paper's index convention has ``t_1`` as the highest-score tuple.
+        """
+        return sorted(
+            self._tuples,
+            key=lambda row: (-row.score, self._index[row.tid]),
+        )
+
+    def instantiate(self, rng) -> list[str]:
+        """Draw one possible world: choose at most one member per rule.
+
+        Returns the appearing tuple ids sorted by decreasing score (the
+        within-world ranking order).
+        """
+        appearing: list[TupleLevelTuple] = []
+        for rule in self._rules:
+            point = rng.random()
+            running = 0.0
+            for tid in rule:
+                running += self.tuple_by_id(tid).probability
+                if point < running:
+                    appearing.append(self.tuple_by_id(tid))
+                    break
+        appearing.sort(
+            key=lambda row: (-row.score, self._index[row.tid])
+        )
+        return [row.tid for row in appearing]
+
+    def replace_tuple(
+        self, replacement: TupleLevelTuple
+    ) -> "TupleLevelRelation":
+        """A copy with one tuple swapped in place (rules unchanged).
+
+        Used by the stability tests: the replacement may raise the
+        score and/or probability.  Rule totals are revalidated.
+        """
+        if replacement.tid not in self._index:
+            raise ModelError(f"no tuple with id {replacement.tid!r}")
+        rows = list(self._tuples)
+        rows[self._index[replacement.tid]] = replacement
+        explicit = [rule for rule in self._rules if not rule.rule_id.startswith("__singleton_")]
+        return TupleLevelRelation(rows, rules=explicit)
+
+    def map_scores(self, transform) -> "TupleLevelRelation":
+        """Apply ``transform`` to every score (value-invariance tests)."""
+        rows = [
+            TupleLevelTuple(
+                row.tid,
+                transform(row.score),
+                row.probability,
+                row.attributes,
+            )
+            for row in self._tuples
+        ]
+        explicit = [rule for rule in self._rules if not rule.rule_id.startswith("__singleton_")]
+        return TupleLevelRelation(rows, rules=explicit)
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleLevelRelation(N={self.size}, M={self.rule_count}, "
+            f"E[|W|]={self.expected_world_size():g})"
+        )

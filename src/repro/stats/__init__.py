@@ -1,0 +1,43 @@
+"""Statistical building blocks shared by algorithms and experiments."""
+
+from repro.stats.bounds import (
+    chernoff_lower_tail,
+    hoeffding_lower_tail,
+    hoeffding_upper_tail,
+    markov_upper_tail,
+)
+from repro.stats.poisson_binomial import (
+    PoissonBinomialBuilder,
+    binomial_pmf,
+    mixture_pmf,
+    poisson_binomial_cdf,
+    poisson_binomial_pmf,
+    poisson_binomial_quantile,
+)
+from repro.stats.ranking_metrics import (
+    jaccard_similarity,
+    kendall_tau_coefficient,
+    kendall_tau_distance,
+    spearman_footrule,
+    topk_precision,
+    topk_recall,
+)
+
+__all__ = [
+    "PoissonBinomialBuilder",
+    "binomial_pmf",
+    "chernoff_lower_tail",
+    "hoeffding_lower_tail",
+    "hoeffding_upper_tail",
+    "jaccard_similarity",
+    "kendall_tau_coefficient",
+    "kendall_tau_distance",
+    "markov_upper_tail",
+    "mixture_pmf",
+    "poisson_binomial_cdf",
+    "poisson_binomial_pmf",
+    "poisson_binomial_quantile",
+    "spearman_footrule",
+    "topk_precision",
+    "topk_recall",
+]

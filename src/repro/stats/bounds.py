@@ -1,0 +1,76 @@
+"""Probabilistic tail bounds used by the pruning algorithms.
+
+Three families appear in the paper and its baselines:
+
+* **Markov's inequality** — A-ERank-Prune bounds the tail of an unseen
+  tuple's score by its expectation: ``Pr[X > v] <= E[X] / v`` for
+  non-negative ``X`` (equations 5-6 of the paper).
+* **Chernoff/Hoeffding bounds** — the PT-k paper [23] prunes the scan
+  once the top-k probability of every unseen tuple is provably below
+  the threshold; the bound applies to sums of independent indicators.
+* **Stochastic-dominance shifts** — our reconstructed median/quantile
+  pruning lower-bounds quantiles of Poisson-binomial rank variables.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "markov_upper_tail",
+    "hoeffding_lower_tail",
+    "hoeffding_upper_tail",
+    "chernoff_lower_tail",
+]
+
+
+def markov_upper_tail(expectation: float, threshold: float) -> float:
+    """Markov bound ``Pr[X >= threshold] <= E[X] / threshold``.
+
+    Requires a non-negative random variable and a positive threshold;
+    the returned value is clamped into ``[0, 1]`` (the paper's
+    equations 5-6 omit the clamp, which this library applies because it
+    only ever tightens the bound).
+    """
+    if threshold <= 0.0:
+        raise ValueError(
+            f"Markov bound needs a positive threshold, got {threshold!r}"
+        )
+    if expectation < 0.0:
+        raise ValueError(
+            f"Markov bound needs E[X] >= 0, got {expectation!r}"
+        )
+    return min(1.0, expectation / threshold)
+
+
+def hoeffding_lower_tail(mean: float, count: int, deviation: float) -> float:
+    """Hoeffding bound ``Pr[S <= mean - deviation]`` for S a sum of
+    ``count`` independent variables in ``[0, 1]`` with ``E[S] = mean``.
+
+    Returns ``exp(-2 deviation^2 / count)`` (1.0 when ``deviation <= 0``).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count!r}")
+    if deviation <= 0.0:
+        return 1.0
+    return math.exp(-2.0 * deviation * deviation / count)
+
+
+def hoeffding_upper_tail(mean: float, count: int, deviation: float) -> float:
+    """Hoeffding bound ``Pr[S >= mean + deviation]``; symmetric twin."""
+    return hoeffding_lower_tail(mean, count, deviation)
+
+
+def chernoff_lower_tail(mean: float, threshold: float) -> float:
+    """Multiplicative Chernoff bound ``Pr[S <= threshold]`` for a sum of
+    independent indicators with ``E[S] = mean`` and ``threshold < mean``.
+
+    Uses ``Pr[S <= (1 - delta) mu] <= exp(-mu delta^2 / 2)``.  Returns
+    1.0 when the threshold is at or above the mean (no information).
+    """
+    if mean < 0.0:
+        raise ValueError(f"mean must be non-negative, got {mean!r}")
+    if mean == 0.0 or threshold >= mean:
+        return 1.0
+    delta = (mean - max(threshold, 0.0)) / mean
+    return math.exp(-mean * delta * delta / 2.0)

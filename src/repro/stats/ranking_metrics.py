@@ -1,0 +1,133 @@
+"""Metrics for comparing rankings and top-k answers.
+
+Used by the answer-quality experiments (precision/recall of the pruned
+algorithms against the exact ones) and the semantics-agreement study
+(Kendall tau between the rankings induced by different definitions).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+__all__ = [
+    "topk_precision",
+    "topk_recall",
+    "jaccard_similarity",
+    "kendall_tau_distance",
+    "kendall_tau_coefficient",
+    "spearman_footrule",
+]
+
+
+def _as_set(items: Sequence[Hashable]) -> set:
+    collected = set(items)
+    if len(collected) != len(items):
+        raise ValueError("top-k answers must not contain duplicates")
+    return collected
+
+
+def topk_precision(
+    answer: Sequence[Hashable], truth: Sequence[Hashable]
+) -> float:
+    """|answer ∩ truth| / |answer| — 1.0 for an empty answer."""
+    answer_set = _as_set(answer)
+    if not answer_set:
+        return 1.0
+    return len(answer_set & _as_set(truth)) / len(answer_set)
+
+
+def topk_recall(
+    answer: Sequence[Hashable], truth: Sequence[Hashable]
+) -> float:
+    """|answer ∩ truth| / |truth| — 1.0 for an empty truth set."""
+    truth_set = _as_set(truth)
+    if not truth_set:
+        return 1.0
+    return len(_as_set(answer) & truth_set) / len(truth_set)
+
+
+def jaccard_similarity(
+    answer: Sequence[Hashable], truth: Sequence[Hashable]
+) -> float:
+    """|answer ∩ truth| / |answer ∪ truth| — 1.0 when both are empty."""
+    answer_set = _as_set(answer)
+    truth_set = _as_set(truth)
+    union = answer_set | truth_set
+    if not union:
+        return 1.0
+    return len(answer_set & truth_set) / len(union)
+
+
+def _check_same_items(
+    ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]
+) -> None:
+    if _as_set(ranking_a) != _as_set(ranking_b):
+        raise ValueError(
+            "rankings must be permutations of the same item set"
+        )
+
+
+def kendall_tau_distance(
+    ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]
+) -> int:
+    """Number of discordant pairs between two total orders.
+
+    Both arguments are sequences of the *same* items, best first.
+    Runs in ``O(n log n)`` via merge-sort inversion counting.
+    """
+    _check_same_items(ranking_a, ranking_b)
+    position_in_b = {item: index for index, item in enumerate(ranking_b)}
+    sequence = [position_in_b[item] for item in ranking_a]
+    return _count_inversions(sequence)
+
+
+def _count_inversions(sequence: list[int]) -> int:
+    """Merge-sort inversion counter."""
+    if len(sequence) < 2:
+        return 0
+    middle = len(sequence) // 2
+    left = sequence[:middle]
+    right = sequence[middle:]
+    inversions = _count_inversions(left) + _count_inversions(right)
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            inversions += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    sequence[:] = merged
+    return inversions
+
+
+def kendall_tau_coefficient(
+    ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]
+) -> float:
+    """Normalised Kendall tau in ``[-1, 1]``; 1.0 = identical orders.
+
+    Defined as ``1 - 4 * distance / (n (n - 1))``; the single-item and
+    empty rankings compare as identical.
+    """
+    n = len(ranking_a)
+    if n < 2:
+        _check_same_items(ranking_a, ranking_b)
+        return 1.0
+    distance = kendall_tau_distance(ranking_a, ranking_b)
+    return 1.0 - 4.0 * distance / (n * (n - 1))
+
+
+def spearman_footrule(
+    ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]
+) -> int:
+    """Sum over items of the absolute rank displacement."""
+    _check_same_items(ranking_a, ranking_b)
+    position_in_b = {item: index for index, item in enumerate(ranking_b)}
+    return sum(
+        abs(index - position_in_b[item])
+        for index, item in enumerate(ranking_a)
+    )

@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's worked examples and random instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+
+
+@pytest.fixture
+def fig2() -> AttributeLevelRelation:
+    """The attribute-level example of the paper's Figure 2."""
+    return AttributeLevelRelation(
+        [
+            AttributeTuple("t1", DiscretePDF([100, 70], [0.4, 0.6])),
+            AttributeTuple("t2", DiscretePDF([92, 80], [0.6, 0.4])),
+            AttributeTuple("t3", DiscretePDF([85], [1.0])),
+        ]
+    )
+
+
+@pytest.fixture
+def fig4() -> TupleLevelRelation:
+    """The tuple-level example of the paper's Figure 4.
+
+    Probabilities are recovered from the listed world probabilities:
+    p(t1) = 0.4, p(t2) = 0.5, p(t3) = 1.0, p(t4) = 0.5, with the rule
+    tau2 = {t2, t4}.
+    """
+    return TupleLevelRelation(
+        [
+            TupleLevelTuple("t1", 100, 0.4),
+            TupleLevelTuple("t2", 92, 0.5),
+            TupleLevelTuple("t3", 85, 1.0),
+            TupleLevelTuple("t4", 80, 0.5),
+        ],
+        rules=[ExclusionRule("tau2", ["t2", "t4"])],
+    )
+
+
+@pytest.fixture
+def certain_attribute() -> AttributeLevelRelation:
+    """A deterministic relation lifted into the attribute-level model."""
+    return AttributeLevelRelation(
+        [
+            AttributeTuple("a", DiscretePDF.point(30.0)),
+            AttributeTuple("b", DiscretePDF.point(20.0)),
+            AttributeTuple("c", DiscretePDF.point(10.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def certain_tuple() -> TupleLevelRelation:
+    """A deterministic relation lifted into the tuple-level model."""
+    return TupleLevelRelation(
+        [
+            TupleLevelTuple("a", 30.0, 1.0),
+            TupleLevelTuple("b", 20.0, 1.0),
+            TupleLevelTuple("c", 10.0, 1.0),
+        ]
+    )

@@ -1,0 +1,100 @@
+"""Unit tests for the tie-aware beat probabilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beats import beat_probability, value_beat_probability
+from repro.models import DiscretePDF
+
+
+class TestValueBeatProbability:
+    def test_strictly_greater_under_shared_ties(self):
+        challenger = DiscretePDF([1, 5, 9], [0.2, 0.3, 0.5])
+        assert value_beat_probability(
+            challenger, 5, challenger_is_earlier=True, ties="shared"
+        ) == pytest.approx(0.5)
+
+    def test_by_index_earlier_counts_equality(self):
+        challenger = DiscretePDF([1, 5, 9], [0.2, 0.3, 0.5])
+        assert value_beat_probability(
+            challenger, 5, challenger_is_earlier=True, ties="by_index"
+        ) == pytest.approx(0.8)
+
+    def test_by_index_later_does_not_count_equality(self):
+        challenger = DiscretePDF([1, 5, 9], [0.2, 0.3, 0.5])
+        assert value_beat_probability(
+            challenger,
+            5,
+            challenger_is_earlier=False,
+            ties="by_index",
+        ) == pytest.approx(0.5)
+
+    def test_bad_tie_rule(self):
+        with pytest.raises(ValueError):
+            value_beat_probability(
+                DiscretePDF.point(1),
+                1,
+                challenger_is_earlier=True,
+                ties="sometimes",  # type: ignore[arg-type]
+            )
+
+
+class TestBeatProbability:
+    def test_independent_pair(self):
+        first = DiscretePDF([1, 3], [0.5, 0.5])
+        second = DiscretePDF([2], [1.0])
+        assert beat_probability(
+            first, second, challenger_is_earlier=True
+        ) == pytest.approx(0.5)
+        assert beat_probability(
+            second, first, challenger_is_earlier=True
+        ) == pytest.approx(0.5)
+
+    def test_complementarity_without_ties(self):
+        """Pr[A beats B] + Pr[B beats A] = 1 when ties are impossible."""
+        first = DiscretePDF([1, 3], [0.4, 0.6])
+        second = DiscretePDF([2, 4], [0.7, 0.3])
+        forward = beat_probability(
+            first, second, challenger_is_earlier=True
+        )
+        backward = beat_probability(
+            second, first, challenger_is_earlier=False
+        )
+        assert forward + backward == pytest.approx(1.0)
+
+    def test_complementarity_with_ties_by_index(self):
+        """Under the index rule exactly one of a pair beats the other
+        in every world, so the probabilities always sum to one."""
+        first = DiscretePDF([1, 2], [0.5, 0.5])
+        second = DiscretePDF([2, 3], [0.5, 0.5])
+        forward = beat_probability(
+            first, second, challenger_is_earlier=True, ties="by_index"
+        )
+        backward = beat_probability(
+            second, first, challenger_is_earlier=False, ties="by_index"
+        )
+        assert forward + backward == pytest.approx(1.0)
+
+    def test_shared_ties_leave_a_gap(self):
+        """Under Definition 6 a tie beats neither way, so the pair
+        probabilities sum to 1 - Pr[tie]."""
+        first = DiscretePDF([1, 2], [0.5, 0.5])
+        second = DiscretePDF([2, 3], [0.5, 0.5])
+        forward = beat_probability(
+            first, second, challenger_is_earlier=True, ties="shared"
+        )
+        backward = beat_probability(
+            second, first, challenger_is_earlier=False, ties="shared"
+        )
+        tie_probability = 0.5 * 0.5  # both at 2
+        assert forward + backward == pytest.approx(
+            1.0 - tie_probability
+        )
+
+    def test_self_comparison_shared(self):
+        pdf = DiscretePDF([1, 2], [0.5, 0.5])
+        # Independent copies: Pr[X > Y] for iid two-point = 0.25.
+        assert beat_probability(
+            pdf, pdf, challenger_is_earlier=True
+        ) == pytest.approx(0.25)

@@ -1,0 +1,101 @@
+"""Tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    Table,
+    geometric_sweep,
+    growth_exponent,
+    measure_seconds,
+)
+
+
+class TestMeasure:
+    def test_returns_positive_seconds(self):
+        assert measure_seconds(lambda: sum(range(1000))) > 0.0
+
+    def test_warmup_and_repeats(self):
+        calls = []
+        measure_seconds(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            measure_seconds(lambda: None, repeats=0)
+
+
+class TestSweep:
+    def test_geometric(self):
+        assert geometric_sweep(100, 800) == [100, 200, 400, 800]
+
+    def test_inclusive_stop(self):
+        assert geometric_sweep(3, 3) == [3]
+
+    def test_factor(self):
+        assert geometric_sweep(1, 27, factor=3) == [1, 3, 9, 27]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(0, 10)
+        with pytest.raises(ValueError):
+            geometric_sweep(10, 5)
+        with pytest.raises(ValueError):
+            geometric_sweep(1, 10, factor=1)
+
+
+class TestGrowthExponent:
+    def test_linear(self):
+        sizes = [100, 200, 400, 800]
+        times = [1.0, 2.0, 4.0, 8.0]
+        assert growth_exponent(sizes, times) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        sizes = [10, 20, 40]
+        times = [100.0, 400.0, 1600.0]
+        assert growth_exponent(sizes, times) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1], [1.0])
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["N", "seconds"])
+        table.add_row([100, 0.123456])
+        table.add_row([200000, 12.0])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "N" in lines[1] and "seconds" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_length_checked(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_column_extraction(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row([1, 2])
+        table.add_row([3, 4])
+        assert table.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+    def test_formatting_conventions(self):
+        table = Table("Demo", ["value"])
+        table.add_row([True])
+        table.add_row([0.000001])
+        table.add_row([0.0])
+        text = table.render()
+        assert "yes" in text
+        assert "e-06" in text
+
+    def test_notes_rendered(self):
+        table = Table("Demo", ["a"])
+        table.add_row([1])
+        table.add_note("paper reports the same shape")
+        assert "note: paper reports" in table.render()

@@ -1,0 +1,286 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import load_relation, main
+from repro.engine.io import save_attribute_csv, save_json, save_tuple_csv
+from repro.exceptions import SchemaError
+from repro.models import TupleLevelRelation
+
+
+@pytest.fixture
+def attribute_csv(fig2, tmp_path):
+    path = tmp_path / "attr.csv"
+    save_attribute_csv(fig2, path)
+    return path
+
+
+@pytest.fixture
+def tuple_csv(fig4, tmp_path):
+    path = tmp_path / "tup.csv"
+    save_tuple_csv(fig4, path)
+    return path
+
+
+class TestLoadRelation:
+    def test_sniffs_attribute_csv(self, attribute_csv):
+        relation = load_relation(attribute_csv)
+        assert relation.size == 3
+
+    def test_sniffs_tuple_csv(self, tuple_csv):
+        relation = load_relation(tuple_csv)
+        assert isinstance(relation, TupleLevelRelation)
+        assert relation.rule_of("t2").tids == ("t2", "t4")
+
+    def test_loads_json(self, fig2, tmp_path):
+        path = tmp_path / "rel.json"
+        save_json(fig2, path)
+        assert load_relation(path).size == 3
+
+    def test_rejects_unknown_header(self, tmp_path):
+        path = tmp_path / "odd.csv"
+        path.write_text("alpha,beta\n1,2\n")
+        with pytest.raises(SchemaError):
+            load_relation(path)
+
+
+class TestTopkCommand:
+    def test_expected_rank_output(self, attribute_csv, capsys):
+        code = main(["topk", str(attribute_csv), "-k", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "expected_rank top-3" in output
+        assert output.splitlines()[-3].startswith("1\tt2")
+
+    def test_pt_k_requires_threshold_flag(self, tuple_csv, capsys):
+        code = main(
+            [
+                "topk",
+                str(tuple_csv),
+                "-k",
+                "2",
+                "--method",
+                "pt_k",
+                "--threshold",
+                "0.4",
+            ]
+        )
+        assert code == 0
+        assert "pt_k" in capsys.readouterr().out
+
+    def test_quantile_phi_flag(self, tuple_csv, capsys):
+        code = main(
+            [
+                "topk",
+                str(tuple_csv),
+                "--method",
+                "quantile_rank",
+                "--phi",
+                "0.75",
+            ]
+        )
+        assert code == 0
+        assert "quantile_rank[0.75]" in capsys.readouterr().out
+
+    def test_error_reported_not_raised(self, attribute_csv, capsys):
+        code = main(
+            [
+                "topk",
+                str(attribute_csv),
+                "--method",
+                "probability_only",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["topk", str(tmp_path / "ghost.csv")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_output(self, attribute_csv, capsys):
+        import json
+
+        code = main(["topk", str(attribute_csv), "-k", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "expected_rank"
+        assert [item["tid"] for item in payload["items"]] == [
+            "t2",
+            "t3",
+        ]
+        assert payload["metadata"]["exact"] is True
+
+
+class TestDescribeCommand:
+    def test_attribute(self, attribute_csv, capsys):
+        assert main(["describe", str(attribute_csv)]) == 0
+        output = capsys.readouterr().out
+        assert "attribute-level" in output
+        assert "possible worlds: 4" in output
+
+    def test_tuple(self, tuple_csv, capsys):
+        assert main(["describe", str(tuple_csv)]) == 0
+        output = capsys.readouterr().out
+        assert "x-relation" in output
+        assert "expected world size: 2.4" in output
+
+
+class TestDistributionCommand:
+    def test_attribute(self, attribute_csv, capsys):
+        assert main(["distribution", str(attribute_csv), "t1"]) == 0
+        output = capsys.readouterr().out
+        assert "Pr[rank = 0] = 0.4" in output
+        assert "median rank: 2" in output
+
+    def test_tuple(self, tuple_csv, capsys):
+        assert main(["distribution", str(tuple_csv), "t4"]) == 0
+        output = capsys.readouterr().out
+        assert "Pr[rank = 2] = 0.5" in output
+
+    def test_unknown_tid(self, tuple_csv, capsys):
+        assert main(["distribution", str(tuple_csv), "zzz"]) == 1
+
+
+class TestExplainCommand:
+    def test_explains_valid_pair(self, tuple_csv, capsys):
+        code = main(["explain", str(tuple_csv), "t3", "t4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "outranks" in output and "gap" in output
+
+    def test_wrong_direction_reports_error(self, tuple_csv, capsys):
+        code = main(["explain", str(tuple_csv), "t4", "t3"])
+        assert code == 1
+        assert "swap" in capsys.readouterr().err
+
+    def test_unknown_tuple(self, tuple_csv, capsys):
+        assert main(["explain", str(tuple_csv), "t3", "zzz"]) == 1
+
+
+class TestChurnCommand:
+    def test_profile_printed(self, tuple_csv, capsys):
+        code = main(
+            [
+                "churn",
+                str(tuple_csv),
+                "-k",
+                "2",
+                "--noise",
+                "0.05",
+                "0.2",
+                "--trials",
+                "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "±5%" in output and "±20%" in output
+        assert "stable core" in output
+
+    def test_method_flag(self, tuple_csv, capsys):
+        code = main(
+            [
+                "churn",
+                str(tuple_csv),
+                "-k",
+                "2",
+                "--noise",
+                "0.1",
+                "--trials",
+                "3",
+                "--method",
+                "median_rank",
+            ]
+        )
+        assert code == 0
+        assert "median_rank" in capsys.readouterr().out
+
+
+class TestAuditCommand:
+    def test_audit_fixture(self, attribute_csv, capsys):
+        code = main(
+            [
+                "audit",
+                str(attribute_csv),
+                "--methods",
+                "expected_rank,u_topk",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "expected_rank" in output
+        # U-Topk's containment violation shows as an N plus a
+        # counterexample line.
+        assert "u_topk / containment" in output
+
+    def test_audit_unknown_method(self, attribute_csv, capsys):
+        code = main(
+            ["audit", str(attribute_csv), "--methods", "bogus"]
+        )
+        assert code == 1
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_audit_includes_pt_k_with_threshold(
+        self, tuple_csv, capsys
+    ):
+        code = main(
+            [
+                "audit",
+                str(tuple_csv),
+                "--methods",
+                "pt_k",
+                "--threshold",
+                "0.4",
+                "--max-k",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "pt_k" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_attribute_csv(self, tmp_path, capsys):
+        out = tmp_path / "gen.csv"
+        assert main(
+            ["generate", "attribute", str(out), "-n", "25"]
+        ) == 0
+        relation = load_relation(out)
+        assert relation.size == 25
+
+    def test_generate_tuple_json(self, tmp_path):
+        out = tmp_path / "gen.json"
+        assert main(
+            [
+                "generate",
+                "tuple",
+                str(out),
+                "-n",
+                "30",
+                "--workload",
+                "cor",
+                "--seed",
+                "3",
+            ]
+        ) == 0
+        relation = load_relation(out)
+        assert isinstance(relation, TupleLevelRelation)
+        assert relation.size == 30
+
+    def test_bad_workload_reports_error(self, tmp_path, capsys):
+        out = tmp_path / "gen.csv"
+        assert main(
+            ["generate", "tuple", str(out), "--workload", "bogus"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_generated_file_is_rankable_via_cli(self, tmp_path, capsys):
+        out = tmp_path / "gen.csv"
+        main(["generate", "tuple", str(out), "-n", "40"])
+        capsys.readouterr()
+        assert main(["topk", str(out), "-k", "5"]) == 0
+        assert "top-5" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""Tests for continuous score distributions (paper Appendix A)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import attribute_expected_ranks
+from repro.exceptions import InvalidDistributionError
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    ExponentialScore,
+    GaussianScore,
+    UniformScore,
+)
+from repro.models.continuous import pr_greater
+
+
+class TestUniformScore:
+    def test_cdf(self):
+        score = UniformScore(0.0, 10.0)
+        assert score.cdf(-1.0) == 0.0
+        assert score.cdf(5.0) == pytest.approx(0.5)
+        assert score.cdf(11.0) == 1.0
+
+    def test_quantile_inverts_cdf(self):
+        score = UniformScore(3.0, 7.0)
+        for probability in (0.1, 0.5, 0.9):
+            assert score.cdf(
+                score.quantile(probability)
+            ) == pytest.approx(probability)
+
+    def test_mean(self):
+        assert UniformScore(2.0, 4.0).mean() == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidDistributionError):
+            UniformScore(5.0, 5.0)
+
+
+class TestGaussianScore:
+    def test_cdf_symmetry(self):
+        score = GaussianScore(10.0, 2.0)
+        assert score.cdf(10.0) == pytest.approx(0.5)
+        assert score.cdf(12.0) + score.cdf(8.0) == pytest.approx(1.0)
+
+    def test_quantile_inverts_cdf(self):
+        score = GaussianScore(0.0, 1.0)
+        for probability in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert score.cdf(
+                score.quantile(probability)
+            ) == pytest.approx(probability, abs=1e-9)
+
+    def test_known_quantiles(self):
+        standard = GaussianScore(0.0, 1.0)
+        assert standard.quantile(0.975) == pytest.approx(1.95996, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(InvalidDistributionError):
+            GaussianScore(0.0, 0.0)
+
+
+class TestExponentialScore:
+    def test_cdf_and_quantile(self):
+        score = ExponentialScore(rate=0.5, origin=1.0)
+        assert score.cdf(1.0) == 0.0
+        median = score.quantile(0.5)
+        assert score.cdf(median) == pytest.approx(0.5)
+        assert median == pytest.approx(1.0 + math.log(2.0) / 0.5)
+
+    def test_mean(self):
+        assert ExponentialScore(rate=2.0).mean() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(InvalidDistributionError):
+            ExponentialScore(rate=0.0)
+
+
+class TestPrGreater:
+    def test_gaussian_closed_form(self):
+        first = GaussianScore(1.0, 1.0)
+        second = GaussianScore(0.0, 1.0)
+        # X - Y ~ N(1, 2): Pr[X > Y] = Phi(1 / sqrt(2)).
+        phi = 0.5 * (1.0 + math.erf(1.0 / math.sqrt(2.0) / math.sqrt(2.0)))
+        assert pr_greater(first, second) == pytest.approx(phi)
+
+    def test_identical_gaussians_half(self):
+        score = GaussianScore(3.0, 2.0)
+        assert pr_greater(score, score) == pytest.approx(0.5)
+
+    def test_exponential_closed_form(self):
+        fast = ExponentialScore(rate=2.0)
+        slow = ExponentialScore(rate=1.0)
+        # Pr[fast > slow] = rate_slow / (rate_fast + rate_slow) = 1/3.
+        assert pr_greater(fast, slow) == pytest.approx(1.0 / 3.0)
+
+    def test_numeric_path_matches_uniform_formula(self):
+        first = UniformScore(0.0, 1.0)
+        second = UniformScore(0.0, 1.0)
+        assert pr_greater(first, second) == pytest.approx(0.5, abs=1e-3)
+
+    def test_numeric_path_monte_carlo(self):
+        first = UniformScore(0.0, 2.0)
+        second = GaussianScore(1.0, 0.5)
+        rng = random.Random(0)
+        hits = 0
+        trials = 60_000
+        for _ in range(trials):
+            x = first.quantile(max(min(rng.random(), 1 - 1e-12), 1e-12))
+            y = second.quantile(max(min(rng.random(), 1 - 1e-12), 1e-12))
+            hits += x > y
+        assert pr_greater(first, second) == pytest.approx(
+            hits / trials, abs=0.01
+        )
+
+
+class TestDiscretization:
+    def test_equal_probability_buckets(self):
+        pdf = UniformScore(0.0, 1.0).discretize(4)
+        assert pdf.support_size == 4
+        assert all(
+            weight == pytest.approx(0.25)
+            for weight in pdf.probabilities
+        )
+        assert pdf.values == pytest.approx((0.125, 0.375, 0.625, 0.875))
+
+    def test_mean_preserved_in_the_limit(self):
+        score = GaussianScore(5.0, 2.0)
+        coarse = score.discretize(4)
+        fine = score.discretize(256)
+        assert abs(fine.expectation() - score.mean()) < abs(
+            coarse.expectation() - score.mean()
+        ) + 1e-9
+        assert fine.expectation() == pytest.approx(5.0, abs=0.01)
+
+    def test_mean_method(self):
+        pdf = ExponentialScore(rate=1.0).discretize(64, method="mean")
+        assert pdf.expectation() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_parameters(self):
+        score = UniformScore(0.0, 1.0)
+        with pytest.raises(InvalidDistributionError):
+            score.discretize(0)
+        with pytest.raises(InvalidDistributionError):
+            score.discretize(4, method="magic")
+
+    def test_discretized_expected_ranks_converge(self):
+        """Appendix A's claim: discretisation recovers the continuous
+        semantics.  Pairwise Pr[X_j > X_i] from the discretised ranks
+        converges to the closed-form continuous values."""
+        scores = [
+            GaussianScore(10.0, 2.0),
+            GaussianScore(9.0, 1.0),
+            GaussianScore(11.0, 4.0),
+        ]
+        # Continuous expected rank = sum of closed-form pairwise beats.
+        truth = []
+        for i, mine in enumerate(scores):
+            truth.append(
+                sum(
+                    pr_greater(other, mine)
+                    for j, other in enumerate(scores)
+                    if j != i
+                )
+            )
+        errors = {}
+        for buckets in (4, 64):
+            relation = AttributeLevelRelation(
+                AttributeTuple(f"t{i}", score.discretize(buckets))
+                for i, score in enumerate(scores)
+            )
+            ranks = attribute_expected_ranks(relation)
+            errors[buckets] = max(
+                abs(ranks[f"t{i}"] - truth[i]) for i in range(3)
+            )
+        assert errors[64] < errors[4]
+        assert errors[64] < 0.02

@@ -1,0 +1,251 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import attribute_workload, tuple_workload
+from repro.datagen import (
+    CORRELATION_PRESETS,
+    beta_probabilities,
+    copula_uniform_pairs,
+    dirichlet_weights,
+    generate_attribute_relation,
+    generate_tuple_relation,
+    iceberg_sightings,
+    movie_ratings,
+    normal_scores,
+    resolve_rng,
+    sensor_readings,
+    uniform_probabilities,
+    uniform_scores,
+    zipf_scores,
+)
+from repro.exceptions import WorkloadError
+
+
+class TestPrimitives:
+    def test_resolve_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert resolve_rng(rng) is rng
+
+    def test_uniform_scores_range(self):
+        rng = resolve_rng(0)
+        values = uniform_scores(rng, 1000, low=5.0, high=10.0)
+        assert values.min() >= 5.0 and values.max() < 10.0
+
+    def test_uniform_scores_bad_range(self):
+        with pytest.raises(WorkloadError):
+            uniform_scores(resolve_rng(0), 10, low=5.0, high=5.0)
+
+    def test_zipf_scores_heavy_tail(self):
+        rng = resolve_rng(1)
+        values = zipf_scores(rng, 5000, alpha=1.5, scale=10.0)
+        assert values.min() > 0
+        # Heavy tail: the max dwarfs the median.
+        assert values.max() > 10 * np.median(values)
+
+    def test_zipf_alpha_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_scores(resolve_rng(0), 10, alpha=1.0)
+
+    def test_normal_scores_clipped_positive(self):
+        values = normal_scores(
+            resolve_rng(2), 1000, mean=1.0, std=10.0, minimum=0.5
+        )
+        assert values.min() >= 0.5
+
+    def test_probability_ranges(self):
+        rng = resolve_rng(3)
+        uniform = uniform_probabilities(rng, 500, low=0.1, high=0.9)
+        assert 0.1 <= uniform.min() and uniform.max() <= 0.9
+        beta = beta_probabilities(rng, 500)
+        assert 0.0 < beta.min() and beta.max() <= 1.0
+
+    def test_dirichlet_weights_sum_to_one(self):
+        weights = dirichlet_weights(resolve_rng(4), 6)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_copula_correlation_sign(self):
+        rng = resolve_rng(5)
+        u, v = copula_uniform_pairs(rng, 4000, 0.8)
+        assert np.corrcoef(u, v)[0, 1] > 0.6
+        u, v = copula_uniform_pairs(rng, 4000, -0.8)
+        assert np.corrcoef(u, v)[0, 1] < -0.6
+        u, v = copula_uniform_pairs(rng, 4000, 0.0)
+        assert abs(np.corrcoef(u, v)[0, 1]) < 0.1
+
+    def test_copula_marginals_uniform(self):
+        u, v = copula_uniform_pairs(resolve_rng(6), 8000, 0.5)
+        assert u.mean() == pytest.approx(0.5, abs=0.03)
+        assert np.percentile(v, 25) == pytest.approx(0.25, abs=0.03)
+
+    def test_copula_extreme_rho(self):
+        u, v = copula_uniform_pairs(resolve_rng(7), 100, 1.0)
+        assert np.allclose(u, v, atol=1e-6)
+
+    def test_copula_rejects_bad_rho(self):
+        with pytest.raises(WorkloadError):
+            copula_uniform_pairs(resolve_rng(0), 10, 2.0)
+
+
+class TestAttributeGenerator:
+    def test_shape(self):
+        relation = generate_attribute_relation(50, pdf_size=4, seed=0)
+        assert relation.size == 50
+        assert relation.max_pdf_size() == 4
+
+    def test_values_strictly_positive(self):
+        relation = generate_attribute_relation(
+            100, score_distribution="normal", seed=1, mean=1.0, std=5.0
+        )
+        assert all(row.score.min_value > 0 for row in relation)
+
+    def test_seed_determinism(self):
+        first = generate_attribute_relation(10, seed=42)
+        second = generate_attribute_relation(10, seed=42)
+        for a, b in zip(first, second):
+            assert a.score == b.score
+
+    def test_unknown_distribution(self):
+        with pytest.raises(WorkloadError):
+            generate_attribute_relation(5, score_distribution="cauchy")
+
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            generate_attribute_relation(5, pdf_size=0)
+        with pytest.raises(WorkloadError):
+            generate_attribute_relation(5, spread=1.5)
+        with pytest.raises(WorkloadError):
+            generate_attribute_relation(-1)
+
+    def test_zero_spread_still_valid(self):
+        relation = generate_attribute_relation(
+            5, pdf_size=3, spread=0.0, seed=2
+        )
+        for row in relation:
+            assert row.score.support_size == 3  # values perturbed apart
+
+
+class TestTupleGenerator:
+    def test_shape_and_rules(self):
+        relation = generate_tuple_relation(
+            100, rule_fraction=0.5, rule_size=2, seed=0
+        )
+        assert relation.size == 100
+        multi = [r for r in relation.rules if not r.is_singleton]
+        assert len(multi) == 25  # 50 tuples grouped in pairs
+
+    def test_rule_mass_valid(self):
+        relation = generate_tuple_relation(
+            200, rule_fraction=1.0, rule_size=3, seed=1,
+            probability_high=1.0,
+        )
+        for rule in relation.rules:
+            total = sum(
+                relation.tuple_by_id(tid).probability for tid in rule
+            )
+            assert total <= 1.0 + 1e-9
+
+    def test_correlation_positive(self):
+        relation = generate_tuple_relation(
+            3000, correlation="positive", seed=2
+        )
+        scores = np.array([row.score for row in relation])
+        probabilities = np.array([row.probability for row in relation])
+        assert np.corrcoef(scores, probabilities)[0, 1] > 0.4
+
+    def test_correlation_negative(self):
+        relation = generate_tuple_relation(
+            3000, correlation="negative", seed=3
+        )
+        scores = np.array([row.score for row in relation])
+        probabilities = np.array([row.probability for row in relation])
+        assert np.corrcoef(scores, probabilities)[0, 1] < -0.4
+
+    def test_explicit_rho(self):
+        relation = generate_tuple_relation(100, correlation=0.5, seed=4)
+        assert relation.size == 100
+
+    def test_unknown_preset(self):
+        with pytest.raises(WorkloadError):
+            generate_tuple_relation(10, correlation="sideways")
+
+    def test_zipf_scores_bounded(self):
+        relation = generate_tuple_relation(
+            500,
+            score_distribution="zipf",
+            score_low=1.0,
+            score_high=100.0,
+            seed=5,
+        )
+        scores = [row.score for row in relation]
+        assert min(scores) >= 1.0
+        assert max(scores) <= 100.0 + 1e-3
+
+    def test_seed_determinism(self):
+        first = generate_tuple_relation(20, seed=9)
+        second = generate_tuple_relation(20, seed=9)
+        for a, b in zip(first, second):
+            assert a == b
+
+    def test_presets_cover_paper_regimes(self):
+        assert set(CORRELATION_PRESETS) == {
+            "independent",
+            "positive",
+            "negative",
+        }
+
+
+class TestRealWorldStandins:
+    def test_movie_ratings_scale(self):
+        relation = movie_ratings(50, rating_levels=10, seed=0)
+        assert relation.size == 50
+        for row in relation:
+            assert row.score.min_value >= 1
+            assert row.score.max_value <= 10
+            assert "title" in row.attributes
+
+    def test_sensor_readings_positive(self):
+        relation = sensor_readings(40, seed=1)
+        assert all(row.score.min_value > 0 for row in relation)
+
+    def test_iceberg_sightings_rules(self):
+        relation = iceberg_sightings(60, conflict_fraction=0.5, seed=2)
+        multi = [r for r in relation.rules if not r.is_singleton]
+        assert len(multi) == 15
+        for rule in multi:
+            total = sum(
+                relation.tuple_by_id(tid).probability for tid in rule
+            )
+            assert total <= 1.0 + 1e-9
+
+    def test_standins_rankable(self):
+        from repro.core import rank
+
+        assert len(rank(movie_ratings(30, seed=3), 5)) == 5
+        assert len(rank(iceberg_sightings(30, seed=3), 5)) == 5
+        assert len(rank(sensor_readings(30, seed=3), 5)) == 5
+
+
+class TestNamedWorkloads:
+    def test_attribute_codes(self):
+        for code in ("uu", "zipf", "norm"):
+            relation = attribute_workload(code, 20)
+            assert relation.size == 20
+
+    def test_tuple_codes(self):
+        for code in ("uu", "zipf", "cor", "anti"):
+            relation = tuple_workload(code, 20)
+            assert relation.size == 20
+
+    def test_unknown_codes(self):
+        with pytest.raises(WorkloadError):
+            attribute_workload("bogus", 5)
+        with pytest.raises(WorkloadError):
+            tuple_workload("bogus", 5)
+
+    def test_overrides_flow_through(self):
+        relation = attribute_workload("uu", 10, pdf_size=7)
+        assert relation.max_pdf_size() == 7

@@ -1,0 +1,35 @@
+"""Run every doctest embedded in the library's docstrings.
+
+The public API's usage examples must stay executable — they double as
+documentation and as smoke tests of the advertised behaviour.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", ["repro", *MODULES])
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

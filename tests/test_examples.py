@@ -1,0 +1,38 @@
+"""Every example script must run cleanly end to end.
+
+The examples are the advertised user journeys; a refactor that breaks
+one should fail the unit suite, not wait for a reader to notice.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor; we ship seven
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[path.stem for path in SCRIPTS]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,152 @@
+"""Exhaustive validation over *all* small instances of a grid family.
+
+Property-based tests sample; this module enumerates.  Over every
+relation in a small combinatorial family — all score/probability
+assignments from fixed grids, all rule layouts — the fast algorithms
+must agree with possible-world enumeration exactly.  The families are
+small enough to cover completely, so a pass is a proof over that
+domain rather than statistical evidence.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines import (
+    brute_force_expected_ranks,
+    brute_force_rank_distributions,
+)
+from repro.core import (
+    attribute_expected_ranks,
+    attribute_rank_distributions,
+    tuple_expected_ranks,
+    tuple_rank_distributions,
+)
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+
+SCORE_GRID = (1.0, 2.0)
+PROBABILITY_GRID = (0.0, 0.5, 1.0)
+PDF_GRID = (
+    DiscretePDF([1.0], [1.0]),
+    DiscretePDF([2.0], [1.0]),
+    DiscretePDF([1.0, 2.0], [0.5, 0.5]),
+    DiscretePDF([1.0, 3.0], [0.25, 0.75]),
+)
+
+
+def all_tuple_relations(size: int):
+    """Every tuple-level relation over the grids, every rule layout.
+
+    Rule layouts for size 3: none, each of the three pairs, or the
+    full triple (when its mass fits).
+    """
+    layouts: list[tuple[tuple[int, ...], ...]] = [()]
+    indices = range(size)
+    layouts.extend(
+        (pair,) for pair in itertools.combinations(indices, 2)
+    )
+    if size >= 3:
+        layouts.append((tuple(indices),))
+    for scores in itertools.product(SCORE_GRID, repeat=size):
+        for probabilities in itertools.product(
+            PROBABILITY_GRID, repeat=size
+        ):
+            rows = [
+                TupleLevelTuple(
+                    f"t{i}", scores[i], probabilities[i]
+                )
+                for i in range(size)
+            ]
+            for layout in layouts:
+                rules = []
+                valid = True
+                for rule_index, members in enumerate(layout):
+                    if (
+                        sum(probabilities[m] for m in members)
+                        > 1.0 + 1e-12
+                    ):
+                        valid = False
+                        break
+                    rules.append(
+                        ExclusionRule(
+                            f"r{rule_index}",
+                            [f"t{m}" for m in members],
+                        )
+                    )
+                if valid:
+                    yield TupleLevelRelation(rows, rules=rules)
+
+
+def all_attribute_relations(size: int):
+    """Every attribute-level relation whose pdfs come from PDF_GRID."""
+    for combo in itertools.product(PDF_GRID, repeat=size):
+        yield AttributeLevelRelation(
+            AttributeTuple(f"t{i}", pdf)
+            for i, pdf in enumerate(combo)
+        )
+
+
+class TestExhaustiveTupleLevel:
+    @pytest.mark.parametrize("ties", ["shared", "by_index"])
+    def test_expected_ranks_match_enumeration_everywhere(self, ties):
+        count = 0
+        for relation in all_tuple_relations(3):
+            fast = tuple_expected_ranks(relation, ties=ties)
+            slow = brute_force_expected_ranks(relation, ties=ties)
+            for tid in fast:
+                assert fast[tid] == pytest.approx(
+                    slow[tid], abs=1e-12
+                ), relation
+            count += 1
+        # 2^3 scores x 3^3 probabilities x (1 + 3 + conditional) rule
+        # layouts, minus overflowing rules — make sure the sweep is
+        # genuinely large.
+        assert count > 500
+
+    def test_rank_distributions_match_enumeration_everywhere(self):
+        for relation in all_tuple_relations(3):
+            fast = tuple_rank_distributions(relation, ties="by_index")
+            slow = brute_force_rank_distributions(
+                relation, ties="by_index"
+            )
+            for tid in fast:
+                assert fast[tid].allclose(
+                    slow[tid], atol=1e-12
+                ), relation
+
+
+class TestExhaustiveAttributeLevel:
+    @pytest.mark.parametrize("ties", ["shared", "by_index"])
+    def test_expected_ranks_match_enumeration_everywhere(self, ties):
+        count = 0
+        for relation in all_attribute_relations(3):
+            fast = attribute_expected_ranks(relation, ties=ties)
+            slow = brute_force_expected_ranks(relation, ties=ties)
+            for tid in fast:
+                assert fast[tid] == pytest.approx(
+                    slow[tid], abs=1e-12
+                ), relation
+            count += 1
+        assert count == len(PDF_GRID) ** 3
+
+    def test_rank_distributions_match_enumeration_everywhere(self):
+        for relation in all_attribute_relations(3):
+            fast = attribute_rank_distributions(
+                relation, ties="by_index"
+            )
+            slow = brute_force_rank_distributions(
+                relation, ties="by_index"
+            )
+            for tid in fast:
+                assert fast[tid].allclose(
+                    slow[tid], atol=1e-12
+                ), relation

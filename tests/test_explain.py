@@ -1,0 +1,111 @@
+"""Tests for the expected-rank explanation module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    attribute_expected_ranks,
+    explain_pair,
+    rank_contributions,
+    tuple_expected_ranks,
+)
+from repro.datagen import (
+    generate_attribute_relation,
+    generate_tuple_relation,
+)
+from repro.exceptions import RankingError
+
+
+class TestContributionsSumToRank:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("ties", ["shared", "by_index"])
+    def test_attribute_level(self, seed, ties):
+        relation = generate_attribute_relation(8, pdf_size=3, seed=seed)
+        ranks = attribute_expected_ranks(relation, ties=ties)
+        for tid in relation.tids():
+            contributions = rank_contributions(
+                relation, tid, ties=ties
+            )
+            assert sum(contributions.values()) == pytest.approx(
+                ranks[tid], abs=1e-9
+            )
+            assert set(contributions) == set(relation.tids()) - {tid}
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("ties", ["shared", "by_index"])
+    def test_tuple_level(self, seed, ties):
+        relation = generate_tuple_relation(
+            9, rule_fraction=0.6, seed=seed
+        )
+        ranks = tuple_expected_ranks(relation, ties=ties)
+        for tid in relation.tids():
+            contributions = rank_contributions(
+                relation, tid, ties=ties
+            )
+            assert sum(contributions.values()) == pytest.approx(
+                ranks[tid], abs=1e-9
+            )
+
+    def test_rule_mate_contributes_its_probability(self, fig4):
+        contributions = rank_contributions(fig4, "t2")
+        assert contributions["t4"] == pytest.approx(0.5)
+
+    def test_figure4_t2_decomposition(self, fig4):
+        """r(t2) = 1.4 = t1 term + t3 term + t4 (rule mate) term."""
+        contributions = rank_contributions(fig4, "t2")
+        # t1 beats t2 (100 > 92): p1 * (p2 * 1 + (1 - p2)) = 0.4.
+        assert contributions["t1"] == pytest.approx(0.4)
+        # t3 below t2: only the absence channel, p3 * (1 - p2) = 0.5.
+        assert contributions["t3"] == pytest.approx(0.5)
+        assert sum(contributions.values()) == pytest.approx(1.4)
+
+    def test_unsupported_relation(self):
+        with pytest.raises(RankingError):
+            rank_contributions([1, 2], "x")  # type: ignore[arg-type]
+
+
+class TestExplainPair:
+    def test_gap_matches_rank_difference(self, fig4):
+        explanation = explain_pair(fig4, "t3", "t4")
+        ranks = tuple_expected_ranks(fig4)
+        assert explanation.gap == pytest.approx(
+            ranks["t4"] - ranks["t3"]
+        )
+        assert explanation.better_rank == pytest.approx(ranks["t3"])
+
+    def test_deltas_plus_mutual_equal_gap(self, fig4):
+        explanation = explain_pair(fig4, "t3", "t1")
+        reconstructed = (
+            sum(explanation.competitor_deltas.values())
+            + explanation.mutual_delta
+        )
+        assert reconstructed == pytest.approx(explanation.gap)
+
+    def test_wrong_direction_rejected(self, fig4):
+        with pytest.raises(RankingError):
+            explain_pair(fig4, "t4", "t3")  # t4 ranks below t3
+
+    def test_self_comparison_rejected(self, fig4):
+        with pytest.raises(RankingError):
+            explain_pair(fig4, "t1", "t1")
+
+    def test_top_factors_ordering(self):
+        relation = generate_tuple_relation(12, seed=3)
+        ranks = tuple_expected_ranks(relation)
+        ordered = sorted(ranks, key=ranks.get)
+        explanation = explain_pair(relation, ordered[0], ordered[-1])
+        factors = explanation.top_factors(4)
+        magnitudes = [abs(delta) for _, delta in factors]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_describe_mentions_both_tuples(self, fig4):
+        text = explain_pair(fig4, "t3", "t4").describe()
+        assert "t3" in text and "t4" in text and "gap" in text
+
+    def test_attribute_level_pair(self, fig2):
+        explanation = explain_pair(fig2, "t2", "t1")
+        ranks = attribute_expected_ranks(fig2)
+        assert explanation.gap == pytest.approx(
+            ranks["t1"] - ranks["t2"]
+        )

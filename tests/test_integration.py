@@ -1,0 +1,127 @@
+"""Cross-module integration tests: generator -> engine -> query -> checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import brute_force_expected_ranks
+from repro.bench import attribute_workload, tuple_workload
+from repro.core import rank
+from repro.datagen import iceberg_sightings, movie_ratings
+from repro.engine import ProbabilisticDatabase, TopKPlanner
+from repro.models.sampling import estimate_expected_ranks
+from repro.stats import kendall_tau_coefficient, topk_recall
+
+
+class TestEndToEndWorkflow:
+    def test_generate_store_query_audit(self, tmp_path):
+        """The full user journey from the README quickstart."""
+        db = ProbabilisticDatabase()
+        db.create_relation("movies", movie_ratings(40, seed=0))
+        db.create_relation("sightings", iceberg_sightings(40, seed=0))
+
+        top_movies = db.topk("movies", 5)
+        assert len(top_movies) == 5
+
+        top_sightings = db.topk(
+            "sightings", 5, method="median_rank"
+        )
+        assert len(top_sightings) == 5
+
+        db.save(tmp_path / "db")
+        restored = ProbabilisticDatabase.load(tmp_path / "db")
+        assert restored.topk("movies", 5).tids() == top_movies.tids()
+
+    def test_planner_and_exact_agree_on_answers(self):
+        relation = tuple_workload("uu", 500)
+        exact = rank(relation, 10)
+        planned = TopKPlanner(expensive_access=True).execute(
+            relation, 10
+        )
+        assert planned.tids() == exact.tids()
+        assert planned.metadata["tuples_accessed"] < relation.size
+
+    def test_all_methods_run_on_both_models(self, fig2, fig4):
+        per_model = {
+            "attribute": (
+                fig2,
+                [
+                    "expected_rank",
+                    "expected_rank_prune",
+                    "median_rank",
+                    "u_topk",
+                    "u_kranks",
+                    "global_topk",
+                    "expected_score",
+                ],
+            ),
+            "tuple": (
+                fig4,
+                [
+                    "expected_rank",
+                    "expected_rank_prune",
+                    "median_rank",
+                    "u_topk",
+                    "u_kranks",
+                    "global_topk",
+                    "expected_score",
+                    "probability_only",
+                ],
+            ),
+        }
+        for model, (relation, methods) in per_model.items():
+            for method in methods:
+                result = rank(relation, 2, method=method)
+                assert result.method, (model, method)
+
+    def test_monte_carlo_agrees_with_exact(self):
+        relation = tuple_workload("cor", 30)
+        exact = brute_force_expected_ranks(relation, max_worlds=10**7) \
+            if relation.size <= 20 else None
+        estimates = estimate_expected_ranks(relation, 20_000, rng=1)
+        from repro.core import tuple_expected_ranks
+
+        closed_form = tuple_expected_ranks(relation)
+        for tid, value in closed_form.items():
+            assert estimates[tid] == pytest.approx(value, abs=0.25)
+        assert exact is None or all(
+            closed_form[tid] == pytest.approx(exact[tid])
+            for tid in exact
+        )
+
+    def test_semantics_agreement_shape(self):
+        """Expected and median ranks correlate strongly on clean data;
+        probability-only ranking correlates much less — the qualitative
+        claim behind experiment E12."""
+        relation = tuple_workload("uu", 120)
+        n = relation.size
+        expected = rank(relation, n).tids()
+        median = rank(relation, n, method="median_rank").tids()
+        by_probability = rank(
+            relation, n, method="probability_only"
+        ).tids()
+        close = kendall_tau_coefficient(list(expected), list(median))
+        far = kendall_tau_coefficient(
+            list(expected), list(by_probability)
+        )
+        # Median ranks are integers, so insertion-order tie-breaking
+        # caps the correlation below 1; it must still clearly exceed
+        # the score-blind baseline.
+        assert close > 0.6
+        assert close > far + 0.1
+
+    def test_prune_recall_against_exact(self):
+        """A-ERank-Prune's curtailed answer keeps high recall — the
+        quality claim of experiment E6."""
+        relation = attribute_workload("zipf", 800)
+        exact = rank(relation, 20).tids()
+        pruned = rank(relation, 20, method="expected_rank_prune")
+        assert topk_recall(pruned.tids(), exact) >= 0.9
+
+    def test_workload_codes_rank_consistently(self):
+        for code in ("uu", "zipf", "cor", "anti"):
+            relation = tuple_workload(code, 200)
+            result = rank(relation, 10)
+            assert len(result) == 10
+            statistics = [item.statistic for item in result]
+            assert statistics == sorted(statistics)

@@ -1,0 +1,138 @@
+"""Tests for the incrementally maintained tuple store."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import t_erank, tuple_expected_ranks
+from repro.engine import MaintainedTupleStore
+from repro.exceptions import EngineError, InvalidRuleError
+
+
+@pytest.fixture
+def store():
+    s = MaintainedTupleStore()
+    s.insert("a", score=10.0, probability=0.5)
+    s.insert("b", score=8.0, probability=1.0)
+    s.insert("c", score=6.0, probability=0.4, rule="pair")
+    s.insert("d", score=4.0, probability=0.5, rule="pair")
+    return s
+
+
+class TestUpdates:
+    def test_expected_world_size_maintained(self, store):
+        assert store.expected_world_size() == pytest.approx(2.4)
+        store.delete("b")
+        assert store.expected_world_size() == pytest.approx(1.4)
+        store.insert("e", score=1.0, probability=0.25)
+        assert store.expected_world_size() == pytest.approx(1.65)
+        store.update_probability("a", 0.9)
+        assert store.expected_world_size() == pytest.approx(2.05)
+        store.validate()
+
+    def test_duplicate_insert_rejected(self, store):
+        with pytest.raises(EngineError):
+            store.insert("a", score=1.0, probability=0.1)
+
+    def test_rule_overflow_rejected(self, store):
+        with pytest.raises(InvalidRuleError):
+            store.insert("e", score=1.0, probability=0.2, rule="pair")
+        with pytest.raises(InvalidRuleError):
+            store.update_probability("c", 0.6)
+
+    def test_delete_unknown(self, store):
+        with pytest.raises(EngineError):
+            store.delete("zzz")
+
+    def test_delete_frees_rule_mass(self, store):
+        store.delete("c")
+        store.insert("e", score=2.0, probability=0.5, rule="pair")
+        store.validate()
+
+    def test_score_update_repairs_order(self, store):
+        assert store.score_order() == ["a", "b", "c", "d"]
+        store.update_score("d", 9.0)
+        assert store.score_order() == ["a", "d", "b", "c"]
+        store.validate()
+
+    def test_membership(self, store):
+        assert "a" in store
+        assert "zzz" not in store
+        assert len(store) == 4
+
+
+class TestSnapshots:
+    def test_snapshot_matches_contents(self, store):
+        relation = store.snapshot()
+        assert relation.size == 4
+        assert relation.rule_of("c").tids == ("c", "d")
+        assert relation.expected_world_size() == pytest.approx(2.4)
+
+    def test_snapshot_of_empty_store(self):
+        with pytest.raises(EngineError):
+            MaintainedTupleStore().snapshot()
+
+    def test_topk_through_store(self, store):
+        result = store.topk(2)
+        reference = t_erank(store.snapshot(), 2)
+        assert result.tids() == reference.tids()
+
+    def test_from_relation_round_trip(self, store):
+        relation = store.snapshot()
+        rebuilt = MaintainedTupleStore.from_relation(relation)
+        assert rebuilt.expected_world_size() == pytest.approx(
+            relation.expected_world_size()
+        )
+        assert rebuilt.snapshot().tids() == relation.tids()
+
+    def test_bulk_insert(self):
+        s = MaintainedTupleStore()
+        s.bulk_insert(
+            (f"t{i}", float(i), 0.5) for i in range(10)
+        )
+        assert len(s) == 10
+        assert s.expected_world_size() == pytest.approx(5.0)
+
+
+class TestRandomisedWorkload:
+    def test_interleaved_updates_stay_consistent(self):
+        """A churn test: random inserts / deletes / updates keep the
+        maintained aggregates equal to from-scratch recomputation, and
+        queries over snapshots equal direct T-ERank."""
+        rng = random.Random(0)
+        store = MaintainedTupleStore()
+        alive: list[str] = []
+        counter = 0
+        for step in range(300):
+            action = rng.random()
+            if action < 0.5 or not alive:
+                tid = f"t{counter}"
+                counter += 1
+                store.insert(
+                    tid,
+                    score=rng.uniform(1, 100),
+                    probability=rng.uniform(0.05, 1.0),
+                )
+                alive.append(tid)
+            elif action < 0.7:
+                tid = alive.pop(rng.randrange(len(alive)))
+                store.delete(tid)
+            elif action < 0.85:
+                store.update_probability(
+                    rng.choice(alive), rng.uniform(0.05, 1.0)
+                )
+            else:
+                store.update_score(
+                    rng.choice(alive), rng.uniform(1, 100)
+                )
+            if step % 50 == 49:
+                store.validate()
+                snapshot = store.snapshot()
+                direct = tuple_expected_ranks(snapshot)
+                queried = store.topk(min(3, len(snapshot)))
+                for item in queried:
+                    assert item.statistic == pytest.approx(
+                        direct[item.tid]
+                    )

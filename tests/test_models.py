@@ -1,0 +1,220 @@
+"""Unit tests for the attribute-level and tuple-level relation types."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import InvalidRuleError, ModelError
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+from repro.models.rules import cover_with_singletons
+
+
+class TestAttributeTuple:
+    def test_expected_score(self):
+        row = AttributeTuple("x", DiscretePDF([10, 20], [0.5, 0.5]))
+        assert row.expected_score() == pytest.approx(15.0)
+
+    def test_requires_pdf(self):
+        with pytest.raises(ModelError):
+            AttributeTuple("x", 5.0)  # type: ignore[arg-type]
+
+    def test_attributes_copied(self):
+        payload = {"name": "alpha"}
+        row = AttributeTuple("x", DiscretePDF.point(1), payload)
+        payload["name"] = "mutated"
+        assert row.attributes["name"] == "alpha"
+
+    def test_equality(self):
+        first = AttributeTuple("x", DiscretePDF.point(1))
+        second = AttributeTuple("x", DiscretePDF.point(1))
+        assert first == second
+
+
+class TestAttributeRelation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ModelError):
+            AttributeLevelRelation(
+                [
+                    AttributeTuple("x", DiscretePDF.point(1)),
+                    AttributeTuple("x", DiscretePDF.point(2)),
+                ]
+            )
+
+    def test_lookup(self, fig2):
+        assert fig2.tuple_by_id("t2").score.pr_equal(92) == pytest.approx(
+            0.6
+        )
+        assert fig2.position_of("t3") == 2
+        assert "t1" in fig2
+        assert "zzz" not in fig2
+
+    def test_lookup_missing_raises(self, fig2):
+        with pytest.raises(ModelError):
+            fig2.tuple_by_id("nope")
+        with pytest.raises(ModelError):
+            fig2.position_of("nope")
+
+    def test_value_universe(self, fig2):
+        assert fig2.value_universe() == (70, 80, 85, 92, 100)
+
+    def test_expected_scores(self, fig2):
+        assert fig2.expected_scores() == pytest.approx((82.0, 87.2, 85.0))
+
+    def test_order_by_expected_score(self, fig2):
+        ordered = [row.tid for row in fig2.order_by_expected_score()]
+        assert ordered == ["t2", "t3", "t1"]
+
+    def test_max_pdf_size(self, fig2):
+        assert fig2.max_pdf_size() == 2
+
+    def test_instantiate_draws_support_values(self, fig2):
+        rng = random.Random(3)
+        world = fig2.instantiate(rng)
+        assert world["t1"] in (70, 100)
+        assert world["t3"] == 85
+
+    def test_replace_tuple_keeps_position(self, fig2):
+        replacement = AttributeTuple("t2", DiscretePDF.point(1000))
+        updated = fig2.replace_tuple(replacement)
+        assert updated.position_of("t2") == 1
+        assert updated.tuple_by_id("t2").score.values == (1000,)
+        # The original is untouched.
+        assert fig2.tuple_by_id("t2").score.support_size == 2
+
+    def test_replace_unknown_tuple(self, fig2):
+        with pytest.raises(ModelError):
+            fig2.replace_tuple(AttributeTuple("zz", DiscretePDF.point(1)))
+
+    def test_map_scores(self, fig2):
+        doubled = fig2.map_scores(lambda value: 2 * value)
+        assert doubled.value_universe() == (140, 160, 170, 184, 200)
+
+
+class TestExclusionRule:
+    def test_membership(self):
+        rule = ExclusionRule("r", ["a", "b"])
+        assert "a" in rule
+        assert "c" not in rule
+        assert len(rule) == 2
+        assert not rule.is_singleton
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(InvalidRuleError):
+            ExclusionRule("r", ["a", "a"])
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(InvalidRuleError):
+            ExclusionRule("r", [])
+
+    def test_validate_probabilities(self):
+        rule = ExclusionRule("r", ["a", "b"])
+        assert rule.validate_probabilities(
+            {"a": 0.5, "b": 0.5}
+        ) == pytest.approx(1.0)
+        with pytest.raises(InvalidRuleError):
+            rule.validate_probabilities({"a": 0.7, "b": 0.7})
+        with pytest.raises(InvalidRuleError):
+            rule.validate_probabilities({"a": 0.5})
+
+    def test_cover_with_singletons(self):
+        rules = cover_with_singletons(
+            [ExclusionRule("r", ["a", "b"])], ["a", "b", "c"]
+        )
+        members = sorted(tuple(rule) for rule in rules)
+        assert (("c",)) in members
+
+    def test_cover_rejects_double_claim(self):
+        with pytest.raises(InvalidRuleError):
+            cover_with_singletons(
+                [
+                    ExclusionRule("r1", ["a", "b"]),
+                    ExclusionRule("r2", ["b", "c"]),
+                ],
+                ["a", "b", "c"],
+            )
+
+    def test_cover_rejects_unknown_tuple(self):
+        with pytest.raises(InvalidRuleError):
+            cover_with_singletons(
+                [ExclusionRule("r1", ["ghost"])], ["a"]
+            )
+
+
+class TestTupleLevelTuple:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TupleLevelTuple("x", float("inf"), 0.5)
+        with pytest.raises(ModelError):
+            TupleLevelTuple("x", 1.0, 1.5)
+        with pytest.raises(ModelError):
+            TupleLevelTuple("x", 1.0, -0.1)
+
+    def test_probability_clamped_to_one(self):
+        row = TupleLevelTuple("x", 1.0, 1.0 + 1e-12)
+        assert row.probability == 1.0
+
+
+class TestTupleLevelRelation:
+    def test_rule_lookup(self, fig4):
+        assert fig4.rule_of("t2").rule_id == "tau2"
+        assert fig4.rule_of("t1").is_singleton
+        assert fig4.rule_count == 3
+
+    def test_rule_overflow_rejected(self):
+        with pytest.raises(InvalidRuleError):
+            TupleLevelRelation(
+                [
+                    TupleLevelTuple("a", 2.0, 0.8),
+                    TupleLevelTuple("b", 1.0, 0.8),
+                ],
+                rules=[ExclusionRule("r", ["a", "b"])],
+            )
+
+    def test_order_by_score_ties_by_index(self):
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple("low", 1.0, 0.5),
+                TupleLevelTuple("tie_b", 5.0, 0.5),
+                TupleLevelTuple("tie_a", 5.0, 0.5),
+            ]
+        )
+        ordered = [row.tid for row in relation.order_by_score()]
+        assert ordered == ["tie_b", "tie_a", "low"]
+
+    def test_expected_world_size(self, fig4):
+        assert fig4.expected_world_size() == pytest.approx(2.4)
+
+    def test_instantiate_respects_rules(self, fig4):
+        rng = random.Random(11)
+        for _ in range(200):
+            appearing = set(fig4.instantiate(rng))
+            assert not {"t2", "t4"} <= appearing
+            assert "t3" in appearing  # p(t3) = 1
+
+    def test_instantiate_returns_score_order(self, fig4):
+        rng = random.Random(5)
+        appearing = fig4.instantiate(rng)
+        scores = [fig4.tuple_by_id(tid).score for tid in appearing]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_replace_tuple_preserves_rules(self, fig4):
+        updated = fig4.replace_tuple(TupleLevelTuple("t2", 95, 0.5))
+        assert updated.rule_of("t2").rule_id == "tau2"
+        assert updated.tuple_by_id("t2").score == 95
+
+    def test_map_scores_preserves_rules(self, fig4):
+        updated = fig4.map_scores(lambda value: value * 2)
+        assert updated.rule_of("t4").rule_id == "tau2"
+        assert updated.tuple_by_id("t4").score == 160
+
+    def test_exclusive_with_self_is_false(self, fig4):
+        assert not fig4.exclusive_with("t2", "t2")

@@ -1,0 +1,86 @@
+"""Tests for the Monte-Carlo expected-rank alternative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import a_erank, mc_expected_rank, t_erank
+from repro.datagen import (
+    generate_attribute_relation,
+    generate_tuple_relation,
+)
+from repro.exceptions import RankingError
+
+
+class TestCertification:
+    def test_certified_answer_matches_exact_tuple_level(self):
+        relation = generate_tuple_relation(40, seed=0)
+        exact = t_erank(relation, 3)
+        sampled = mc_expected_rank(relation, 3, rng=7)
+        assert sampled.metadata["certified"]
+        assert sampled.tids() == exact.tids()
+
+    def test_certified_answer_matches_exact_attribute_level(self):
+        relation = generate_attribute_relation(25, pdf_size=3, seed=0)
+        exact = a_erank(relation, 3)
+        sampled = mc_expected_rank(relation, 3, rng=7)
+        assert sampled.metadata["certified"]
+        assert sampled.tids() == exact.tids()
+
+    def test_budget_exhaustion_reports_uncertified(self):
+        relation = generate_tuple_relation(200, seed=1)
+        sampled = mc_expected_rank(
+            relation, 10, batch=200, max_samples=400, rng=1
+        )
+        assert not sampled.metadata["certified"]
+        assert sampled.metadata["samples"] == 400
+
+    def test_estimates_are_close_even_uncertified(self):
+        relation = generate_tuple_relation(60, seed=2)
+        exact = t_erank(relation, relation.size).statistics
+        sampled = mc_expected_rank(
+            relation, 5, batch=2000, max_samples=2000, rng=3
+        )
+        worst = max(
+            abs(sampled.statistics[tid] - exact[tid]) for tid in exact
+        )
+        assert worst < 2.0
+
+    def test_k_zero_and_k_full(self):
+        relation = generate_tuple_relation(10, seed=3)
+        assert len(mc_expected_rank(relation, 0, rng=0)) == 0
+        full = mc_expected_rank(relation, 10, rng=0)
+        assert len(full) == 10
+        assert full.metadata["certified"]
+
+    def test_half_width_shrinks_with_samples(self):
+        relation = generate_tuple_relation(150, seed=4)
+        small = mc_expected_rank(
+            relation, 5, batch=500, max_samples=500, rng=0
+        )
+        large = mc_expected_rank(
+            relation, 5, batch=500, max_samples=4000, rng=0
+        )
+        assert (
+            large.metadata["half_width"] <= small.metadata["half_width"]
+        )
+
+    def test_reproducible_with_seed(self):
+        relation = generate_tuple_relation(30, seed=5)
+        first = mc_expected_rank(relation, 3, rng=11)
+        second = mc_expected_rank(relation, 3, rng=11)
+        assert first.tids() == second.tids()
+        assert first.statistics == second.statistics
+
+
+class TestValidation:
+    def test_parameters(self):
+        relation = generate_tuple_relation(5, seed=0)
+        with pytest.raises(RankingError):
+            mc_expected_rank(relation, -1)
+        with pytest.raises(RankingError):
+            mc_expected_rank(relation, 1, confidence=1.0)
+        with pytest.raises(RankingError):
+            mc_expected_rank(relation, 1, batch=0)
+        with pytest.raises(RankingError):
+            mc_expected_rank(relation, 1, batch=100, max_samples=50)

@@ -1,0 +1,176 @@
+"""Tests for the relational operators over uncertain relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import brute_force_expected_ranks
+from repro.core import rank, tuple_expected_ranks
+from repro.engine import project, select, select_by_score, union_disjoint
+from repro.exceptions import EngineError
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+
+
+@pytest.fixture
+def tagged_attribute():
+    return AttributeLevelRelation(
+        [
+            AttributeTuple(
+                "a", DiscretePDF.point(3.0), {"site": "north"}
+            ),
+            AttributeTuple(
+                "b", DiscretePDF.point(2.0), {"site": "south"}
+            ),
+            AttributeTuple(
+                "c", DiscretePDF.point(1.0), {"site": "north"}
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def tagged_tuple():
+    return TupleLevelRelation(
+        [
+            TupleLevelTuple("a", 9.0, 0.5, {"source": "radar"}),
+            TupleLevelTuple("b", 7.0, 0.4, {"source": "visual"}),
+            TupleLevelTuple("c", 5.0, 0.5, {"source": "radar"}),
+            TupleLevelTuple("d", 3.0, 0.9, {"source": "visual"}),
+        ],
+        rules=[ExclusionRule("pair", ["a", "c"])],
+    )
+
+
+class TestSelect:
+    def test_attribute_selection(self, tagged_attribute):
+        north = select(
+            tagged_attribute,
+            lambda tid, attrs: attrs["site"] == "north",
+        )
+        assert north.tids() == ("a", "c")
+
+    def test_tuple_selection_keeps_rule_semantics(self, tagged_tuple):
+        radar = select(
+            tagged_tuple,
+            lambda tid, attrs: attrs["source"] == "radar",
+        )
+        assert radar.tids() == ("a", "c")
+        assert radar.exclusive_with("a", "c")
+
+    def test_rule_collapses_to_singleton(self, tagged_tuple):
+        only_a = select(tagged_tuple, lambda tid, attrs: tid != "c")
+        assert only_a.rule_of("a").is_singleton
+
+    def test_selection_preserves_distributions(self, tagged_tuple):
+        """Surviving tuples rank exactly as a fresh relation would —
+        checked against the enumeration oracle."""
+        visual = select(
+            tagged_tuple,
+            lambda tid, attrs: attrs["source"] == "visual",
+        )
+        fast = tuple_expected_ranks(visual)
+        slow = brute_force_expected_ranks(visual)
+        for tid in fast:
+            assert fast[tid] == pytest.approx(slow[tid])
+
+    def test_unsupported_type(self):
+        with pytest.raises(EngineError):
+            select([1, 2], lambda tid, attrs: True)  # type: ignore
+
+
+class TestSelectByScore:
+    def test_threshold(self, tagged_tuple):
+        high = select_by_score(tagged_tuple, lambda score: score >= 5.0)
+        assert high.tids() == ("a", "b", "c")
+        assert high.exclusive_with("a", "c")
+
+    def test_rejects_attribute_model(self, tagged_attribute):
+        with pytest.raises(EngineError):
+            select_by_score(
+                tagged_attribute, lambda score: True
+            )  # type: ignore[arg-type]
+
+
+class TestProject:
+    def test_attribute_projection(self, tagged_attribute):
+        bare = project(tagged_attribute, [])
+        assert bare.tuple_by_id("a").attributes == {}
+        assert bare.tuple_by_id("a").score == DiscretePDF.point(3.0)
+
+    def test_tuple_projection_keeps_rules(self, tagged_tuple):
+        bare = project(tagged_tuple, [])
+        assert bare.exclusive_with("a", "c")
+        assert bare.tuple_by_id("d").attributes == {}
+
+    def test_partial_projection(self, tagged_tuple):
+        doubled = TupleLevelRelation(
+            [
+                TupleLevelTuple(
+                    "x", 1.0, 1.0, {"keep": 1, "drop": 2}
+                )
+            ]
+        )
+        kept = project(doubled, ["keep"])
+        assert kept.tuple_by_id("x").attributes == {"keep": 1}
+
+
+class TestUnion:
+    def test_attribute_union(self, tagged_attribute):
+        extra = AttributeLevelRelation(
+            [AttributeTuple("z", DiscretePDF.point(9.0))]
+        )
+        merged = union_disjoint(tagged_attribute, extra)
+        assert merged.size == 4
+        assert rank(merged, 1).tids() == ("z",)
+
+    def test_tuple_union_preserves_rules(self, tagged_tuple):
+        extra = TupleLevelRelation(
+            [
+                TupleLevelTuple("e", 8.0, 0.5),
+                TupleLevelTuple("f", 6.0, 0.5),
+            ],
+            rules=[ExclusionRule("pair2", ["e", "f"])],
+        )
+        merged = union_disjoint(tagged_tuple, extra)
+        assert merged.size == 6
+        assert merged.exclusive_with("a", "c")
+        assert merged.exclusive_with("e", "f")
+        assert not merged.exclusive_with("a", "e")
+
+    def test_clashing_rule_ids_renamed(self, tagged_tuple):
+        extra = TupleLevelRelation(
+            [
+                TupleLevelTuple("e", 8.0, 0.5),
+                TupleLevelTuple("f", 6.0, 0.5),
+            ],
+            rules=[ExclusionRule("pair", ["e", "f"])],
+        )
+        merged = union_disjoint(tagged_tuple, extra)
+        assert merged.exclusive_with("e", "f")
+
+    def test_overlapping_ids_rejected(self, tagged_tuple):
+        with pytest.raises(EngineError):
+            union_disjoint(tagged_tuple, tagged_tuple)
+
+    def test_mixed_models_rejected(self, tagged_attribute, tagged_tuple):
+        with pytest.raises(EngineError):
+            union_disjoint(tagged_attribute, tagged_tuple)
+
+
+class TestPipelines:
+    def test_select_then_rank_end_to_end(self, tagged_tuple):
+        """A realistic query: filter by source, then top-2 by
+        expected rank."""
+        visual = select(
+            tagged_tuple,
+            lambda tid, attrs: attrs["source"] == "visual",
+        )
+        result = rank(visual, 2)
+        assert result.tid_set() == {"b", "d"}

@@ -1,0 +1,142 @@
+"""Property-based tests for the relational operators.
+
+The operators' contract is that they commute with the possible-world
+semantics.  Hypothesis drives random relations through random
+selections and unions and checks the semantic invariants against both
+the fast algorithms and the enumeration oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_expected_ranks
+from repro.core import tuple_expected_ranks
+from repro.engine import select, select_by_score, union_disjoint
+from repro.models import (
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def tagged_relations(draw, max_tuples=6, prefix="t"):
+    count = draw(st.integers(1, max_tuples))
+    rows = []
+    for index in range(count):
+        rows.append(
+            TupleLevelTuple(
+                f"{prefix}{index}",
+                float(draw(st.integers(1, 15))),
+                draw(st.floats(0.0, 1.0, allow_nan=False)),
+                {"group": draw(st.sampled_from(["x", "y"]))},
+            )
+        )
+    pair_count = draw(st.integers(0, count // 2))
+    order = draw(st.permutations(range(count)))
+    rules = []
+    for pair_index in range(pair_count):
+        first, second = order[2 * pair_index], order[2 * pair_index + 1]
+        total = rows[first].probability + rows[second].probability
+        if total > 1.0:
+            scale = (1.0 - 1e-9) / total
+            for position in (first, second):
+                row = rows[position]
+                rows[position] = TupleLevelTuple(
+                    row.tid,
+                    row.score,
+                    row.probability * scale,
+                    row.attributes,
+                )
+        rules.append(
+            ExclusionRule(
+                f"{prefix}rule{pair_index}",
+                [rows[min(first, second)].tid,
+                 rows[max(first, second)].tid],
+            )
+        )
+    return TupleLevelRelation(rows, rules=rules)
+
+
+class TestSelectionSemantics:
+    @SETTINGS
+    @given(relation=tagged_relations())
+    def test_filtered_relation_matches_oracle(self, relation):
+        filtered = select(
+            relation, lambda tid, attrs: attrs["group"] == "x"
+        )
+        if filtered.size == 0:
+            return
+        fast = tuple_expected_ranks(filtered)
+        slow = brute_force_expected_ranks(filtered)
+        for tid in fast:
+            assert fast[tid] == pytest.approx(slow[tid], abs=1e-8)
+
+    @SETTINGS
+    @given(relation=tagged_relations(), threshold=st.integers(1, 15))
+    def test_score_selection_keeps_high_scores_only(
+        self, relation, threshold
+    ):
+        filtered = select_by_score(
+            relation, lambda score: score >= threshold
+        )
+        assert all(row.score >= threshold for row in filtered)
+        survivors = {row.tid for row in filtered}
+        dropped = set(relation.tids()) - survivors
+        assert all(
+            relation.tuple_by_id(tid).score < threshold
+            for tid in dropped
+        )
+
+    @SETTINGS
+    @given(relation=tagged_relations())
+    def test_selection_preserves_probabilities_and_rules(
+        self, relation
+    ):
+        filtered = select(relation, lambda tid, attrs: True)
+        assert filtered.tids() == relation.tids()
+        for row in relation:
+            kept = filtered.tuple_by_id(row.tid)
+            assert kept.probability == row.probability
+        for rule in relation.rules:
+            if rule.is_singleton:
+                continue
+            for first in rule:
+                for second in rule:
+                    if first != second:
+                        assert filtered.exclusive_with(first, second)
+
+
+class TestUnionSemantics:
+    @SETTINGS
+    @given(
+        first=tagged_relations(prefix="a"),
+        second=tagged_relations(prefix="b"),
+    )
+    def test_union_matches_oracle(self, first, second):
+        merged = union_disjoint(first, second)
+        assert merged.size == first.size + second.size
+        fast = tuple_expected_ranks(merged)
+        slow = brute_force_expected_ranks(merged)
+        for tid in fast:
+            assert fast[tid] == pytest.approx(slow[tid], abs=1e-8)
+
+    @SETTINGS
+    @given(
+        first=tagged_relations(prefix="a"),
+        second=tagged_relations(prefix="b"),
+    )
+    def test_union_world_size_is_additive(self, first, second):
+        merged = union_disjoint(first, second)
+        assert merged.expected_world_size() == pytest.approx(
+            first.expected_world_size() + second.expected_world_size()
+        )

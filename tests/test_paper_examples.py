@@ -1,0 +1,261 @@
+"""Every concrete number the paper states, as regression fixtures.
+
+These tests pin the reproduction to the worked examples embedded in
+Sections 3, 4.2, 4.3 and 7.1 of the paper (Figures 2 and 4 and the
+surrounding prose).  If any of them fails, the library no longer
+implements the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    brute_force_topk_answer_probabilities,
+    global_topk,
+    pt_k,
+    u_kranks,
+    u_topk,
+)
+from repro.core import (
+    a_erank,
+    attribute_expected_ranks,
+    attribute_rank_distributions,
+    t_erank,
+    tuple_expected_ranks,
+    tuple_rank_distributions,
+)
+from repro.models import enumerate_attribute_worlds, enumerate_tuple_worlds
+
+
+class TestFigure2Worlds:
+    """Possible-worlds table of Figure 2."""
+
+    def test_world_count(self, fig2):
+        assert fig2.world_count() == 4
+
+    def test_world_probabilities(self, fig2):
+        worlds = list(enumerate_attribute_worlds(fig2))
+        probabilities = sorted(world.probability for world in worlds)
+        assert probabilities == pytest.approx([0.16, 0.24, 0.24, 0.36])
+
+    def test_probabilities_sum_to_one(self, fig2):
+        total = sum(
+            world.probability
+            for world in enumerate_attribute_worlds(fig2)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_specific_world(self, fig2):
+        """{t1=100, t2=92, t3=85} has probability 0.4 * 0.6 * 1 = 0.24."""
+        for world in enumerate_attribute_worlds(fig2):
+            if world.scores == {"t1": 100, "t2": 92, "t3": 85}:
+                assert world.probability == pytest.approx(0.24)
+                assert world.ranking() == ["t1", "t2", "t3"]
+                break
+        else:
+            pytest.fail("expected world not enumerated")
+
+
+class TestFigure4Worlds:
+    """Possible-worlds table of Figure 4."""
+
+    def test_world_probabilities(self, fig4):
+        worlds = {
+            frozenset(world.appearing): world.probability
+            for world in enumerate_tuple_worlds(fig4)
+        }
+        assert worlds[frozenset({"t1", "t2", "t3"})] == pytest.approx(0.2)
+        assert worlds[frozenset({"t1", "t3", "t4"})] == pytest.approx(0.2)
+        assert worlds[frozenset({"t2", "t3"})] == pytest.approx(0.3)
+        assert worlds[frozenset({"t3", "t4"})] == pytest.approx(0.3)
+        assert len(worlds) == 4
+
+    def test_expected_world_size(self, fig4):
+        assert fig4.expected_world_size() == pytest.approx(2.4)
+
+    def test_rule_constrains_t2_t4(self, fig4):
+        assert fig4.exclusive_with("t2", "t4")
+        assert not fig4.exclusive_with("t1", "t2")
+
+
+class TestExpectedRanksFigure2:
+    """Section 4.3: r(t1) = 1.2, r(t2) = 0.8, r(t3) = 1.0."""
+
+    def test_values(self, fig2):
+        ranks = attribute_expected_ranks(fig2)
+        assert ranks["t1"] == pytest.approx(1.2)
+        assert ranks["t2"] == pytest.approx(0.8)
+        assert ranks["t3"] == pytest.approx(1.0)
+
+    def test_final_ranking(self, fig2):
+        assert a_erank(fig2, 3).tids() == ("t2", "t3", "t1")
+
+
+class TestExpectedRanksFigure4:
+    """Section 4.3: r = (1.2, 1.4, 0.9, 1.9) -> (t3, t1, t2, t4)."""
+
+    def test_values(self, fig4):
+        ranks = tuple_expected_ranks(fig4)
+        assert ranks["t1"] == pytest.approx(1.2)
+        assert ranks["t2"] == pytest.approx(1.4)
+        assert ranks["t3"] == pytest.approx(0.9)
+        assert ranks["t4"] == pytest.approx(1.9)
+
+    def test_final_ranking(self, fig4):
+        assert t_erank(fig4, 4).tids() == ("t3", "t1", "t2", "t4")
+
+
+class TestMedianRanksSection71:
+    """Section 7.1's median-rank walk-through."""
+
+    def test_figure2_rank_distribution_t1(self, fig2):
+        """rank(t1) = {(0, 0.4), (1, 0), (2, 0.6)}."""
+        dist = attribute_rank_distributions(fig2)["t1"]
+        assert dist.probability_of(0) == pytest.approx(0.4)
+        assert dist.probability_of(1) == pytest.approx(0.0)
+        assert dist.probability_of(2) == pytest.approx(0.6)
+
+    def test_figure2_medians(self, fig2):
+        dists = attribute_rank_distributions(fig2)
+        assert dists["t1"].median() == 2
+        assert dists["t2"].median() == 1
+        assert dists["t3"].median() == 1
+
+    def test_figure2_median_ranking_matches_expected_rank(self, fig2):
+        """The paper notes the Figure 2 median ranking is (t2, t3, t1),
+        identical to the expected-rank ordering."""
+        dists = attribute_rank_distributions(fig2)
+        ordering = sorted(
+            dists, key=lambda tid: (dists[tid].median(), tid)
+        )
+        assert ordering == ["t2", "t3", "t1"]
+
+    def test_figure4_rank_distribution_t4(self, fig4):
+        """rank(t4) = {(0, 0), (1, 0.3), (2, 0.5), (3, 0.2)}."""
+        dist = tuple_rank_distributions(fig4)["t4"]
+        assert dist.probability_of(0) == pytest.approx(0.0)
+        assert dist.probability_of(1) == pytest.approx(0.3)
+        assert dist.probability_of(2) == pytest.approx(0.5)
+        assert dist.probability_of(3) == pytest.approx(0.2)
+
+    def test_figure4_medians(self, fig4):
+        dists = tuple_rank_distributions(fig4)
+        medians = {tid: dist.median() for tid, dist in dists.items()}
+        assert medians == {"t1": 2, "t2": 1, "t3": 1, "t4": 2}
+
+    def test_figure4_median_ranking_differs_from_expected(self, fig4):
+        """Median ranking (t2, t3, t1, t4) vs expected (t3, t1, t2, t4)."""
+        from repro.core import t_mqrank
+
+        assert t_mqrank(fig4, 4).tids() == ("t2", "t3", "t1", "t4")
+        assert t_erank(fig4, 4).tids() == ("t3", "t1", "t2", "t4")
+
+
+class TestUTopkExamples:
+    """Section 4.2's U-Topk containment violations."""
+
+    def test_figure2_top1_is_t1(self, fig2):
+        result = u_topk(fig2, 1)
+        assert result.tids() == ("t1",)
+        assert result.metadata["answer_probability"] == pytest.approx(0.4)
+
+    def test_figure2_top2_is_t2_t3(self, fig2):
+        """The paper: top-2 is (t2, t3) with probability 0.36 — the
+        ordered answer, distinct from (t3, t2) at 0.24."""
+        result = u_topk(fig2, 2)
+        assert result.tids() == ("t2", "t3")
+        assert result.metadata["answer_probability"] == pytest.approx(0.36)
+
+    def test_figure2_top2_disjoint_from_top1(self, fig2):
+        assert u_topk(fig2, 1).tid_set().isdisjoint(
+            u_topk(fig2, 2).tid_set()
+        )
+
+    def test_figure4_top1_is_t1(self, fig4):
+        assert u_topk(fig4, 1).tids() == ("t1",)
+
+    def test_figure4_top2_disjoint_from_top1(self, fig4):
+        """Top-2 is (t2, t3) or (t3, t4) — disjoint from {t1} either way."""
+        top2 = u_topk(fig4, 2).tid_set()
+        assert top2 in ({"t2", "t3"}, {"t3", "t4"})
+        assert "t1" not in top2
+
+    def test_figure4_top2_support_values(self, fig4):
+        support = brute_force_topk_answer_probabilities(fig4, 2)
+        assert support[("t2", "t3")] == pytest.approx(0.3)
+        assert support[("t3", "t4")] == pytest.approx(0.3)
+        assert support[("t1", "t2")] == pytest.approx(0.2)
+        assert support[("t1", "t3")] == pytest.approx(0.2)
+        assert sum(support.values()) == pytest.approx(1.0)
+
+
+class TestUkRanksExamples:
+    """Section 4.2: U-kRanks repeats t1 and never reports t2."""
+
+    def test_figure2_top3(self, fig2):
+        assert u_kranks(fig2, 3).tids() == ("t1", "t3", "t1")
+
+    def test_figure2_t2_never_reported(self, fig2):
+        assert "t2" not in u_kranks(fig2, 3).tid_set()
+
+
+class TestPTkExamples:
+    """Section 4.2: PT-k with p = 0.4 on Figure 2."""
+
+    def test_top1(self, fig2):
+        assert pt_k(fig2, 1, threshold=0.4).tid_set() == {"t1"}
+
+    def test_top2_and_top3_identical_sets(self, fig2):
+        top2 = pt_k(fig2, 2, threshold=0.4).tid_set()
+        top3 = pt_k(fig2, 3, threshold=0.4).tid_set()
+        assert top2 == top3 == {"t1", "t2", "t3"}
+
+    def test_exact_k_violated(self, fig2):
+        assert len(pt_k(fig2, 2, threshold=0.4)) != 2
+
+
+class TestGlobalTopkExamples:
+    """Section 4.2: Global-Topk top-1 vs top-2 on both figures."""
+
+    def test_figure2(self, fig2):
+        assert global_topk(fig2, 1).tids() == ("t1",)
+        assert global_topk(fig2, 2).tid_set() == {"t2", "t3"}
+
+    def test_figure4(self, fig4):
+        assert global_topk(fig4, 1).tids() == ("t1",)
+        assert global_topk(fig4, 2).tids() == ("t3", "t2")
+
+
+class TestExpectedRankMatchesDefinition:
+    """Equations (1)/(2): expectation over enumerated worlds."""
+
+    def test_figure2_from_worlds(self, fig2):
+        ranks = attribute_expected_ranks(fig2)
+        direct = {tid: 0.0 for tid in fig2.tids()}
+        for world in enumerate_attribute_worlds(fig2):
+            for tid in direct:
+                direct[tid] += world.probability * world.rank_of(tid)
+        for tid in direct:
+            assert ranks[tid] == pytest.approx(direct[tid])
+
+    def test_figure4_from_worlds(self, fig4):
+        ranks = tuple_expected_ranks(fig4)
+        direct = {tid: 0.0 for tid in fig4.tids()}
+        for world in enumerate_tuple_worlds(fig4):
+            for tid in direct:
+                direct[tid] += world.probability * world.rank_of(tid)
+        for tid in direct:
+            assert ranks[tid] == pytest.approx(direct[tid])
+
+    def test_figure4_t2_absent_rank_contributions(self, fig4):
+        """The paper notes t2's ranks in the worlds where it is absent
+        are 3 and 2 (it follows all appearing tuples)."""
+        absent_ranks = sorted(
+            world.rank_of("t2")
+            for world in enumerate_tuple_worlds(fig4)
+            if "t2" not in world
+        )
+        assert absent_ranks == [2, 3]

@@ -1,0 +1,203 @@
+"""Unit tests for :mod:`repro.models.pdf`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import InvalidDistributionError
+from repro.models.pdf import PROBABILITY_TOLERANCE, DiscretePDF
+
+
+class TestConstruction:
+    def test_basic(self):
+        pdf = DiscretePDF([100, 70], [0.4, 0.6])
+        assert pdf.support_size == 2
+        assert pdf.values == (70, 100)
+        assert pdf.probabilities == (0.6, 0.4)
+
+    def test_point_mass(self):
+        pdf = DiscretePDF.point(85)
+        assert pdf.values == (85,)
+        assert pdf.expectation() == 85
+
+    def test_uniform_over(self):
+        pdf = DiscretePDF.uniform_over([1, 2, 3, 4])
+        assert pdf.pr_equal(3) == pytest.approx(0.25)
+
+    def test_from_pairs(self):
+        pdf = DiscretePDF.from_pairs([(5, 0.5), (7, 0.5)])
+        assert pdf.expectation() == pytest.approx(6.0)
+
+    def test_duplicates_merged(self):
+        pdf = DiscretePDF([5, 5, 7], [0.25, 0.25, 0.5])
+        assert pdf.support_size == 2
+        assert pdf.pr_equal(5) == pytest.approx(0.5)
+
+    def test_zero_probability_values_dropped(self):
+        pdf = DiscretePDF([1, 2, 3], [0.5, 0.0, 0.5])
+        assert pdf.support_size == 2
+        assert 2 not in pdf.values
+
+    def test_normalize(self):
+        pdf = DiscretePDF([1, 2], [3, 1], normalize=True)
+        assert pdf.pr_equal(1) == pytest.approx(0.75)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscretePDF([1, 2], [0.5, 0.6])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscretePDF([1, 2], [-0.1, 1.1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscretePDF([1, 2, 3], [0.5, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscretePDF([], [])
+
+    def test_rejects_non_finite_value(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscretePDF([float("nan")], [1.0])
+
+    def test_rejects_all_zero_normalize(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscretePDF([1.0], [0.0], normalize=True)
+
+    def test_tolerates_tiny_drift(self):
+        DiscretePDF([1, 2], [0.5, 0.5 + PROBABILITY_TOLERANCE / 2])
+
+    def test_equality_is_order_insensitive(self):
+        first = DiscretePDF([1, 2], [0.3, 0.7])
+        second = DiscretePDF([2, 1], [0.7, 0.3])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_repr_round_readable(self):
+        assert "DiscretePDF" in repr(DiscretePDF.point(1.0))
+
+
+class TestMomentsAndTails:
+    def test_expectation_figure2_t1(self):
+        pdf = DiscretePDF([100, 70], [0.4, 0.6])
+        assert pdf.expectation() == pytest.approx(82.0)
+
+    def test_variance(self):
+        pdf = DiscretePDF([0, 10], [0.5, 0.5])
+        assert pdf.variance() == pytest.approx(25.0)
+
+    def test_variance_of_point_is_zero(self):
+        assert DiscretePDF.point(42).variance() == 0.0
+
+    def test_pr_greater(self):
+        pdf = DiscretePDF([1, 2, 3], [0.2, 0.3, 0.5])
+        assert pdf.pr_greater(0) == pytest.approx(1.0)
+        assert pdf.pr_greater(1) == pytest.approx(0.8)
+        assert pdf.pr_greater(2) == pytest.approx(0.5)
+        assert pdf.pr_greater(3) == pytest.approx(0.0)
+        assert pdf.pr_greater(2.5) == pytest.approx(0.5)
+
+    def test_pr_greater_equal(self):
+        pdf = DiscretePDF([1, 2, 3], [0.2, 0.3, 0.5])
+        assert pdf.pr_greater_equal(2) == pytest.approx(0.8)
+        assert pdf.pr_greater_equal(2.5) == pytest.approx(0.5)
+
+    def test_pr_less_and_cdf_complement(self):
+        pdf = DiscretePDF([1, 2, 3], [0.2, 0.3, 0.5])
+        for threshold in (0.5, 1, 1.5, 2, 2.5, 3, 3.5):
+            assert pdf.pr_less(threshold) + pdf.pr_greater_equal(
+                threshold
+            ) == pytest.approx(1.0)
+            assert pdf.cdf(threshold) + pdf.pr_greater(
+                threshold
+            ) == pytest.approx(1.0)
+
+    def test_pr_equal_missing_value(self):
+        assert DiscretePDF([1, 3], [0.5, 0.5]).pr_equal(2) == 0.0
+
+    def test_quantiles(self):
+        pdf = DiscretePDF([10, 20, 30], [0.25, 0.5, 0.25])
+        assert pdf.quantile(0.1) == 10
+        assert pdf.quantile(0.25) == 10
+        assert pdf.quantile(0.5) == 20
+        assert pdf.quantile(0.75) == 20
+        assert pdf.quantile(0.76) == 30
+        assert pdf.quantile(1.0) == 30
+
+    def test_median(self):
+        assert DiscretePDF([1, 100], [0.5, 0.5]).median() == 1
+
+    def test_quantile_rejects_bad_phi(self):
+        pdf = DiscretePDF.point(1)
+        with pytest.raises(ValueError):
+            pdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            pdf.quantile(1.5)
+
+
+class TestOrdersAndTransforms:
+    def test_stochastic_dominance_by_shift(self):
+        base = DiscretePDF([1, 2], [0.5, 0.5])
+        better = base.shift(1.0)
+        assert better.stochastically_dominates(base)
+        assert not base.stochastically_dominates(better)
+
+    def test_stochastic_dominance_reflexive(self):
+        pdf = DiscretePDF([1, 5], [0.4, 0.6])
+        assert pdf.stochastically_dominates(pdf)
+
+    def test_incomparable_distributions(self):
+        crossing_a = DiscretePDF([0, 10], [0.5, 0.5])
+        crossing_b = DiscretePDF([4, 6], [0.5, 0.5])
+        assert not crossing_a.stochastically_dominates(crossing_b)
+        assert not crossing_b.stochastically_dominates(crossing_a)
+
+    def test_probability_shift_dominates(self):
+        base = DiscretePDF([1, 2], [0.5, 0.5])
+        better = DiscretePDF([1, 2], [0.2, 0.8])
+        assert better.stochastically_dominates(base)
+
+    def test_shift_preserves_probabilities(self):
+        pdf = DiscretePDF([1, 2], [0.3, 0.7]).shift(5)
+        assert pdf.values == (6, 7)
+        assert pdf.probabilities == (0.3, 0.7)
+
+    def test_scale(self):
+        pdf = DiscretePDF([1, 2], [0.3, 0.7]).scale(10)
+        assert pdf.values == (10, 20)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DiscretePDF.point(1).scale(0.0)
+
+    def test_map_values_merges_collisions(self):
+        pdf = DiscretePDF([-1, 1], [0.5, 0.5]).map_values(abs)
+        assert pdf.values == (1,)
+        assert pdf.pr_equal(1) == pytest.approx(1.0)
+
+    def test_monotone_map_preserves_quantiles(self):
+        pdf = DiscretePDF([1, 2, 3], [0.2, 0.3, 0.5])
+        cubed = pdf.map_values(lambda value: value**3)
+        assert cubed.median() == pdf.median() ** 3
+
+
+class TestSampling:
+    def test_sample_values_in_support(self):
+        pdf = DiscretePDF([1, 2, 3], [0.2, 0.3, 0.5])
+        rng = random.Random(1)
+        draws = {pdf.sample(rng) for _ in range(200)}
+        assert draws <= {1, 2, 3}
+
+    def test_sample_frequencies_converge(self):
+        pdf = DiscretePDF([0, 1], [0.25, 0.75])
+        rng = random.Random(7)
+        hits = sum(pdf.sample(rng) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.75, abs=0.02)
+
+    def test_point_sample_deterministic(self):
+        rng = random.Random(0)
+        assert DiscretePDF.point(9).sample(rng) == 9

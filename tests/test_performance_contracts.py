@@ -1,0 +1,73 @@
+"""Coarse performance contracts.
+
+Not micro-benchmarks (those live in ``benchmarks/``) but regression
+tripwires: if an accidental change turns an ``O(N log N)`` pass
+quadratic, these generous wall-clock ceilings catch it in the unit
+suite.  Bounds are ~20x looser than observed times on a container, so
+slow CI machines still pass.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import attribute_workload, tuple_workload
+from repro.core import (
+    attribute_expected_ranks,
+    attribute_expected_ranks_vectorized,
+    t_erank_prune,
+    tuple_expected_ranks,
+)
+
+
+def elapsed(function) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+class TestContracts:
+    def test_a_erank_stays_quasilinear(self):
+        relation = attribute_workload("uu", 10_000)
+        assert elapsed(
+            lambda: attribute_expected_ranks(relation)
+        ) < 6.0
+
+    def test_vectorized_a_erank_handles_100k(self):
+        relation = attribute_workload("uu", 100_000, pdf_size=3)
+        assert elapsed(
+            lambda: attribute_expected_ranks_vectorized(relation)
+        ) < 10.0
+
+    def test_t_erank_handles_50k(self):
+        relation = tuple_workload("uu", 50_000)
+        assert elapsed(
+            lambda: tuple_expected_ranks(relation)
+        ) < 6.0
+
+    def test_t_erank_prune_is_sublinear_in_practice(self):
+        relation = tuple_workload("cor", 50_000)
+        result = None
+
+        def run():
+            nonlocal result
+            result = t_erank_prune(relation, 10)
+
+        assert elapsed(run) < 4.0
+        assert result.metadata["tuples_accessed"] < relation.size // 5
+
+    def test_growth_ratio_sanity(self):
+        """Doubling N must not quadruple A-ERank's time (with slack)."""
+        small = attribute_workload("uu", 4000)
+        large = attribute_workload("uu", 8000)
+        small_time = min(
+            elapsed(lambda: attribute_expected_ranks(small))
+            for _ in range(3)
+        )
+        large_time = min(
+            elapsed(lambda: attribute_expected_ranks(large))
+            for _ in range(3)
+        )
+        assert large_time < 3.5 * max(small_time, 1e-4)

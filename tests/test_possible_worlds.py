@@ -1,0 +1,150 @@
+"""Unit tests for possible-world enumeration and rank semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+    enumerate_attribute_worlds,
+    enumerate_tuple_worlds,
+)
+
+
+class TestAttributeEnumeration:
+    def test_probabilities_sum_to_one(self, fig2):
+        total = sum(
+            world.probability
+            for world in enumerate_attribute_worlds(fig2)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_zero_probability_worlds_skipped(self):
+        relation = AttributeLevelRelation(
+            [AttributeTuple("a", DiscretePDF([1, 2], [1.0, 0.0]))]
+        )
+        worlds = list(enumerate_attribute_worlds(relation))
+        assert len(worlds) == 1
+        assert worlds[0].scores == {"a": 1}
+
+    def test_max_worlds_guard(self):
+        relation = AttributeLevelRelation(
+            AttributeTuple(
+                f"t{index}", DiscretePDF.uniform_over([1, 2, 3])
+            )
+            for index in range(10)
+        )
+        with pytest.raises(ModelError):
+            list(enumerate_attribute_worlds(relation, max_worlds=100))
+
+    def test_rank_of_unknown_tuple(self, fig2):
+        world = next(enumerate_attribute_worlds(fig2))
+        with pytest.raises(ModelError):
+            world.rank_of("nope")
+
+    def test_bad_tie_rule(self, fig2):
+        world = next(enumerate_attribute_worlds(fig2))
+        with pytest.raises(ValueError):
+            world.rank_of("t1", ties="bogus")  # type: ignore[arg-type]
+
+
+class TestTieSemantics:
+    @pytest.fixture
+    def tied(self):
+        """Two tuples whose scores tie with probability one."""
+        return AttributeLevelRelation(
+            [
+                AttributeTuple("first", DiscretePDF.point(5)),
+                AttributeTuple("second", DiscretePDF.point(5)),
+            ]
+        )
+
+    def test_shared_ties_share_the_better_rank(self, tied):
+        world = next(enumerate_attribute_worlds(tied))
+        assert world.rank_of("first", ties="shared") == 0
+        assert world.rank_of("second", ties="shared") == 0
+
+    def test_by_index_ties_order_by_position(self, tied):
+        world = next(enumerate_attribute_worlds(tied))
+        assert world.rank_of("first", ties="by_index") == 0
+        assert world.rank_of("second", ties="by_index") == 1
+
+    def test_ranking_uses_index_tie_break(self, tied):
+        world = next(enumerate_attribute_worlds(tied))
+        assert world.ranking() == ["first", "second"]
+
+
+class TestTupleEnumeration:
+    def test_probabilities_sum_to_one(self, fig4):
+        total = sum(
+            world.probability for world in enumerate_tuple_worlds(fig4)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_world_sizes_range(self, fig4):
+        sizes = {world.size for world in enumerate_tuple_worlds(fig4)}
+        assert sizes == {2, 3}
+
+    def test_empty_world_possible(self):
+        relation = TupleLevelRelation(
+            [TupleLevelTuple("a", 1.0, 0.5)]
+        )
+        worlds = {
+            frozenset(world.appearing): world.probability
+            for world in enumerate_tuple_worlds(relation)
+        }
+        assert worlds[frozenset()] == pytest.approx(0.5)
+        assert worlds[frozenset({"a"})] == pytest.approx(0.5)
+
+    def test_missing_tuple_ranks_world_size(self, fig4):
+        for world in enumerate_tuple_worlds(fig4):
+            for tid in fig4.tids():
+                if tid not in world:
+                    assert world.rank_of(tid) == world.size
+
+    def test_rule_members_never_coappear(self, fig4):
+        for world in enumerate_tuple_worlds(fig4):
+            assert not {"t2", "t4"} <= world.appearing
+
+    def test_certain_tuple_always_appears(self, fig4):
+        assert all(
+            "t3" in world for world in enumerate_tuple_worlds(fig4)
+        )
+
+    def test_max_worlds_guard(self):
+        relation = TupleLevelRelation(
+            TupleLevelTuple(f"t{index}", float(index), 0.5)
+            for index in range(25)
+        )
+        with pytest.raises(ModelError):
+            list(enumerate_tuple_worlds(relation, max_worlds=1000))
+
+    def test_top_k_truncates_to_world_size(self, fig4):
+        for world in enumerate_tuple_worlds(fig4):
+            assert len(world.top_k(10)) == world.size
+
+    def test_rank_of_unknown_tuple(self, fig4):
+        world = next(enumerate_tuple_worlds(fig4))
+        with pytest.raises(ModelError):
+            world.rank_of("ghost")
+
+
+class TestDeterministicReduction:
+    """On certain data both models reduce to classical top-k."""
+
+    def test_attribute_single_world(self, certain_attribute):
+        worlds = list(enumerate_attribute_worlds(certain_attribute))
+        assert len(worlds) == 1
+        assert worlds[0].probability == pytest.approx(1.0)
+        assert worlds[0].ranking() == ["a", "b", "c"]
+
+    def test_tuple_single_world(self, certain_tuple):
+        worlds = list(enumerate_tuple_worlds(certain_tuple))
+        assert len(worlds) == 1
+        assert worlds[0].ranking() == ["a", "b", "c"]

@@ -1,0 +1,149 @@
+"""Tests for the PRF framework bridge (Appendix A / Li et al. [29])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import global_topk, probability_only, u_kranks
+from repro.core import (
+    attribute_expected_ranks,
+    exponential_weights,
+    linear_weights,
+    position_weights,
+    prf_rank,
+    prf_scores,
+    rank,
+    step_weights,
+)
+from repro.datagen import (
+    generate_attribute_relation,
+    generate_tuple_relation,
+)
+from repro.exceptions import RankingError
+
+
+class TestWeightConstructors:
+    def test_linear(self):
+        assert linear_weights(4).tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_exponential(self):
+        assert exponential_weights(3, 0.5).tolist() == [1.0, 0.5, 0.25]
+
+    def test_step(self):
+        assert step_weights(4, 2).tolist() == [1.0, 1.0, 0.0, 0.0]
+        assert step_weights(2, 5).tolist() == [1.0, 1.0]
+
+    def test_position(self):
+        assert position_weights(3, 1).tolist() == [0.0, 1.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(RankingError):
+            linear_weights(0)
+        with pytest.raises(RankingError):
+            exponential_weights(3, 0.0)
+        with pytest.raises(RankingError):
+            exponential_weights(3, 1.5)
+        with pytest.raises(RankingError):
+            step_weights(3, -1)
+        with pytest.raises(RankingError):
+            position_weights(3, 3)
+
+
+class TestReductions:
+    """PRF recovers the known semantics under the right weights."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_linear_weights_equal_expected_rank_attribute(self, seed):
+        relation = generate_attribute_relation(7, pdf_size=3, seed=seed)
+        scores = prf_scores(relation, linear_weights(relation.size))
+        ranks = attribute_expected_ranks(relation, ties="by_index")
+        for tid, value in scores.items():
+            assert value == pytest.approx(relation.size - ranks[tid])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_step_weights_equal_global_topk(self, seed):
+        relation = generate_tuple_relation(
+            9, rule_fraction=0.4, seed=seed
+        )
+        assert prf_rank(
+            relation, 3, step_weights(relation.size, 3)
+        ).tids() == global_topk(relation, 3).tids()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_position_weights_recover_u_kranks(self, seed):
+        relation = generate_tuple_relation(
+            8, rule_fraction=0.3, seed=seed
+        )
+        reference = u_kranks(relation, 3).tids()
+        for position in range(3):
+            winner = prf_rank(
+                relation,
+                1,
+                position_weights(relation.size, position),
+            ).tids()[0]
+            assert winner == reference[position]
+
+    def test_alpha_one_is_membership_probability(self):
+        relation = generate_tuple_relation(
+            10, rule_fraction=0.0, seed=5
+        )
+        by_prf = prf_rank(
+            relation,
+            relation.size,
+            exponential_weights(relation.size, 1.0),
+        )
+        by_probability = probability_only(relation, relation.size)
+        assert by_prf.tids() == by_probability.tids()
+
+    def test_tuple_level_linear_weights_diverge_from_expected_rank(self):
+        """In the tuple-level model the expected rank charges absent
+        tuples |W| while PRF gives them weight zero, so the two can
+        rank differently — the documented divergence."""
+        diverged = False
+        for seed in range(20):
+            relation = generate_tuple_relation(
+                8, rule_fraction=0.4, seed=seed
+            )
+            by_prf = prf_rank(
+                relation,
+                relation.size,
+                linear_weights(relation.size),
+            ).tids()
+            by_expected = rank(relation, relation.size).tids()
+            if by_prf != by_expected:
+                diverged = True
+                break
+        assert diverged
+
+
+class TestInterface:
+    def test_callable_weights(self, fig4):
+        result = prf_rank(fig4, 2, lambda position: 0.5**position)
+        reference = prf_rank(fig4, 2, exponential_weights(fig4.size, 0.5))
+        assert result.tids() == reference.tids()
+
+    def test_vector_length_checked(self, fig4):
+        with pytest.raises(RankingError):
+            prf_scores(fig4, [1.0, 0.5])
+
+    def test_non_finite_weights_rejected(self, fig4):
+        with pytest.raises(RankingError):
+            prf_scores(fig4, [1.0, float("inf"), 0.0, 0.0])
+
+    def test_negative_k(self, fig4):
+        with pytest.raises(RankingError):
+            prf_rank(fig4, -1, linear_weights(fig4.size))
+
+    def test_registered_method(self, fig4):
+        result = rank(fig4, 2, method="prf_exponential", alpha=0.8)
+        assert result.method == "prf_exponential[0.8]"
+        assert len(result) == 2
+
+    def test_alpha_sweep_monotone_drift(self, fig4):
+        """Small alpha rewards top positions (score order); large
+        alpha drifts toward probability order."""
+        sharp = rank(fig4, 4, method="prf_exponential", alpha=1e-9)
+        assert sharp.tids()[0] in ("t1", "t3")  # top-position lovers
+        flat = rank(fig4, 4, method="prf_exponential", alpha=1.0)
+        assert flat.tids()[0] == "t3"  # p = 1 dominates

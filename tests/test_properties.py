@@ -1,0 +1,310 @@
+"""Tests for the ranking-property checkers (paper Section 4.1, Figure 5).
+
+Two layers: (1) the checkers themselves behave correctly on hand-built
+positive and negative instances; (2) the full property matrix over the
+paper's fixtures reproduces Figure 5 exactly, including the documented
+violations of every baseline.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.baselines import u_kranks
+from repro.core import rank
+from repro.core.properties import (
+    PROPERTY_NAMES,
+    boost_tuple,
+    check_containment,
+    check_exact_k,
+    check_faithfulness,
+    check_stability,
+    check_unique_ranking,
+    check_value_invariance,
+    diminish_tuple,
+    property_matrix,
+)
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+)
+
+
+def invoker(method, **options):
+    return functools.partial(rank, method=method, **options)
+
+
+class TestPerturbations:
+    def test_boost_attribute_is_stochastically_larger(self, fig2):
+        boosted = boost_tuple(fig2, "t1", delta=3.0)
+        new = boosted.tuple_by_id("t1").score
+        old = fig2.tuple_by_id("t1").score
+        assert new.stochastically_dominates(old)
+
+    def test_boost_tuple_level_respects_rule_mass(self, fig4):
+        boosted = boost_tuple(fig4, "t2", delta=1.0)
+        row = boosted.tuple_by_id("t2")
+        assert row.score == pytest.approx(93.0)
+        mate = boosted.tuple_by_id("t4")
+        assert row.probability + mate.probability <= 1.0 + 1e-9
+
+    def test_diminish_attribute(self, fig2):
+        diminished = diminish_tuple(fig2, "t1", delta=2.0)
+        old = fig2.tuple_by_id("t1").score
+        assert old.stochastically_dominates(
+            diminished.tuple_by_id("t1").score
+        )
+
+    def test_diminish_tuple_level(self, fig4):
+        diminished = diminish_tuple(fig4, "t2", delta=2.0)
+        row = diminished.tuple_by_id("t2")
+        assert row.score == pytest.approx(90.0)
+        assert row.probability == pytest.approx(0.25)
+
+
+class TestCheckers:
+    def test_exact_k_passes_for_expected_rank(self, fig2):
+        assert check_exact_k(invoker("expected_rank"), fig2).holds
+
+    def test_exact_k_fails_for_pt_k(self, fig2):
+        outcome = check_exact_k(
+            invoker("pt_k", threshold=0.4), fig2
+        )
+        assert not outcome.holds
+        assert "k=" in outcome.counterexample
+
+    def test_containment_fails_for_u_topk(self, fig2):
+        assert not check_containment(invoker("u_topk"), fig2).holds
+
+    def test_weak_containment_holds_for_pt_k(self, fig2):
+        assert check_containment(
+            invoker("pt_k", threshold=0.4), fig2, weak=True
+        ).holds
+
+    def test_unique_ranking_fails_for_u_kranks(self, fig2):
+        outcome = check_unique_ranking(invoker("u_kranks"), fig2)
+        assert not outcome.holds
+        assert "t1" in outcome.counterexample
+
+    def test_value_invariance_fails_for_expected_score(self):
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple("lottery", 1000.0, 0.01),
+                TupleLevelTuple("solid", 10.0, 0.99),
+            ]
+        )
+        outcome = check_value_invariance(
+            invoker("expected_score"), relation
+        )
+        assert not outcome.holds
+
+    def test_value_invariance_holds_for_expected_rank(self, fig2, fig4):
+        for relation in (fig2, fig4):
+            assert check_value_invariance(
+                invoker("expected_rank"), relation
+            ).holds
+
+    def test_value_invariance_compare_modes(self, fig2):
+        with pytest.raises(ValueError):
+            check_value_invariance(
+                invoker("expected_rank"), fig2, compare="bogus"
+            )
+
+    def test_stability_holds_for_expected_rank(self, fig2, fig4):
+        for relation in (fig2, fig4):
+            assert check_stability(
+                invoker("expected_rank"), relation
+            ).holds
+
+    def test_stability_counterexample_for_u_kranks(self):
+        """Diminishing a non-member must not promote it — yet under
+        U-kRanks it does on this instance (found by randomised search,
+        then frozen): lowering t0's score and probability moves it
+        *into* the top-3."""
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple("t0", 1.6, 0.36),
+                TupleLevelTuple("t1", 1.3, 0.38),
+                TupleLevelTuple("t2", 42.8, 0.18),
+                TupleLevelTuple("t3", 34.5, 0.25),
+                TupleLevelTuple("t4", 20.7, 0.23),
+            ],
+            rules=[ExclusionRule("rule0", ["t1", "t4"])],
+        )
+        before = u_kranks(relation, 3)
+        assert "t0" not in before.tid_set()
+        worse = relation.replace_tuple(TupleLevelTuple("t0", 0.6, 0.18))
+        after = u_kranks(worse, 3)
+        assert "t0" in after.tid_set()
+        outcome = check_stability(
+            invoker("u_kranks"), relation, ks=[3], delta=1.0
+        )
+        assert not outcome.holds
+
+
+class TestFaithfulness:
+    """The Appendix A 'further property' from [48]: a dominated tuple
+    must not be reported while its dominator is left out."""
+
+    def test_expected_rank_is_faithful_on_fixtures(self, fig2, fig4):
+        for relation in (fig2, fig4):
+            assert check_faithfulness(
+                invoker("expected_rank"), relation
+            ).holds
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_expected_rank_is_faithful_on_random_data(self, seed):
+        from repro.datagen import generate_tuple_relation
+
+        relation = generate_tuple_relation(
+            6, rule_fraction=0.4, seed=seed
+        )
+        assert check_faithfulness(
+            invoker("expected_rank"), relation, ks=[1, 2, 3]
+        ).holds
+
+    def test_simple_baselines_trivially_faithful(self, fig4):
+        for method in ("expected_score", "probability_only"):
+            assert check_faithfulness(invoker(method), fig4).holds
+
+    def test_median_rank_can_break_faithfulness_via_ties(self):
+        """Integer medians tie often; insertion-order tie-breaking can
+        then report a dominated tuple ahead of its dominator — a
+        documented limitation (seed frozen from randomized search)."""
+        from repro.datagen import generate_tuple_relation
+
+        violated = False
+        for seed in range(30):
+            relation = generate_tuple_relation(
+                6, rule_fraction=0.4, seed=seed
+            )
+            outcome = check_faithfulness(
+                invoker("median_rank"), relation, ks=[1, 2, 3]
+            )
+            if not outcome.holds:
+                violated = True
+                break
+        assert violated
+
+    def test_dominance_requires_strictness(self, fig4):
+        """Rule mates are exempt: t2 and t4 share a rule, so their
+        interaction never counts as a faithfulness violation."""
+        outcome = check_faithfulness(invoker("expected_rank"), fig4)
+        assert outcome.holds
+
+
+class TestFigure5Matrix:
+    """The full audit must reproduce the paper's Figure 5."""
+
+    #: (method, kwargs) -> expected property outcomes.  "containment"
+    #: here is the strict Definition 2; PT-k's documented status is
+    #: weak-only.
+    EXPECTED = {
+        "expected_rank": dict(
+            exact_k=True,
+            containment=True,
+            weak_containment=True,
+            unique_ranking=True,
+            value_invariance=True,
+            stability=True,
+        ),
+        "median_rank": dict(
+            exact_k=True,
+            containment=True,
+            weak_containment=True,
+            unique_ranking=True,
+            value_invariance=True,
+            stability=True,
+        ),
+        "u_topk": dict(
+            exact_k=False,
+            containment=False,
+            weak_containment=False,
+            unique_ranking=True,
+            value_invariance=True,
+            stability=True,
+        ),
+        "u_kranks": dict(
+            exact_k=True,
+            containment=True,
+            weak_containment=True,
+            unique_ranking=False,
+            value_invariance=True,
+            # Stability is violated in general (shown above with a
+            # dedicated counterexample); the Figure 2/4 fixtures alone
+            # do not expose it, so it is checked separately.
+        ),
+        "pt_k": dict(
+            exact_k=False,
+            containment=False,
+            weak_containment=True,
+            unique_ranking=True,
+            value_invariance=True,
+            stability=True,
+        ),
+        "global_topk": dict(
+            exact_k=True,
+            containment=False,
+            unique_ranking=True,
+            value_invariance=True,
+            stability=True,
+        ),
+        "expected_score": dict(
+            exact_k=True,
+            containment=True,
+            weak_containment=True,
+            unique_ranking=True,
+            value_invariance=False,
+            stability=True,
+        ),
+    }
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        fig2 = AttributeLevelRelation(
+            [
+                AttributeTuple("t1", DiscretePDF([100, 70], [0.4, 0.6])),
+                AttributeTuple("t2", DiscretePDF([92, 80], [0.6, 0.4])),
+                AttributeTuple("t3", DiscretePDF([85], [1.0])),
+            ]
+        )
+        fig4 = TupleLevelRelation(
+            [
+                TupleLevelTuple("t1", 100, 0.4),
+                TupleLevelTuple("t2", 92, 0.5),
+                TupleLevelTuple("t3", 85, 1.0),
+                TupleLevelTuple("t4", 80, 0.5),
+            ],
+            rules=[ExclusionRule("tau2", ["t2", "t4"])],
+        )
+        methods = {
+            "expected_rank": invoker("expected_rank"),
+            "median_rank": invoker("median_rank"),
+            "u_topk": invoker("u_topk"),
+            "u_kranks": invoker("u_kranks"),
+            "pt_k": invoker("pt_k", threshold=0.4),
+            "global_topk": invoker("global_topk"),
+            "expected_score": invoker("expected_score"),
+        }
+        return property_matrix(methods, [fig2, fig4])
+
+    @pytest.mark.parametrize(
+        "method", sorted(EXPECTED), ids=sorted(EXPECTED)
+    )
+    def test_row_matches_figure5(self, matrix, method):
+        for property_name, expected in self.EXPECTED[method].items():
+            outcome = matrix[method][property_name]
+            assert outcome.holds == expected, (
+                f"{method}/{property_name}: expected "
+                f"{'hold' if expected else 'violation'}, got {outcome}"
+            )
+
+    def test_matrix_covers_all_properties(self, matrix):
+        for row in matrix.values():
+            assert set(row) == set(PROPERTY_NAMES)

@@ -1,0 +1,133 @@
+"""Unit tests for :class:`repro.core.RankDistribution`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RankDistribution
+from repro.exceptions import RankingError
+
+
+class TestConstruction:
+    def test_basic(self):
+        dist = RankDistribution([0.4, 0.0, 0.6])
+        assert dist.max_rank == 2
+        assert dist.probability_of(0) == pytest.approx(0.4)
+        assert dist.probability_of(1) == 0.0
+
+    def test_trailing_zeros_trimmed(self):
+        dist = RankDistribution([1.0, 0.0, 0.0])
+        assert dist.max_rank == 0
+
+    def test_point(self):
+        dist = RankDistribution.point(3)
+        assert dist.probability_of(3) == 1.0
+        assert dist.expectation() == 3.0
+        assert dist.median() == 3
+
+    def test_point_rejects_negative(self):
+        with pytest.raises(RankingError):
+            RankDistribution.point(-1)
+
+    def test_from_mapping(self):
+        dist = RankDistribution.from_mapping({2: 0.5, 0: 0.5})
+        assert dist.probability_of(2) == pytest.approx(0.5)
+
+    def test_from_counts(self):
+        dist = RankDistribution.from_counts({0: 3, 1: 1})
+        assert dist.probability_of(0) == pytest.approx(0.75)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(RankingError):
+            RankDistribution([0.4, 0.4])
+        with pytest.raises(RankingError):
+            RankDistribution([])
+        with pytest.raises(RankingError):
+            RankDistribution([1.5, -0.5])
+
+    def test_small_drift_renormalised(self):
+        dist = RankDistribution([0.5, 0.5 + 1e-9])
+        assert float(dist.pmf.sum()) == pytest.approx(1.0)
+
+    def test_pmf_is_read_only(self):
+        dist = RankDistribution([1.0])
+        with pytest.raises(ValueError):
+            dist.pmf[0] = 0.5
+
+
+class TestStatistics:
+    def test_expectation_figure2(self):
+        """The paper's rank(t1): expectation 0*0.4 + 2*0.6 = 1.2."""
+        dist = RankDistribution([0.4, 0.0, 0.6])
+        assert dist.expectation() == pytest.approx(1.2)
+
+    def test_variance(self):
+        dist = RankDistribution([0.5, 0.0, 0.5])
+        assert dist.expectation() == pytest.approx(1.0)
+        assert dist.variance() == pytest.approx(1.0)
+
+    def test_cdf(self):
+        dist = RankDistribution([0.2, 0.3, 0.5])
+        assert dist.cdf(-1) == 0.0
+        assert dist.cdf(0) == pytest.approx(0.2)
+        assert dist.cdf(1) == pytest.approx(0.5)
+        assert dist.cdf(99) == pytest.approx(1.0)
+
+    def test_median_definition(self):
+        """Median = smallest rank with cumulative probability >= 0.5."""
+        assert RankDistribution([0.4, 0.0, 0.6]).median() == 2
+        assert RankDistribution([0.5, 0.5]).median() == 0
+        assert RankDistribution([0.49, 0.51]).median() == 1
+
+    def test_quantiles_monotone_in_phi(self):
+        dist = RankDistribution([0.2, 0.3, 0.4, 0.1])
+        quantiles = [dist.quantile(phi) for phi in (0.1, 0.3, 0.6, 0.95)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles == [0, 1, 2, 3]
+
+    def test_quantile_rejects_bad_phi(self):
+        dist = RankDistribution([1.0])
+        with pytest.raises(RankingError):
+            dist.quantile(0.0)
+        with pytest.raises(RankingError):
+            dist.quantile(1.1)
+
+    def test_items_skips_zero_mass(self):
+        dist = RankDistribution([0.4, 0.0, 0.6])
+        assert dist.items() == [(0, 0.4), (2, 0.6)]
+
+    def test_summary(self):
+        dist = RankDistribution([0.4, 0.0, 0.6])
+        summary = dist.summary()
+        assert summary["expectation"] == pytest.approx(1.2)
+        assert summary["median"] == 2.0
+        assert summary["mode"] == 2.0
+        assert summary["p10"] == 0.0
+        assert summary["p90"] == 2.0
+        assert summary["iqr"] == pytest.approx(2.0)
+        assert summary["std"] == pytest.approx(
+            dist.variance() ** 0.5
+        )
+
+
+class TestComparison:
+    def test_total_variation(self):
+        first = RankDistribution([1.0])
+        second = RankDistribution([0.0, 1.0])
+        assert first.total_variation_distance(second) == pytest.approx(1.0)
+        assert first.total_variation_distance(first) == 0.0
+
+    def test_allclose(self):
+        first = RankDistribution([0.5, 0.5])
+        second = RankDistribution([0.5 + 1e-12, 0.5 - 1e-12])
+        assert first.allclose(second)
+
+    def test_equality_and_hash(self):
+        first = RankDistribution([0.5, 0.5])
+        second = RankDistribution([0.5, 0.5])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_repr_lists_nonzero(self):
+        text = repr(RankDistribution([0.4, 0.0, 0.6]))
+        assert "(0, 0.4)" in text and "(2, 0.6)" in text

@@ -1,0 +1,58 @@
+"""Tests for the consolidated benchmark report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import build_report, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "e01_demo.txt").write_text("E1 table\nrow | col\n")
+    (directory / "e02_other.txt").write_text("E2 table\n")
+    (directory / "notes.log").write_text("ignored\n")
+    return directory
+
+
+class TestBuildReport:
+    def test_sections_per_experiment(self, results_dir):
+        report = build_report(results_dir, timestamp="T")
+        assert "## e01_demo" in report
+        assert "## e02_other" in report
+        assert "E1 table" in report
+        assert "ignored" not in report
+        assert "Generated: T" in report
+
+    def test_ordering_is_stable(self, results_dir):
+        report = build_report(results_dir, timestamp="T")
+        assert report.index("e01_demo") < report.index("e02_other")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "ghost")
+
+    def test_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError):
+            build_report(empty)
+
+
+class TestMain:
+    def test_writes_default_output(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        output = results_dir / "REPORT.md"
+        assert output.exists()
+        assert "e01_demo" in output.read_text()
+
+    def test_explicit_output_path(self, results_dir, tmp_path):
+        target = tmp_path / "custom.md"
+        assert main([str(results_dir), str(target)]) == 0
+        assert target.exists()
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        assert main([str(tmp_path / "ghost")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,66 @@
+"""Unit tests for :class:`repro.core.TopKResult`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import RankedItem, TopKResult
+from repro.exceptions import RankingError
+
+
+def make_result(tids, method="demo", statistics=None):
+    items = tuple(
+        RankedItem(tid=tid, position=index, statistic=float(index))
+        for index, tid in enumerate(tids)
+    )
+    return TopKResult(
+        method=method,
+        k=len(tids),
+        items=items,
+        statistics=statistics or {},
+    )
+
+
+class TestTopKResult:
+    def test_sequence_protocol(self):
+        result = make_result(["a", "b"])
+        assert len(result) == 2
+        assert [item.tid for item in result] == ["a", "b"]
+        assert result[1].tid == "b"
+
+    def test_tids_and_tid_set(self):
+        result = make_result(["a", "b", "a"])
+        assert result.tids() == ("a", "b", "a")
+        assert result.tid_set() == {"a", "b"}
+
+    def test_positions_must_be_sequential(self):
+        with pytest.raises(RankingError):
+            TopKResult(
+                method="demo",
+                k=1,
+                items=(RankedItem(tid="a", position=5),),
+            )
+
+    def test_statistic_of(self):
+        result = make_result(["a"], statistics={"a": 1.5, "b": 2.5})
+        assert result.statistic_of("b") == 2.5
+        with pytest.raises(RankingError):
+            result.statistic_of("zzz")
+
+    def test_prefix(self):
+        result = make_result(["a", "b", "c"])
+        prefix = result.prefix(2)
+        assert prefix.tids() == ("a", "b")
+        assert prefix.k == 2
+        with pytest.raises(RankingError):
+            result.prefix(-1)
+
+    def test_describe_with_and_without_statistics(self):
+        with_stats = make_result(["a"])
+        assert "a(0)" in with_stats.describe()
+        bare = TopKResult(
+            method="demo",
+            k=1,
+            items=(RankedItem(tid="a", position=0),),
+        )
+        assert "a" in bare.describe()

@@ -1,0 +1,102 @@
+"""Tests for Monte-Carlo sampling and the model converters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import attribute_expected_ranks, tuple_expected_ranks
+from repro.models.convert import (
+    alternatives_of,
+    attribute_to_tuple_level,
+    certain_to_attribute_level,
+    certain_to_tuple_level,
+)
+from repro.models.sampling import (
+    estimate_expected_ranks,
+    sample_attribute_rank_counts,
+    sample_attribute_topk_answers,
+    sample_tuple_rank_counts,
+    sample_tuple_topk_answers,
+)
+
+
+class TestSamplingEstimators:
+    def test_attribute_rank_counts_total(self, fig2):
+        counts = sample_attribute_rank_counts(fig2, 500, rng=1)
+        for histogram in counts.values():
+            assert sum(histogram.values()) == 500
+
+    def test_tuple_rank_counts_total(self, fig4):
+        counts = sample_tuple_rank_counts(fig4, 500, rng=1)
+        for histogram in counts.values():
+            assert sum(histogram.values()) == 500
+
+    def test_attribute_expected_rank_estimates_converge(self, fig2):
+        estimates = estimate_expected_ranks(fig2, 40_000, rng=7)
+        exact = attribute_expected_ranks(fig2)
+        for tid, value in exact.items():
+            assert estimates[tid] == pytest.approx(value, abs=0.05)
+
+    def test_tuple_expected_rank_estimates_converge(self, fig4):
+        estimates = estimate_expected_ranks(fig4, 40_000, rng=7)
+        exact = tuple_expected_ranks(fig4)
+        for tid, value in exact.items():
+            assert estimates[tid] == pytest.approx(value, abs=0.05)
+
+    def test_attribute_topk_answer_frequencies(self, fig2):
+        counts = sample_attribute_topk_answers(fig2, 2, 30_000, rng=3)
+        assert counts[("t2", "t3")] / 30_000 == pytest.approx(
+            0.36, abs=0.02
+        )
+
+    def test_tuple_topk_answer_frequencies(self, fig4):
+        counts = sample_tuple_topk_answers(fig4, 1, 30_000, rng=3)
+        assert counts[("t1",)] / 30_000 == pytest.approx(0.4, abs=0.02)
+
+    def test_seed_reproducibility(self, fig2):
+        first = sample_attribute_rank_counts(fig2, 100, rng=42)
+        second = sample_attribute_rank_counts(fig2, 100, rng=42)
+        assert first == second
+
+
+class TestCertainLifts:
+    def test_attribute_lift_ranks_deterministically(self):
+        relation = certain_to_attribute_level(
+            [("a", 3.0), ("b", 2.0), ("c", 1.0)]
+        )
+        ranks = attribute_expected_ranks(relation)
+        assert ranks == {"a": 0.0, "b": 1.0, "c": 2.0}
+
+    def test_tuple_lift_ranks_deterministically(self):
+        relation = certain_to_tuple_level(
+            [("a", 3.0), ("b", 2.0), ("c", 1.0)]
+        )
+        ranks = tuple_expected_ranks(relation)
+        assert ranks == {"a": 0.0, "b": 1.0, "c": 2.0}
+
+
+class TestAttributeToTupleExpansion:
+    def test_alternative_counts(self, fig2):
+        expanded = attribute_to_tuple_level(fig2)
+        assert expanded.size == 5  # 2 + 2 + 1 alternatives
+        assert expanded.rule_count == 3
+
+    def test_alternatives_form_one_rule(self, fig2):
+        expanded = attribute_to_tuple_level(fig2)
+        names = alternatives_of(expanded, "t1")
+        assert len(names) == 2
+        assert expanded.exclusive_with(*names)
+
+    def test_expanded_probabilities_match_pdf(self, fig2):
+        expanded = attribute_to_tuple_level(fig2)
+        first = expanded.tuple_by_id("t1@0")
+        assert first.probability == pytest.approx(
+            fig2.tuple_by_id("t1").score.probabilities[0]
+        )
+
+    def test_rankings_do_not_transfer(self, fig2):
+        """The paper's point: the models rank different tuple sets, so
+        no simple reduction exists.  The expansion has N=5 entities
+        versus the original N=3."""
+        expanded = attribute_to_tuple_level(fig2)
+        assert expanded.size != fig2.size

@@ -1,0 +1,186 @@
+"""Tests for scoring functions and the integration workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import rank
+from repro.datagen import MATCH_WEIGHTS, integration_matches
+from repro.engine import (
+    score_attribute_records,
+    score_tuple_records,
+    weighted_sum,
+)
+from repro.exceptions import EngineError, WorkloadError
+from repro.models import TupleLevelRelation
+
+
+class TestWeightedSum:
+    def test_basic(self):
+        scoring = weighted_sum({"a": 2.0, "b": -1.0})
+        assert scoring({"a": 3, "b": 4}) == pytest.approx(2.0)
+
+    def test_missing_attribute_scores_zero(self):
+        scoring = weighted_sum({"a": 2.0})
+        assert scoring({}) == 0.0
+
+    def test_non_numeric_rejected(self):
+        scoring = weighted_sum({"a": 1.0})
+        with pytest.raises(EngineError):
+            scoring({"a": "oops"})
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(EngineError):
+            weighted_sum({})
+
+
+class TestScoreAttributeRecords:
+    def test_alternatives_become_pdf(self):
+        relation = score_attribute_records(
+            [
+                (
+                    "r1",
+                    [
+                        ({"rating": 4}, 0.7),
+                        ({"rating": 2}, 0.3),
+                    ],
+                )
+            ],
+            weighted_sum({"rating": 1.0}),
+        )
+        pdf = relation.tuple_by_id("r1").score
+        assert pdf.pr_equal(4.0) == pytest.approx(0.7)
+        assert pdf.expectation() == pytest.approx(3.4)
+
+    def test_equal_scores_merge(self):
+        relation = score_attribute_records(
+            [
+                (
+                    "r1",
+                    [
+                        ({"a": 1, "b": 2}, 0.5),
+                        ({"a": 2, "b": 1}, 0.5),
+                    ],
+                )
+            ],
+            weighted_sum({"a": 1.0, "b": 1.0}),
+        )
+        assert relation.tuple_by_id("r1").score.support_size == 1
+
+    def test_modal_attributes_kept(self):
+        relation = score_attribute_records(
+            [
+                (
+                    "r1",
+                    [
+                        ({"rating": 4, "tag": "hi"}, 0.7),
+                        ({"rating": 2, "tag": "lo"}, 0.3),
+                    ],
+                )
+            ],
+            weighted_sum({"rating": 1.0}),
+        )
+        assert relation.tuple_by_id("r1").attributes["tag"] == "hi"
+
+    def test_empty_alternatives_rejected(self):
+        with pytest.raises(EngineError):
+            score_attribute_records(
+                [("r1", [])], weighted_sum({"a": 1.0})
+            )
+
+    def test_bad_scoring_output_rejected(self):
+        with pytest.raises(EngineError):
+            score_attribute_records(
+                [("r1", [({"a": 1}, 1.0)])],
+                lambda attributes: float("nan"),
+            )
+
+
+class TestScoreTupleRecords:
+    def test_conflicts_become_rules(self):
+        relation = score_tuple_records(
+            [
+                ("m1", {"sim": 0.9}, 0.6),
+                ("m2", {"sim": 0.4}, 0.3),
+                ("m3", {"sim": 0.5}, 0.8),
+            ],
+            weighted_sum({"sim": 100.0}),
+            conflicts=[["m1", "m2"]],
+        )
+        assert relation.exclusive_with("m1", "m2")
+        assert not relation.exclusive_with("m1", "m3")
+        assert relation.tuple_by_id("m1").score == pytest.approx(90.0)
+
+    def test_attributes_carried(self):
+        relation = score_tuple_records(
+            [("m1", {"sim": 0.5, "source": "crawl"}, 0.5)],
+            weighted_sum({"sim": 1.0}),
+        )
+        assert relation.tuple_by_id("m1").attributes["source"] == "crawl"
+
+
+class TestIntegrationWorkload:
+    def test_shape(self):
+        relation = integration_matches(40, seed=0)
+        assert isinstance(relation, TupleLevelRelation)
+        assert relation.size >= 40
+        # Every entity contributes exactly one rule (singletons
+        # included for single-candidate entities).
+        entities = {
+            row.attributes["entity"] for row in relation
+        }
+        assert len(entities) == 40
+
+    def test_rules_group_entities(self):
+        relation = integration_matches(30, seed=1)
+        for rule in relation.rules:
+            if rule.is_singleton:
+                continue
+            entities = {
+                relation.tuple_by_id(tid).attributes["entity"]
+                for tid in rule
+            }
+            assert len(entities) == 1
+
+    def test_rule_masses_valid(self):
+        relation = integration_matches(60, seed=2)
+        for rule in relation.rules:
+            mass = sum(
+                relation.tuple_by_id(tid).probability for tid in rule
+            )
+            assert mass <= 1.0 + 1e-9
+
+    def test_scores_follow_weights(self):
+        relation = integration_matches(10, seed=3)
+        row = relation[0]
+        expected = sum(
+            weight * row.attributes[name]
+            for name, weight in MATCH_WEIGHTS.items()
+        )
+        assert row.score == pytest.approx(expected)
+
+    def test_rankable_end_to_end(self):
+        relation = integration_matches(50, seed=4)
+        result = rank(relation, 10)
+        assert len(result) == 10
+        # High-scoring matches should come from distinct entities more
+        # often than not (rule mates rarely co-rank).
+        top_entities = [
+            relation.tuple_by_id(tid).attributes["entity"]
+            for tid in result.tids()
+        ]
+        assert len(set(top_entities)) >= 8
+
+    def test_seeded_determinism(self):
+        first = integration_matches(20, seed=9)
+        second = integration_matches(20, seed=9)
+        assert first.tids() == second.tids()
+        assert [row.score for row in first] == [
+            row.score for row in second
+        ]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            integration_matches(-1)
+        with pytest.raises(WorkloadError):
+            integration_matches(5, max_candidates=0)

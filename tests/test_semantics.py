@@ -1,0 +1,133 @@
+"""Tests for the unified semantics registry (:mod:`repro.core.semantics`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    available_methods,
+    method_supports,
+    rank,
+    register_method,
+)
+from repro.core.result import RankedItem, TopKResult
+from repro.exceptions import UnknownMethodError, UnsupportedModelError
+
+
+EXPECTED_METHODS = {
+    "expected_rank",
+    "expected_rank_prune",
+    "median_rank",
+    "quantile_rank",
+    "quantile_rank_prune",
+    "u_topk",
+    "u_kranks",
+    "pt_k",
+    "global_topk",
+    "expected_score",
+    "probability_only",
+}
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert EXPECTED_METHODS <= set(available_methods())
+
+    def test_unknown_method_rejected(self, fig2):
+        with pytest.raises(UnknownMethodError):
+            rank(fig2, 1, method="nope")
+
+    def test_method_supports(self, fig2, fig4):
+        assert method_supports("expected_rank", fig2)
+        assert method_supports("probability_only", fig4)
+        assert not method_supports("probability_only", fig2)
+        with pytest.raises(UnknownMethodError):
+            method_supports("nope", fig2)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_method("expected_rank")
+            def clash(relation, k, **options):  # pragma: no cover
+                raise AssertionError
+
+    def test_custom_method_registration(self, fig2):
+        @register_method("test_only_first")
+        def first_tuple(relation, k, **options):
+            items = tuple(
+                RankedItem(tid=tid, position=index)
+                for index, tid in enumerate(relation.tids()[:k])
+            )
+            return TopKResult(
+                method="test_only_first", k=k, items=items
+            )
+
+        assert rank(fig2, 2, method="test_only_first").tids() == (
+            "t1",
+            "t2",
+        )
+
+
+class TestDispatch:
+    def test_expected_rank_both_models(self, fig2, fig4):
+        assert rank(fig2, 3).tids() == ("t2", "t3", "t1")
+        assert rank(fig4, 4).tids() == ("t3", "t1", "t2", "t4")
+
+    def test_default_method_is_expected_rank(self, fig2):
+        assert rank(fig2, 2).method == "expected_rank"
+
+    def test_median_rank_dispatch(self, fig2, fig4):
+        assert rank(fig2, 3, method="median_rank").tids() == (
+            "t2",
+            "t3",
+            "t1",
+        )
+        assert rank(fig4, 4, method="median_rank").tids() == (
+            "t2",
+            "t3",
+            "t1",
+            "t4",
+        )
+
+    def test_quantile_options_flow_through(self, fig4):
+        result = rank(fig4, 2, method="quantile_rank", phi=0.75)
+        assert result.metadata["phi"] == 0.75
+
+    def test_prune_dispatch(self, fig2, fig4):
+        assert rank(fig2, 2, method="expected_rank_prune").tids() == rank(
+            fig2, 2
+        ).tids()
+        assert rank(fig4, 2, method="expected_rank_prune").tids() == rank(
+            fig4, 2
+        ).tids()
+
+    def test_pt_k_requires_threshold(self, fig4):
+        with pytest.raises(TypeError):
+            rank(fig4, 2, method="pt_k")
+
+    def test_probability_only_rejects_attribute(self, fig2):
+        with pytest.raises(UnsupportedModelError):
+            rank(fig2, 1, method="probability_only")
+
+    def test_unsupported_relation_type(self):
+        with pytest.raises(UnsupportedModelError):
+            rank([1, 2, 3], 1)  # type: ignore[arg-type]
+
+
+class TestAgreementAcrossStatistics:
+    """Expected, median and quantile ranks should broadly agree on
+    clean inputs while remaining distinct definitions."""
+
+    def test_certain_data_all_agree(self, certain_attribute):
+        for method in ("expected_rank", "median_rank"):
+            assert rank(certain_attribute, 3, method=method).tids() == (
+                "a",
+                "b",
+                "c",
+            )
+
+    def test_figure4_disagreement_is_real(self, fig4):
+        """The paper's own example where median and expectation differ."""
+        assert rank(fig4, 4).tids() != rank(
+            fig4, 4, method="median_rank"
+        ).tids()

@@ -1,0 +1,143 @@
+"""Tests for the ranking sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ChurnReport,
+    perturb_relation,
+    stability_profile,
+    topk_churn,
+)
+from repro.datagen import (
+    generate_attribute_relation,
+    generate_tuple_relation,
+)
+from repro.exceptions import RankingError
+from repro.models import (
+    AttributeLevelRelation,
+    TupleLevelRelation,
+)
+
+
+class TestPerturbRelation:
+    def test_zero_noise_is_identity_tuple_level(self, fig4):
+        same = perturb_relation(fig4, noise=0.0, rng=0)
+        for original, copy in zip(fig4, same):
+            assert copy.score == original.score
+            assert copy.probability == original.probability
+
+    def test_zero_noise_is_identity_attribute_level(self, fig2):
+        same = perturb_relation(fig2, noise=0.0, rng=0)
+        for original, copy in zip(fig2, same):
+            assert copy.score == original.score
+
+    def test_noise_bounded_relative(self, fig4):
+        perturbed = perturb_relation(fig4, noise=0.1, rng=1)
+        for original, copy in zip(fig4, perturbed):
+            assert abs(copy.score - original.score) <= (
+                0.1 * abs(original.score) + 1e-9
+            )
+
+    def test_rules_stay_valid(self):
+        relation = generate_tuple_relation(
+            60, rule_fraction=1.0, rule_size=3, seed=0,
+            probability_high=0.33,
+        )
+        perturbed = perturb_relation(relation, noise=0.3, rng=2)
+        assert isinstance(perturbed, TupleLevelRelation)
+        for rule in perturbed.rules:
+            mass = sum(
+                perturbed.tuple_by_id(tid).probability for tid in rule
+            )
+            assert mass <= 1.0 + 1e-9
+
+    def test_probabilities_clamped(self):
+        relation = generate_tuple_relation(
+            30, seed=1, probability_high=1.0
+        )
+        perturbed = perturb_relation(relation, noise=0.5, rng=3)
+        assert all(
+            0.0 <= row.probability <= 1.0 for row in perturbed
+        )
+
+    def test_selective_perturbation(self, fig4):
+        scores_only = perturb_relation(
+            fig4, noise=0.2, rng=4, perturb_probabilities=False
+        )
+        for original, copy in zip(fig4, scores_only):
+            assert copy.probability == original.probability
+
+    def test_negative_noise_rejected(self, fig4):
+        with pytest.raises(RankingError):
+            perturb_relation(fig4, noise=-0.1)
+
+    def test_attribute_model_returns_attribute_model(self, fig2):
+        assert isinstance(
+            perturb_relation(fig2, noise=0.1, rng=0),
+            AttributeLevelRelation,
+        )
+
+
+class TestChurn:
+    def test_zero_noise_zero_churn(self):
+        relation = generate_tuple_relation(50, seed=0)
+        report = topk_churn(
+            relation, 5, noise=0.0, trials=5, rng=0
+        )
+        assert report.mean_churn == 0.0
+        assert all(
+            rate == 1.0 for rate in report.retention.values()
+        )
+
+    def test_churn_grows_with_noise(self):
+        relation = generate_tuple_relation(120, seed=1)
+        profile = stability_profile(
+            relation,
+            10,
+            noises=(0.01, 0.3),
+            trials=15,
+            rng=2,
+        )
+        assert profile[0].mean_churn <= profile[1].mean_churn
+
+    def test_stable_core_shrinks_with_noise(self):
+        relation = generate_tuple_relation(120, seed=3)
+        profile = stability_profile(
+            relation, 10, noises=(0.01, 0.3), trials=15, rng=4
+        )
+        assert len(profile[1].stable_core()) <= len(
+            profile[0].stable_core()
+        )
+
+    def test_attribute_model_supported(self):
+        relation = generate_attribute_relation(40, pdf_size=3, seed=5)
+        report = topk_churn(relation, 5, noise=0.05, trials=5, rng=6)
+        assert isinstance(report, ChurnReport)
+        assert 0.0 <= report.mean_churn <= 1.0
+
+    def test_other_methods_supported(self):
+        relation = generate_tuple_relation(40, seed=7)
+        report = topk_churn(
+            relation,
+            5,
+            noise=0.1,
+            trials=5,
+            method="median_rank",
+            rng=8,
+        )
+        assert set(report.retention) <= set(relation.tids())
+
+    def test_validation(self, fig4):
+        with pytest.raises(RankingError):
+            topk_churn(fig4, 0, noise=0.1)
+        with pytest.raises(RankingError):
+            topk_churn(fig4, 2, noise=0.1, trials=0)
+
+    def test_reproducibility(self):
+        relation = generate_tuple_relation(60, seed=9)
+        first = topk_churn(relation, 5, noise=0.1, trials=8, rng=10)
+        second = topk_churn(relation, 5, noise=0.1, trials=8, rng=10)
+        assert first.mean_churn == second.mean_churn
+        assert first.retention == second.retention

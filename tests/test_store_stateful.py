@@ -1,0 +1,109 @@
+"""Stateful property-based testing of the maintained tuple store.
+
+A hypothesis rule-based state machine drives random interleavings of
+inserts, deletes, and updates against :class:`MaintainedTupleStore`,
+with a plain-dictionary model as the oracle.  Invariants checked after
+every step: the maintained ``E[|W|]`` equals the model's sum, the
+score order matches a from-scratch sort, and snapshots rank exactly
+like a freshly-built relation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import tuple_expected_ranks
+from repro.engine import MaintainedTupleStore
+
+SCORES = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False)
+PROBABILITIES = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False
+)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.store = MaintainedTupleStore()
+        self.model: dict[str, tuple[float, float]] = {}
+        self.counter = 0
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    @rule(score=SCORES, probability=PROBABILITIES)
+    def insert(self, score, probability):
+        tid = f"t{self.counter}"
+        self.counter += 1
+        self.store.insert(tid, score=score, probability=probability)
+        self.model[tid] = (score, probability)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        tid = data.draw(st.sampled_from(sorted(self.model)))
+        self.store.delete(tid)
+        del self.model[tid]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), probability=PROBABILITIES)
+    def update_probability(self, data, probability):
+        tid = data.draw(st.sampled_from(sorted(self.model)))
+        self.store.update_probability(tid, probability)
+        score, _ = self.model[tid]
+        self.model[tid] = (score, probability)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), score=SCORES)
+    def update_score(self, data, score):
+        tid = data.draw(st.sampled_from(sorted(self.model)))
+        self.store.update_score(tid, score)
+        _, probability = self.model[tid]
+        self.model[tid] = (score, probability)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def expected_world_size_matches_model(self):
+        expected = math.fsum(
+            probability for _, probability in self.model.values()
+        )
+        assert abs(
+            self.store.expected_world_size() - expected
+        ) < 1e-6
+
+    @invariant()
+    def internal_audit_passes(self):
+        self.store.validate()
+
+    @invariant()
+    def score_order_is_sorted(self):
+        order = self.store.score_order()
+        scores = [self.model[tid][0] for tid in order]
+        assert scores == sorted(scores, reverse=True)
+
+    @invariant()
+    def snapshot_ranks_like_fresh_relation(self):
+        if not self.model:
+            return
+        snapshot = self.store.snapshot()
+        direct = tuple_expected_ranks(snapshot)
+        queried = self.store.topk(min(2, len(snapshot)))
+        for item in queried:
+            assert abs(item.statistic - direct[item.tid]) < 1e-9
+
+
+StoreMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestMaintainedStoreStateMachine = StoreMachine.TestCase

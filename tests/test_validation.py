@@ -1,0 +1,125 @@
+"""Tests for relation diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models import (
+    AttributeLevelRelation,
+    AttributeTuple,
+    DiscretePDF,
+    ExclusionRule,
+    TupleLevelRelation,
+    TupleLevelTuple,
+    diagnose,
+)
+
+
+def codes(relation):
+    return {finding.code for finding in diagnose(relation)}
+
+
+class TestAttributeDiagnostics:
+    def test_clean_relation(self, fig2):
+        assert codes(fig2) == set()
+
+    def test_non_positive_scores_flagged(self):
+        relation = AttributeLevelRelation(
+            [
+                AttributeTuple("a", DiscretePDF([-1, 5], [0.5, 0.5])),
+                AttributeTuple("b", DiscretePDF.point(3)),
+            ]
+        )
+        assert "non_positive_scores" in codes(relation)
+        finding = next(
+            f
+            for f in diagnose(relation)
+            if f.code == "non_positive_scores"
+        )
+        assert finding.tids == ("a",)
+        assert "Markov" in finding.detail
+
+    def test_fully_certain_flagged(self, certain_attribute):
+        assert "fully_certain" in codes(certain_attribute)
+
+    def test_heavy_ties_flagged(self):
+        relation = AttributeLevelRelation(
+            AttributeTuple(
+                f"t{i}", DiscretePDF([1.0, 2.0], [0.5, 0.5])
+            )
+            for i in range(10)
+        )
+        assert "heavy_score_ties" in codes(relation)
+
+    def test_finding_str(self):
+        relation = AttributeLevelRelation(
+            [AttributeTuple("a", DiscretePDF([-1.0], [1.0]))]
+        )
+        text = str(diagnose(relation)[0])
+        assert "non_positive_scores" in text and "[a]" in text
+
+
+class TestTupleDiagnostics:
+    def test_clean_relation(self, fig4):
+        # fig4 has a saturated rule (p(t2)+p(t4)=1) and a certain tuple.
+        found = codes(fig4)
+        assert "zero_probability_tuples" not in found
+
+    def test_zero_probability_flagged(self):
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple("dead", 9.0, 0.0),
+                TupleLevelTuple("live", 5.0, 0.8),
+            ]
+        )
+        assert "zero_probability_tuples" in codes(relation)
+
+    def test_saturated_rule_flagged(self):
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple("a", 9.0, 0.5),
+                TupleLevelTuple("b", 5.0, 0.5),
+            ],
+            rules=[ExclusionRule("r", ["a", "b"])],
+        )
+        assert "saturated_rules" in codes(relation)
+
+    def test_tied_scores_flagged(self):
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple("a", 5.0, 0.5),
+                TupleLevelTuple("b", 5.0, 0.5),
+            ]
+        )
+        assert "tied_scores" in codes(relation)
+
+    def test_sparse_worlds_flagged(self):
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple("a", 5.0, 0.2),
+                TupleLevelTuple("b", 3.0, 0.3),
+            ]
+        )
+        assert "sparse_worlds" in codes(relation)
+
+    def test_truncated_tid_lists(self):
+        relation = TupleLevelRelation(
+            [
+                TupleLevelTuple(f"t{i}", float(i + 1), 0.0)
+                for i in range(9)
+            ]
+        )
+        finding = next(
+            f
+            for f in diagnose(relation)
+            if f.code == "zero_probability_tuples"
+        )
+        assert len(finding.tids) == 6
+        assert finding.tids[-1].endswith("more")
+
+
+class TestDispatch:
+    def test_unsupported_type(self):
+        with pytest.raises(ModelError):
+            diagnose([1, 2, 3])  # type: ignore[arg-type]

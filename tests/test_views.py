@@ -1,0 +1,85 @@
+"""Tests for materialized ranking views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import MaintainedTupleStore, RankingView
+from repro.exceptions import EngineError
+
+
+@pytest.fixture
+def store():
+    s = MaintainedTupleStore()
+    s.bulk_insert(
+        [("a", 10.0, 0.9), ("b", 8.0, 0.8), ("c", 6.0, 0.7)]
+    )
+    return s
+
+
+class TestRankingView:
+    def test_initial_read(self, store):
+        view = RankingView(store, k=2)
+        assert view.peek() is None
+        assert view.current().tids() == ("a", "b")
+        assert view.refresh_count == 1
+
+    def test_cache_hit_without_mutation(self, store):
+        view = RankingView(store, k=2)
+        first = view.current()
+        second = view.current()
+        assert first is second
+        assert view.refresh_count == 1
+        assert not view.stale
+
+    def test_mutation_marks_stale_and_refreshes(self, store):
+        view = RankingView(store, k=2)
+        view.current()
+        store.update_score("c", 20.0)
+        assert view.stale
+        assert view.current().tids()[0] == "c"
+        assert view.refresh_count == 2
+
+    def test_every_mutation_kind_invalidates(self, store):
+        view = RankingView(store, k=1)
+        view.current()
+        store.insert("d", score=1.0, probability=0.5)
+        assert view.stale
+        view.current()
+        store.delete("d")
+        assert view.stale
+        view.current()
+        store.update_probability("a", 0.1)
+        assert view.stale
+
+    def test_multiple_views_share_store(self, store):
+        by_expected = RankingView(store, k=2)
+        by_median = RankingView(store, k=2, method="median_rank")
+        assert by_expected.current().method == "expected_rank"
+        assert by_median.current().method == "median_rank"
+        store.update_score("b", 30.0)
+        assert by_expected.stale and by_median.stale
+
+    def test_manual_invalidate(self, store):
+        view = RankingView(store, k=1)
+        view.current()
+        view.invalidate()
+        assert view.peek() is None
+        view.current()
+        assert view.refresh_count == 2
+
+    def test_options_forwarded(self, store):
+        view = RankingView(
+            store, k=2, method="quantile_rank", phi=0.75
+        )
+        assert view.current().metadata["phi"] == 0.75
+
+    def test_negative_k_rejected(self, store):
+        with pytest.raises(EngineError):
+            RankingView(store, k=-1)
+
+    def test_repr_reports_state(self, store):
+        view = RankingView(store, k=1)
+        assert "stale" in repr(view)
+        view.current()
+        assert "fresh" in repr(view)

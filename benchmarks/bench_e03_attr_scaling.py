@@ -10,6 +10,8 @@ two, and the speedup widens with N.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import (
     Table,
     attribute_workload,
@@ -25,6 +27,36 @@ from repro.core import (
 FAST_SIZES = (1000, 2000, 4000, 8000)
 SLOW_SIZES = (125, 250, 500, 1000)
 VECTOR_SIZES = (8000, 16000, 32000, 64000)
+SMOKE_SIZES = (500, 1000, 2000)
+
+
+@pytest.mark.smoke
+def test_smoke_a_erank_shape_and_agreement():
+    """CI perf-smoke slice: a shrunken E3 with loose thresholds.
+
+    Keeps the two load-bearing claims — quasi-linear growth of the
+    exact pass and scalar/vectorized agreement — at sizes that finish
+    in seconds.  The ``record`` fixture is deliberately not used so
+    the smoke run never rewrites ``benchmarks/results/``.
+    """
+    times = {}
+    for size in SMOKE_SIZES:
+        relation = attribute_workload("uu", size)
+        times[size] = measure_seconds(
+            lambda relation=relation: attribute_expected_ranks(relation),
+            repeats=2,
+        )
+    exponent = growth_exponent(
+        list(SMOKE_SIZES), [times[s] for s in SMOKE_SIZES]
+    )
+    # Generous bound: tiny inputs are noisy, O(N^2) would show ~2.
+    assert exponent < 1.8
+
+    relation = attribute_workload("uu", SMOKE_SIZES[-1])
+    scalar = attribute_expected_ranks(relation)
+    vectorized = attribute_expected_ranks_vectorized(relation)
+    worst = max(abs(scalar[tid] - vectorized[tid]) for tid in scalar)
+    assert worst < 1e-6
 
 
 def test_a_erank_scales_quasilinearly(benchmark, record):

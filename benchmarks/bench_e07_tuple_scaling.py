@@ -7,6 +7,8 @@ against the direct ``O(N^2)`` pairwise evaluation of equation (7).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import (
     Table,
     growth_exponent,
@@ -16,10 +18,40 @@ from repro.bench import (
 from repro.core import (
     tuple_expected_ranks,
     tuple_expected_ranks_quadratic,
+    tuple_expected_ranks_vectorized,
 )
 
 FAST_SIZES = (2000, 4000, 8000, 16000)
 SLOW_SIZES = (250, 500, 1000, 2000)
+SMOKE_SIZES = (500, 1000, 2000)
+
+
+@pytest.mark.smoke
+def test_smoke_t_erank_shape_and_agreement():
+    """CI perf-smoke slice: a shrunken E7 with loose thresholds.
+
+    Same contract as the full run — quasi-linear growth and agreement
+    between the scalar and vectorized passes — at sizes that finish in
+    seconds.  No ``record`` fixture, so ``benchmarks/results/`` stays
+    untouched.
+    """
+    times = {}
+    for size in SMOKE_SIZES:
+        relation = tuple_workload("uu", size)
+        times[size] = measure_seconds(
+            lambda relation=relation: tuple_expected_ranks(relation),
+            repeats=2,
+        )
+    exponent = growth_exponent(
+        list(SMOKE_SIZES), [times[s] for s in SMOKE_SIZES]
+    )
+    assert exponent < 1.8
+
+    relation = tuple_workload("uu", SMOKE_SIZES[-1])
+    scalar = tuple_expected_ranks(relation)
+    vectorized = tuple_expected_ranks_vectorized(relation)
+    worst = max(abs(scalar[tid] - vectorized[tid]) for tid in scalar)
+    assert worst < 1e-6
 
 
 def test_t_erank_scales_quasilinearly(benchmark, record):

@@ -16,7 +16,6 @@ tuple can reach the threshold.
 
 from __future__ import annotations
 
-import math
 
 from repro.baselines.common import topk_probabilities
 from repro.core.result import RankedItem, TopKResult

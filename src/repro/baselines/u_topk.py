@@ -2,8 +2,9 @@
 
 U-Topk returns the top-k *answer* (the ordered vector of a world's k
 best tuples) with the highest support across all possible worlds; two
-worlds ranking the same tuples in different orders support different
-answers, per the paper's Figure 2 walk-through.  The paper (Section 4.2) shows it satisfies unique
+worlds ranking the same tuples in different orders support
+different answers, per the paper's Figure 2 walk-through.  The paper
+(Section 4.2) shows it satisfies unique
 ranking, value invariance and stability, but violates **exact-k** (on
 tiny relations) and — critically — **containment**: the Figure 2
 example has top-1 ``{t1}`` yet top-2 ``{t2, t3}``, completely disjoint.

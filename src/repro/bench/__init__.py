@@ -1,4 +1,4 @@
-"""Benchmark harness: timing, tables, and canonical named workloads."""
+"""Benchmark harness: timing, tables, workloads, and the perf gate."""
 
 from repro.bench.harness import (
     Table,
@@ -18,8 +18,33 @@ __all__ = [
     "TUPLE_WORKLOADS",
     "Table",
     "attribute_workload",
+    "compare_documents",
     "geometric_sweep",
     "growth_exponent",
     "measure_seconds",
+    "run_suite",
     "tuple_workload",
+    "write_baseline",
 ]
+
+# The perf-gate entry points are re-exported lazily (PEP 562) so that
+# ``python -m repro.bench.baseline`` does not import the module twice
+# (once here, once as ``__main__``), which trips a runpy warning.
+_LAZY = {
+    "run_suite": "repro.bench.baseline",
+    "write_baseline": "repro.bench.baseline",
+    "compare_documents": "repro.bench.compare",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

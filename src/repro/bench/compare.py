@@ -1,0 +1,187 @@
+"""Perf-smoke gate: ``python -m repro.bench.compare baseline.json fresh.json``.
+
+Compares a fresh :mod:`repro.bench.baseline` run against the committed
+reference and exits non-zero when any metric regresses beyond its
+tolerance:
+
+* ``seconds`` metrics fail when
+  ``current > baseline * (1 + time_tolerance)`` — the default
+  tolerance of 1.0 (i.e. 2x) absorbs machine noise while still
+  catching an accidentally de-vectorized kernel;
+* ``count`` metrics (tuples accessed) are deterministic for the
+  seeded workloads, so their default tolerance is tight (10%);
+* a metric present in the baseline but missing from the fresh run is
+  always a failure (a silently dropped benchmark is a regression of
+  the harness itself).
+
+Improvements never fail, and extra metrics in the fresh run are
+reported but ignored — so adding suite cases does not break older
+baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Comparison", "compare_documents", "main"]
+
+DEFAULT_TIME_TOLERANCE = 1.0
+DEFAULT_COUNT_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The verdict for one metric."""
+
+    name: str
+    kind: str
+    baseline: float | None
+    current: float | None
+    limit: float | None
+    regressed: bool
+
+    @property
+    def ratio(self) -> float | None:
+        if (
+            self.baseline is None
+            or self.current is None
+            or self.baseline == 0.0
+        ):
+            return None
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        if self.current is None:
+            return f"MISSING  {self.name} (baseline {self.baseline:.6g})"
+        if self.baseline is None:
+            return f"NEW      {self.name} = {self.current:.6g}"
+        status = "REGRESS" if self.regressed else "ok"
+        ratio = self.ratio
+        ratio_text = f" ({ratio:.2f}x)" if ratio is not None else ""
+        return (
+            f"{status:8} {self.name}: {self.baseline:.6g} -> "
+            f"{self.current:.6g}{ratio_text}"
+        )
+
+
+def compare_documents(
+    baseline: dict,
+    current: dict,
+    *,
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+    count_tolerance: float = DEFAULT_COUNT_TOLERANCE,
+) -> list[Comparison]:
+    """Per-metric verdicts, baseline order first, then new metrics."""
+    baseline_metrics = baseline.get("metrics", {})
+    current_metrics = current.get("metrics", {})
+    comparisons: list[Comparison] = []
+    for name, reference in baseline_metrics.items():
+        kind = reference.get("kind", "seconds")
+        reference_value = float(reference["value"])
+        entry = current_metrics.get(name)
+        if entry is None:
+            comparisons.append(
+                Comparison(name, kind, reference_value, None, None, True)
+            )
+            continue
+        value = float(entry["value"])
+        tolerance = (
+            count_tolerance if kind == "count" else time_tolerance
+        )
+        limit = reference_value * (1.0 + tolerance)
+        comparisons.append(
+            Comparison(
+                name,
+                kind,
+                reference_value,
+                value,
+                limit,
+                value > limit,
+            )
+        )
+    for name, entry in current_metrics.items():
+        if name not in baseline_metrics:
+            comparisons.append(
+                Comparison(
+                    name,
+                    entry.get("kind", "seconds"),
+                    None,
+                    float(entry["value"]),
+                    None,
+                    False,
+                )
+            )
+    return comparisons
+
+
+def _load(path: Path) -> dict:
+    document = json.loads(path.read_text())
+    if not isinstance(document, dict) or "metrics" not in document:
+        raise ValueError(f"{path} is not a baseline document")
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; 0 = no regressions, 1 = regressions, 2 = usage."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description=(
+            "Gate a fresh perf-smoke run against a committed baseline."
+        ),
+    )
+    parser.add_argument("baseline", type=Path, help="reference JSON")
+    parser.add_argument("current", type=Path, help="fresh run JSON")
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=DEFAULT_TIME_TOLERANCE,
+        help=(
+            "allowed relative increase for seconds metrics "
+            f"(default {DEFAULT_TIME_TOLERANCE:g}; 1.0 allows 2x)"
+        ),
+    )
+    parser.add_argument(
+        "--count-tolerance",
+        type=float,
+        default=DEFAULT_COUNT_TOLERANCE,
+        help=(
+            "allowed relative increase for count metrics "
+            f"(default {DEFAULT_COUNT_TOLERANCE:g})"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.time_tolerance < 0 or args.count_tolerance < 0:
+        print("error: tolerances must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    comparisons = compare_documents(
+        baseline,
+        current,
+        time_tolerance=args.time_tolerance,
+        count_tolerance=args.count_tolerance,
+    )
+    regressions = [entry for entry in comparisons if entry.regressed]
+    for entry in comparisons:
+        print(entry.describe())
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} of {len(comparisons)} metrics "
+            "regressed beyond tolerance"
+        )
+        return 1
+    print(f"\nOK: {len(comparisons)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

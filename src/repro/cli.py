@@ -61,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(expected / median / quantile ranks and baselines)."
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable observability for this invocation and write spans "
+            "plus a final metrics snapshot to PATH as JSON lines"
+        ),
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     topk = commands.add_parser(
@@ -368,11 +378,54 @@ _COMMANDS = {
 }
 
 
+def _run_with_metrics(args) -> int:
+    """Run one command with a fresh enabled registry + JSONL sink.
+
+    Spans stream to ``args.metrics_out`` as the command runs; a final
+    ``{"type": "metrics", ...}`` line carries the registry snapshot.
+    The previous registry/sink are restored afterwards so library
+    users embedding :func:`main` keep their own configuration.
+    """
+    from repro.obs import (
+        JsonlSink,
+        MetricsRegistry,
+        set_registry,
+        set_sink,
+        trace,
+    )
+
+    registry = MetricsRegistry(enabled=True)
+    sink = JsonlSink(args.metrics_out)
+    previous_registry = set_registry(registry)
+    previous_sink = set_sink(sink)
+    try:
+        with trace(f"cli.{args.command}"):
+            return _COMMANDS[args.command](args)
+    finally:
+        set_sink(previous_sink)
+        set_registry(previous_registry)
+        sink.write({"type": "metrics", **registry.snapshot()})
+        sink.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.metrics_out is not None:
+            # Fail fast: the sink opens lazily on the first span, which
+            # would otherwise surface a bad path only after the command
+            # has already done its work.
+            parent = args.metrics_out.resolve().parent
+            if not parent.is_dir():
+                print(
+                    f"error: --metrics-out directory {parent} "
+                    "does not exist",
+                    file=sys.stderr,
+                )
+                return 2
+            return _run_with_metrics(args)
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

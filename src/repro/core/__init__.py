@@ -102,6 +102,7 @@ __all__ = [
     "check_value_invariance",
     "diminish_tuple",
     "perturb_relation",
+    "explain_pair",
     "exponential_weights",
     "linear_weights",
     "mc_expected_rank",

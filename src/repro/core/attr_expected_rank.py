@@ -30,6 +30,7 @@ from repro.core.result import RankedItem, TopKResult
 from repro.exceptions import PruningBoundError, RankingError
 from repro.models.attribute import AttributeLevelRelation, AttributeTuple
 from repro.models.possible_worlds import TieRule, _check_ties
+from repro.obs import count, profiled
 
 __all__ = [
     "attribute_expected_ranks",
@@ -98,6 +99,7 @@ class _TailOracle:
         return cumulative[index - 1]
 
 
+@profiled("a_erank")
 def attribute_expected_ranks(
     relation: AttributeLevelRelation,
     *,
@@ -109,6 +111,7 @@ def attribute_expected_ranks(
     for constant-size pdfs, matching the paper.
     """
     _check_ties(ties)
+    count("a_erank.tuples_accessed", relation.size)
     oracle = _TailOracle(relation)
     ranks: dict[str, float] = {}
     for position, row in enumerate(relation):
@@ -125,6 +128,7 @@ def attribute_expected_ranks(
     return ranks
 
 
+@profiled("a_erank_vectorized")
 def attribute_expected_ranks_vectorized(
     relation: AttributeLevelRelation,
     *,
@@ -141,6 +145,7 @@ def attribute_expected_ranks_vectorized(
     reference and the two are cross-checked in the tests.
     """
     _check_ties(ties)
+    count("a_erank_vectorized.tuples_accessed", relation.size)
     import numpy as np
 
     sizes = [row.score.support_size for row in relation]
@@ -223,6 +228,7 @@ def attribute_expected_ranks_vectorized(
     }
 
 
+@profiled("a_erank_bfs")
 def attribute_expected_ranks_quadratic(
     relation: AttributeLevelRelation,
     *,
@@ -334,6 +340,7 @@ class _SeenTuple:
         return tail
 
 
+@profiled("a_erank_prune")
 def a_erank_prune(
     relation: AttributeLevelRelation,
     k: int,
@@ -417,6 +424,9 @@ def a_erank_prune(
             halted_early = True
             break
 
+    count("a_erank_prune.tuples_accessed", len(seen))
+    if halted_early:
+        count("a_erank_prune.halted_early")
     curtailed = AttributeLevelRelation(
         sorted(
             (entry.row for entry in seen),
@@ -439,6 +449,7 @@ def a_erank_prune(
     )
 
 
+@profiled("a_erank_prune_lazy")
 def a_erank_prune_lazy(
     relation: AttributeLevelRelation,
     k: int,
@@ -522,6 +533,9 @@ def a_erank_prune_lazy(
             halted_early = True
             break
 
+    count("a_erank_prune_lazy.tuples_accessed", len(seen))
+    if halted_early:
+        count("a_erank_prune_lazy.halted_early")
     curtailed = AttributeLevelRelation(
         sorted(
             seen,

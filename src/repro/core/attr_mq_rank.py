@@ -50,6 +50,7 @@ from repro.core.result import RankedItem, TopKResult
 from repro.exceptions import PruningBoundError, RankingError
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.possible_worlds import TieRule, _check_ties
+from repro.obs import count, profiled
 from repro.stats.poisson_binomial import (
     binomial_pmf,
     mixture_pmf,
@@ -122,6 +123,7 @@ def _method_name(phi: float) -> str:
     return "median_rank" if phi == 0.5 else f"quantile_rank[{phi:g}]"
 
 
+@profiled("a_mqrank")
 def a_mqrank(
     relation: AttributeLevelRelation,
     k: int,
@@ -138,6 +140,7 @@ def a_mqrank(
         raise RankingError(f"k must be >= 0, got {k!r}")
     if not 0.0 < phi <= 1.0:
         raise RankingError(f"phi must be in (0, 1], got {phi!r}")
+    count("a_mqrank.tuples_accessed", relation.size)
     distributions = attribute_rank_distributions(relation, ties=ties)
     statistics = {
         tid: float(dist.quantile(phi))
@@ -268,6 +271,7 @@ def _seen_quantile_upper(
     return markov_cap
 
 
+@profiled("a_mqrank_prune")
 def a_mqrank_prune(
     relation: AttributeLevelRelation,
     k: int,
@@ -383,6 +387,9 @@ def a_mqrank_prune(
             halted_early = True
             break
 
+    count("a_mqrank_prune.tuples_accessed", len(seen))
+    if halted_early:
+        count("a_mqrank_prune.halted_early")
     curtailed = AttributeLevelRelation(
         sorted(
             (entry.row for entry in seen),

@@ -33,7 +33,6 @@ from typing import Callable, Iterable, Mapping, Sequence
 from repro.core.result import TopKResult
 from repro.exceptions import ModelError, ReproError
 from repro.models.attribute import AttributeLevelRelation, AttributeTuple
-from repro.models.pdf import DiscretePDF
 from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
 
 __all__ = [

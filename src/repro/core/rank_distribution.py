@@ -14,7 +14,6 @@ dynamic programs, the enumeration oracle and the Monte-Carlo sampler.
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np

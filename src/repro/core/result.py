@@ -10,7 +10,7 @@ tuples a pruning algorithm accessed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Mapping
 
 from repro.exceptions import RankingError
 

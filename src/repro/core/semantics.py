@@ -14,7 +14,7 @@ property audit and the agreement experiments against it.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable
 
 from repro.baselines.expected_score import expected_score
 from repro.baselines.global_topk import global_topk

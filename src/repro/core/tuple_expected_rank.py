@@ -30,6 +30,7 @@ from repro.core.result import RankedItem, TopKResult
 from repro.exceptions import RankingError
 from repro.models.possible_worlds import TieRule, _check_ties
 from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+from repro.obs import count, profiled
 
 __all__ = [
     "tuple_expected_ranks",
@@ -99,6 +100,7 @@ def _expected_rank(
     )
 
 
+@profiled("t_erank")
 def tuple_expected_ranks(
     relation: TupleLevelRelation,
     *,
@@ -106,6 +108,7 @@ def tuple_expected_ranks(
 ) -> dict[str, float]:
     """Exact expected rank of every tuple — the core of T-ERank."""
     _check_ties(ties)
+    count("t_erank.tuples_accessed", relation.size)
     positions = {row.tid: index for index, row in enumerate(relation)}
     ordered = relation.order_by_score()
     expected_world_size = relation.expected_world_size()
@@ -150,6 +153,7 @@ def tuple_expected_ranks(
     return ranks
 
 
+@profiled("t_erank_vectorized")
 def tuple_expected_ranks_vectorized(
     relation: TupleLevelRelation,
     *,
@@ -171,6 +175,7 @@ def tuple_expected_ranks_vectorized(
     import numpy as np
 
     size = relation.size
+    count("t_erank_vectorized.tuples_accessed", size)
     if size == 0:
         return {}
     scores = np.array([row.score for row in relation])
@@ -249,6 +254,7 @@ def tuple_expected_ranks_vectorized(
     }
 
 
+@profiled("t_erank_bfs")
 def tuple_expected_ranks_quadratic(
     relation: TupleLevelRelation,
     *,
@@ -331,6 +337,7 @@ def t_erank(
     )
 
 
+@profiled("t_erank_prune")
 def t_erank_prune(
     relation: TupleLevelRelation,
     k: int,
@@ -404,6 +411,9 @@ def t_erank_prune(
             halted_early = True
             break
 
+    count("t_erank_prune.tuples_accessed", accessed)
+    if halted_early:
+        count("t_erank_prune.halted_early")
     winners = _select_top_k(relation.tids(), ranks_seen, k)
     return _as_result(
         "expected_rank_prune",

@@ -38,6 +38,7 @@ from repro.exceptions import RankingError
 from repro.models.possible_worlds import TieRule, _check_ties
 from repro.models.rules import ExclusionRule
 from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
+from repro.obs import count, profiled
 from repro.stats.poisson_binomial import (
     mixture_pmf,
     poisson_binomial_pmf,
@@ -172,6 +173,7 @@ def _method_name(phi: float) -> str:
     return "median_rank" if phi == 0.5 else f"quantile_rank[{phi:g}]"
 
 
+@profiled("t_mqrank")
 def t_mqrank(
     relation: TupleLevelRelation,
     k: int,
@@ -184,6 +186,7 @@ def t_mqrank(
         raise RankingError(f"k must be >= 0, got {k!r}")
     if not 0.0 < phi <= 1.0:
         raise RankingError(f"phi must be in (0, 1], got {phi!r}")
+    count("t_mqrank.tuples_accessed", relation.size)
     distributions = tuple_rank_distributions(relation, ties=ties)
     statistics = {
         tid: float(dist.quantile(phi))
@@ -234,6 +237,7 @@ def _seen_quantile_upper(
     return max_rank
 
 
+@profiled("t_mqrank_prune")
 def t_mqrank_prune(
     relation: TupleLevelRelation,
     k: int,
@@ -331,6 +335,9 @@ def t_mqrank_prune(
             halted_early = True
             break
 
+    count("t_mqrank_prune.tuples_accessed", len(seen_rows))
+    if halted_early:
+        count("t_mqrank_prune.halted_early")
     curtailed = _curtail(relation, seen_rows)
     exact_on_seen = t_mqrank(curtailed, k, phi=phi, ties=ties)
     return TopKResult(

@@ -37,9 +37,8 @@ def _scores_from_uniforms(
     if distribution == "zipf":
         # Pareto-style inverse cdf: heavy upper tail, bounded below.
         exponent = 1.0 / (zipf_alpha - 1.0)
-        return low * (1.0 - uniforms * (1.0 - (low / high) ** (1.0 / exponent))) ** (
-            -exponent
-        )
+        shape = 1.0 - (low / high) ** (1.0 / exponent)
+        return low * (1.0 - uniforms * shape) ** -exponent
     raise WorkloadError(
         f"unknown score distribution {distribution!r}; "
         "known: uniform, zipf"

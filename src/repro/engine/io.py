@@ -26,7 +26,6 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable
 
 from repro.exceptions import SchemaError
 from repro.models.attribute import AttributeLevelRelation, AttributeTuple

@@ -17,6 +17,7 @@ from repro.core.semantics import rank
 from repro.exceptions import EngineError
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.tuple_level import TupleLevelRelation
+from repro.obs import count, trace
 
 __all__ = ["TopKPlan", "TopKPlanner"]
 
@@ -40,7 +41,17 @@ class TopKPlan:
 
     def execute(self, relation: Relation, k: int) -> TopKResult:
         """Run the planned query."""
-        return rank(relation, k, method=self.method, **self.options)
+        with trace(
+            "query.execute", method=self.method, k=k, n=relation.size
+        ):
+            result = rank(
+                relation, k, method=self.method, **self.options
+            )
+        count(f"query.method.{self.method}")
+        accessed = result.metadata.get("tuples_accessed")
+        if isinstance(accessed, int):
+            count("query.tuples_accessed", accessed)
+        return result
 
 
 class TopKPlanner:

@@ -191,7 +191,9 @@ class AttributeLevelRelation:
         """
         return {row.tid: row.score.sample(rng) for row in self._tuples}
 
-    def replace_tuple(self, replacement: AttributeTuple) -> "AttributeLevelRelation":
+    def replace_tuple(
+        self, replacement: AttributeTuple
+    ) -> "AttributeLevelRelation":
         """A copy of the relation with one tuple swapped in place.
 
         The stability tests (Definition 4) replace a tuple's score pdf

@@ -93,7 +93,8 @@ class DiscretePDF:
                 raise InvalidDistributionError(f"non-finite value {value!r}")
             if not math.isfinite(prob) or prob < 0.0:
                 raise InvalidDistributionError(
-                    f"probability {prob!r} for value {value!r} is not in [0, 1]"
+                    f"probability {prob!r} for value {value!r}"
+                    " is not in [0, 1]"
                 )
         total = math.fsum(prob for _, prob in pairs)
         if normalize:

@@ -13,7 +13,7 @@ estimators here serve two purposes in this reproduction:
 from __future__ import annotations
 
 import random
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Mapping
 
 from repro.models.attribute import AttributeLevelRelation

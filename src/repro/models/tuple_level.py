@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.exceptions import InvalidRuleError, ModelError
+from repro.exceptions import ModelError
 from repro.models.pdf import PROBABILITY_TOLERANCE
 from repro.models.rules import ExclusionRule, cover_with_singletons
 
@@ -247,7 +247,11 @@ class TupleLevelRelation:
             raise ModelError(f"no tuple with id {replacement.tid!r}")
         rows = list(self._tuples)
         rows[self._index[replacement.tid]] = replacement
-        explicit = [rule for rule in self._rules if not rule.rule_id.startswith("__singleton_")]
+        explicit = [
+            rule
+            for rule in self._rules
+            if not rule.rule_id.startswith("__singleton_")
+        ]
         return TupleLevelRelation(rows, rules=explicit)
 
     def map_scores(self, transform) -> "TupleLevelRelation":
@@ -261,7 +265,11 @@ class TupleLevelRelation:
             )
             for row in self._tuples
         ]
-        explicit = [rule for rule in self._rules if not rule.rule_id.startswith("__singleton_")]
+        explicit = [
+            rule
+            for rule in self._rules
+            if not rule.rule_id.startswith("__singleton_")
+        ]
         return TupleLevelRelation(rows, rules=explicit)
 
     def __repr__(self) -> str:

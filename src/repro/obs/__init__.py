@@ -1,0 +1,90 @@
+"""Observability: metrics, spans, and the ``@profiled`` decorator.
+
+The layer the benchmarks, the CLI and CI's perf smoke all read from:
+
+* :class:`MetricsRegistry` — process-local counters, gauges, and
+  histogram timers (:mod:`repro.obs.metrics`);
+* :func:`trace` — spans with pluggable sinks: no-op, stdlib logging,
+  or JSON lines (:mod:`repro.obs.trace`);
+* :func:`profiled` — wall time + call counts per function
+  (:mod:`repro.obs.profile`).
+
+Everything is **off by default and free while off**: the hot ranking
+kernels check one flag per call and skip all bookkeeping.  Turn
+collection on per process with :func:`configure`, per registry with
+:meth:`MetricsRegistry.enable`, or ambiently with ``REPRO_METRICS=1``.
+
+>>> from repro.obs import configure, get_registry, trace
+>>> configure(enabled=True)
+>>> with trace("demo", n=3):
+...     get_registry().counter("demo.tuples").inc(3)
+>>> get_registry().snapshot()["counters"]["demo.tuples"]
+3
+>>> configure(enabled=False)
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
+from repro.obs.profile import profiled
+from repro.obs.trace import (
+    JsonlSink,
+    LoggingSink,
+    NullSink,
+    Sink,
+    current_span_id,
+    get_sink,
+    set_sink,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LoggingSink",
+    "MetricsRegistry",
+    "NullSink",
+    "Sink",
+    "configure",
+    "count",
+    "current_span_id",
+    "get_registry",
+    "get_sink",
+    "metrics_enabled",
+    "profiled",
+    "set_registry",
+    "set_sink",
+    "trace",
+]
+
+
+def configure(
+    *,
+    enabled: bool | None = None,
+    sink: Sink | None = None,
+) -> None:
+    """One-call setup: flip collection on/off and/or install a sink.
+
+    ``configure(enabled=True, sink=JsonlSink("trace.jsonl"))`` is the
+    typical whole-process opt-in; omitted arguments leave the current
+    state alone.
+    """
+    if enabled is not None:
+        registry = get_registry()
+        if enabled:
+            registry.enable()
+        else:
+            registry.disable()
+    if sink is not None:
+        set_sink(sink)

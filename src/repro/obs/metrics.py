@@ -1,0 +1,325 @@
+"""Process-local metrics: counters, gauges, and histogram timers.
+
+The registry is the single collection point for everything the library
+observes about itself — call counts, wall-clock timings, and the
+paper's own cost metric, tuples accessed (Sections 5.2/6.2 motivate
+pruning entirely through that count).  Two design rules keep it safe
+to thread through the hot kernels:
+
+* **Disabled means free.**  A disabled registry hands out shared no-op
+  instruments and every recording helper checks ``registry.enabled``
+  first, so the vectorized kernels pay at most one attribute load per
+  *call* (never per tuple) when observability is off — which is the
+  default.
+* **Aggregates only.**  Histograms keep count/total/min/max rather
+  than samples, so a million observations cost the same memory as one.
+
+Enable collection explicitly (:func:`MetricsRegistry.enable`, the CLI
+``--metrics-out`` flag) or ambiently via the ``REPRO_METRICS=1``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from time import perf_counter
+from types import TracebackType
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "count",
+    "get_registry",
+    "metrics_enabled",
+    "set_registry",
+]
+
+
+class Counter:
+    """A monotonically adjusted total (use :meth:`reset` to zero it)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to the running total."""
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = None
+
+
+class _Timing:
+    """Context manager that feeds elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timing":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        self._histogram.observe(perf_counter() - self._start)
+
+
+class Histogram:
+    """Aggregate distribution summary: count, total, min, max, mean."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def time(self) -> _Timing:
+        """``with histogram.time(): ...`` records the block's seconds."""
+        return _Timing(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def summary(self) -> dict[str, float]:
+        """The aggregates as a plain dict (empty histogram -> zeros)."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class _NullCounter:
+    """Shared do-nothing counter handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<disabled>"
+    value = None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<disabled>"
+    count = 0
+    total = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def time(self) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def reset(self) -> None:
+        return None
+
+    def summary(self) -> dict[str, float]:
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0}
+
+
+_NULL_CONTEXT = _NullContext()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Create-or-get instruments by name; snapshot them as plain data.
+
+    Instrument creation is locked (safe under threads); recording is a
+    plain ``+=`` — the registry is process-local and best-effort by
+    design, matching its benchmark/diagnostic purpose.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (a shared no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name)
+                )
+        return instrument
+
+    def timer(self, name: str) -> _Timing | _NullContext:
+        """``with registry.timer("x"): ...`` — histogram sugar."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self.histogram(name).time()
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as one JSON-serialisable dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: instrument.value
+                    for name, instrument in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: instrument.value
+                    for name, instrument in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: instrument.summary()
+                    for name, instrument in sorted(
+                        self._histograms.items()
+                    )
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every instrument (names and identities survive)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for gauge in self._gauges.values():
+                gauge.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
+
+
+_registry = MetricsRegistry(
+    enabled=bool(os.environ.get("REPRO_METRICS"))
+)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def metrics_enabled() -> bool:
+    """Whether the default registry is currently recording."""
+    return _registry.enabled
+
+
+def count(name: str, amount: float = 1) -> None:
+    """Add to a default-registry counter; free when disabled."""
+    registry = _registry
+    if registry.enabled:
+        registry.counter(name).inc(amount)

@@ -1,0 +1,229 @@
+"""Lightweight spans with pluggable sinks.
+
+A *span* wraps one logical operation — a ranking query, a kernel
+invocation, a benchmark repetition — and records its duration plus
+free-form attributes:
+
+    with trace("t_erank", n=relation.size):
+        tuple_expected_ranks(relation)
+
+Spans nest via a :mod:`contextvars` stack, so a query span shows the
+kernel spans it contains through their ``parent_id``.  Finished spans
+go to the configured sink (:class:`NullSink` by default,
+:class:`LoggingSink` for stdlib logging, :class:`JsonlSink` for a
+machine-readable trace file) and their durations also land in the
+default metrics registry as ``span.<name>.seconds`` histograms.
+
+Tracing follows the registry's enablement: when the default registry
+is disabled, :func:`trace` returns a shared no-op handle and costs one
+attribute load — the same zero-cost contract as the metrics layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import time
+from contextvars import ContextVar
+from pathlib import Path
+from types import TracebackType
+from typing import IO, Protocol
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "JsonlSink",
+    "LoggingSink",
+    "NullSink",
+    "Sink",
+    "current_span_id",
+    "get_sink",
+    "set_sink",
+    "trace",
+]
+
+
+class Sink(Protocol):
+    """Anything that accepts finished-span dictionaries."""
+
+    def emit(self, span: dict) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class NullSink:
+    """Discards spans (the default)."""
+
+    def emit(self, span: dict) -> None:
+        return None
+
+
+class LoggingSink:
+    """Forwards spans to a stdlib logger, one INFO record each."""
+
+    def __init__(
+        self,
+        logger: logging.Logger | None = None,
+        *,
+        level: int = logging.INFO,
+    ) -> None:
+        self.logger = logger if logger is not None else logging.getLogger(
+            "repro.obs"
+        )
+        self.level = level
+
+    def emit(self, span: dict) -> None:
+        self.logger.log(
+            self.level,
+            "span %s: %.6fs %s",
+            span.get("name"),
+            span.get("duration_seconds", 0.0),
+            span.get("attributes") or "",
+        )
+
+
+class JsonlSink:
+    """Appends one JSON object per span to a file (JSON lines).
+
+    Accepts a path (opened lazily, append mode) or an open text
+    stream.  :meth:`write` takes arbitrary JSON-serialisable records,
+    which the CLI uses to append a final metrics snapshot after the
+    span lines.
+    """
+
+    def __init__(self, target: Path | str | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._path: Path | None = Path(target)
+            self._stream: IO[str] | None = None
+        else:
+            self._path = None
+            self._stream = target
+
+    def _handle(self) -> IO[str]:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = self._path.open("a")
+        return self._stream
+
+    def emit(self, span: dict) -> None:
+        self.write(span)
+
+    def write(self, record: dict) -> None:
+        handle = self._handle()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._stream is not None and self._path is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+_sink: Sink = NullSink()
+_span_ids = itertools.count(1)
+_active_span: ContextVar[int | None] = ContextVar(
+    "repro_active_span", default=None
+)
+
+
+def get_sink() -> Sink:
+    """The sink finished spans are emitted to."""
+    return _sink
+
+
+def set_sink(sink: Sink) -> Sink:
+    """Swap the span sink; returns the previous one."""
+    global _sink
+    previous = _sink
+    _sink = sink
+    return previous
+
+
+def current_span_id() -> int | None:
+    """The innermost active span's id, if any (for correlation)."""
+    return _active_span.get()
+
+
+class _SpanHandle:
+    """Live span: times the block, then emits and records it."""
+
+    __slots__ = ("name", "attributes", "span_id", "parent_id",
+                 "_start", "_token", "error")
+
+    def __init__(self, name: str, attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.span_id = next(_span_ids)
+        self.parent_id: int | None = None
+        self.error: str | None = None
+        self._start = 0.0
+        self._token = None
+
+    def __enter__(self) -> "_SpanHandle":
+        self.parent_id = _active_span.get()
+        self._token = _active_span.set(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        duration = time.perf_counter() - self._start
+        if self._token is not None:
+            _active_span.reset(self._token)
+        if exc is not None:
+            self.error = f"{type(exc).__name__}: {exc}"
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(f"span.{self.name}.seconds").observe(
+                duration
+            )
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_seconds": duration,
+            "attributes": self.attributes,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        _sink.emit(record)
+
+
+class _NullSpan:
+    """Shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    span_id = None
+    parent_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def trace(name: str, **attributes: object) -> _SpanHandle | _NullSpan:
+    """Open a span around a block: ``with trace("query", k=5): ...``.
+
+    Free (a shared no-op handle) when the default registry is
+    disabled.
+    """
+    if not get_registry().enabled:
+        return _NULL_SPAN
+    return _SpanHandle(name, attributes)

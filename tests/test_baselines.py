@@ -25,9 +25,6 @@ from repro.datagen import (
 )
 from repro.exceptions import RankingError, UnsupportedModelError
 from repro.models import (
-    AttributeLevelRelation,
-    AttributeTuple,
-    DiscretePDF,
     TupleLevelRelation,
     TupleLevelTuple,
 )

@@ -1,0 +1,158 @@
+"""The perf-smoke baseline runner and the compare gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.bench.baseline as baseline_module
+from repro.bench.baseline import run_suite, write_baseline
+from repro.bench.compare import compare_documents
+from repro.bench.compare import main as compare_main
+
+
+# Tiny and fast: every workload shrunk ~50x, single repetition.
+TEST_SCALE = 0.02
+TIMED_CASES = {
+    "a_erank/uu/n=2000/seconds",
+    "t_erank/uu/n=4000/seconds",
+}
+
+
+@pytest.fixture(scope="module")
+def small_document():
+    return run_suite(scale=TEST_SCALE, repeats=1)
+
+
+class TestRunSuite:
+    def test_document_shape(self, small_document):
+        assert small_document["schema"] == 1
+        assert small_document["suite"] == "repro-perf-smoke"
+        assert small_document["metrics"]
+        for entry in small_document["metrics"].values():
+            assert entry["kind"] in {"seconds", "count"}
+            assert entry["value"] >= 0.0
+
+    def test_count_metrics_are_deterministic(self):
+        first = run_suite(
+            scale=TEST_SCALE,
+            repeats=1,
+            names={"t_erank_prune/uu/n=4000/k=10/tuples_accessed"},
+        )
+        second = run_suite(
+            scale=TEST_SCALE,
+            repeats=1,
+            names={"t_erank_prune/uu/n=4000/k=10/tuples_accessed"},
+        )
+        assert first["metrics"] == second["metrics"]
+
+    def test_unknown_case_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown case"):
+            run_suite(scale=TEST_SCALE, repeats=1, names={"nope"})
+
+    def test_write_round_trip(self, small_document, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(small_document, path)
+        assert json.loads(path.read_text()) == small_document
+
+
+class TestCompareDocuments:
+    def test_identical_documents_pass(self, small_document):
+        comparisons = compare_documents(small_document, small_document)
+        assert not any(entry.regressed for entry in comparisons)
+
+    def test_missing_metric_is_a_regression(self, small_document):
+        current = json.loads(json.dumps(small_document))
+        dropped = next(iter(current["metrics"]))
+        del current["metrics"][dropped]
+        comparisons = compare_documents(small_document, current)
+        missing = [c for c in comparisons if c.name == dropped]
+        assert missing[0].regressed
+        assert missing[0].current is None
+
+    def test_extra_metric_is_reported_not_failed(self, small_document):
+        current = json.loads(json.dumps(small_document))
+        current["metrics"]["brand/new"] = {"kind": "count", "value": 1}
+        comparisons = compare_documents(small_document, current)
+        extra = [c for c in comparisons if c.name == "brand/new"]
+        assert extra and not extra[0].regressed
+
+    def test_improvement_never_fails(self, small_document):
+        current = json.loads(json.dumps(small_document))
+        for entry in current["metrics"].values():
+            entry["value"] *= 0.1
+        comparisons = compare_documents(small_document, current)
+        assert not any(entry.regressed for entry in comparisons)
+
+    def test_count_regression_beyond_tolerance_fails(self, small_document):
+        current = json.loads(json.dumps(small_document))
+        name = "t_erank_prune/uu/n=4000/k=10/tuples_accessed"
+        current["metrics"][name]["value"] *= 2
+        comparisons = compare_documents(small_document, current)
+        assert any(
+            entry.name == name and entry.regressed
+            for entry in comparisons
+        )
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_exit_zero_on_unchanged_tree(self, tmp_path, capsys):
+        """Two consecutive runs of the same tree stay within tolerance."""
+        reference = run_suite(
+            scale=TEST_SCALE, repeats=3, names=TIMED_CASES
+        )
+        fresh = run_suite(scale=TEST_SCALE, repeats=3, names=TIMED_CASES)
+        baseline_path = self._write(tmp_path, "base.json", reference)
+        fresh_path = self._write(tmp_path, "fresh.json", fresh)
+        # Generous CI-style tolerance: identical code must pass.
+        code = compare_main(
+            [str(baseline_path), str(fresh_path), "--time-tolerance", "4"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_when_kernel_slowed(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """An artificially slowed kernel trips the gate."""
+        reference = run_suite(
+            scale=TEST_SCALE, repeats=1, names=TIMED_CASES
+        )
+        baseline_path = self._write(tmp_path, "base.json", reference)
+
+        import time
+
+        from repro.core import tuple_expected_rank as kernel_module
+
+        real_kernel = kernel_module.tuple_expected_ranks
+
+        def slowed(relation, **kwargs):
+            time.sleep(0.05)  # huge next to the ~1ms tiny-scale pass
+            return real_kernel(relation, **kwargs)
+
+        monkeypatch.setattr(
+            baseline_module, "tuple_expected_ranks", slowed
+        )
+        fresh = run_suite(scale=TEST_SCALE, repeats=1, names=TIMED_CASES)
+        fresh_path = self._write(tmp_path, "fresh.json", fresh)
+        code = compare_main(
+            [str(baseline_path), str(fresh_path), "--time-tolerance", "4"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESS" in out
+        assert "t_erank/uu/n=4000/seconds" in out
+
+    def test_unreadable_input_is_usage_error(self, tmp_path, capsys):
+        good = self._write(
+            tmp_path, "base.json", {"metrics": {}}
+        )
+        code = compare_main([str(good), str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import load_relation, main
@@ -284,3 +286,67 @@ class TestGenerateCommand:
         capsys.readouterr()
         assert main(["topk", str(out), "-k", "5"]) == 0
         assert "top-5" in capsys.readouterr().out
+
+
+class TestMetricsOut:
+    def test_topk_writes_spans_and_snapshot(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        out = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "--metrics-out",
+                str(out),
+                "topk",
+                str(attribute_csv),
+                "-k",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "top-2" in capsys.readouterr().out
+        lines = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        # Spans stream first; the registry snapshot closes the file.
+        assert lines[-1]["type"] == "metrics"
+        span_names = [
+            line["name"] for line in lines if line["type"] == "span"
+        ]
+        assert "cli.topk" in span_names
+        counters = lines[-1]["counters"]
+        assert counters["a_erank.calls"] == 1
+        # Figure 2 relation: the exact pass reads all three tuples.
+        assert counters["a_erank.tuples_accessed"] == 3
+        assert "a_erank.seconds" in lines[-1]["histograms"]
+
+    def test_main_restores_ambient_observability(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        from repro.obs import get_registry, get_sink
+
+        before_registry = get_registry()
+        before_sink = get_sink()
+        main(
+            [
+                "--metrics-out",
+                str(tmp_path / "m.jsonl"),
+                "topk",
+                str(attribute_csv),
+                "-k",
+                "1",
+            ]
+        )
+        capsys.readouterr()
+        assert get_registry() is before_registry
+        assert get_sink() is before_sink
+
+    def test_without_flag_no_file_and_registry_untouched(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        from repro.obs import get_registry
+
+        main(["topk", str(attribute_csv), "-k", "1"])
+        capsys.readouterr()
+        assert not list(tmp_path.glob("*.jsonl"))
+        assert not get_registry().snapshot()["counters"]

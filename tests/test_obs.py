@@ -1,0 +1,313 @@
+"""The observability layer: registry, spans, sinks, ``@profiled``."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.core.tuple_expected_rank import (
+    t_erank_prune,
+    tuple_expected_ranks,
+)
+from repro.engine.access import AccessCounter, score_cursor
+from repro.engine.query import TopKPlanner
+from repro.obs import (
+    JsonlSink,
+    LoggingSink,
+    MetricsRegistry,
+    NullSink,
+    configure,
+    count,
+    metrics_enabled,
+    profiled,
+    set_registry,
+    set_sink,
+    trace,
+)
+
+
+@pytest.fixture
+def registry():
+    """A fresh enabled registry installed as the default, then removed."""
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_registry(fresh)
+    previous_sink = set_sink(NullSink())
+    yield fresh
+    set_sink(previous_sink)
+    set_registry(previous)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self, registry):
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.counter("c").value == 5
+
+    def test_counter_identity_is_stable(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_gauge_last_write_wins(self, registry):
+        registry.gauge("g").set(1.0)
+        registry.gauge("g").set(7.5)
+        assert registry.gauge("g").value == 7.5
+
+    def test_histogram_aggregates(self, registry):
+        histogram = registry.histogram("h")
+        for value in (2.0, 1.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 7.0
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == pytest.approx(7.0 / 3.0)
+
+    def test_timer_records_into_histogram(self, registry):
+        with registry.timer("t"):
+            pass
+        summary = registry.histogram("t").summary()
+        assert summary["count"] == 1
+        assert summary["total"] >= 0.0
+
+    def test_snapshot_is_plain_json_data(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(3.0)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"]["c"] == 2
+        assert snapshot["gauges"]["g"] == 3.0
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_reset_zeroes_everything(self, registry):
+        registry.counter("c").inc(9)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert registry.snapshot()["counters"]["c"] == 0
+        assert registry.snapshot()["histograms"]["h"]["count"] == 0
+
+    def test_count_helper_uses_default_registry(self, registry):
+        count("helper", 3)
+        assert registry.counter("helper").value == 3
+
+
+class TestDisabledMode:
+    def test_disabled_registry_hands_out_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(2.0)
+        with registry.timer("t"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_disable_stops_recording_but_keeps_values(self, registry):
+        registry.counter("c").inc(2)
+        registry.disable()
+        registry.counter("c").inc(100)
+        assert registry.snapshot()["counters"]["c"] == 2
+        registry.enable()
+        registry.counter("c").inc()
+        assert registry.snapshot()["counters"]["c"] == 3
+
+    def test_trace_is_noop_while_disabled(self, registry):
+        registry.disable()
+        handle = trace("nothing", n=1)
+        with handle:
+            pass
+        assert handle.span_id is None
+        assert "span.nothing.seconds" not in (
+            registry.snapshot()["histograms"]
+        )
+
+    def test_profiled_skips_bookkeeping_while_disabled(self, registry):
+        registry.disable()
+
+        @profiled("probe")
+        def work():
+            return 42
+
+        assert work() == 42
+        assert registry.snapshot()["counters"] == {}
+
+    def test_configure_round_trip(self, registry):
+        configure(enabled=False)
+        assert not metrics_enabled()
+        configure(enabled=True)
+        assert metrics_enabled()
+
+
+class TestSpans:
+    def test_span_records_duration_histogram(self, registry):
+        with trace("op", n=10):
+            pass
+        summary = registry.snapshot()["histograms"]["span.op.seconds"]
+        assert summary["count"] == 1
+
+    def test_nested_spans_link_parent(self, registry):
+        captured = []
+
+        class Capture:
+            def emit(self, span):
+                captured.append(span)
+
+        set_sink(Capture())
+        with trace("outer") as outer:
+            with trace("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert [span["name"] for span in captured] == ["inner", "outer"]
+        assert captured[0]["parent_id"] == captured[1]["span_id"]
+
+    def test_span_captures_error_and_reraises(self, registry):
+        captured = []
+
+        class Capture:
+            def emit(self, span):
+                captured.append(span)
+
+        set_sink(Capture())
+        with pytest.raises(ValueError):
+            with trace("boom"):
+                raise ValueError("bad")
+        assert captured[0]["error"] == "ValueError: bad"
+
+    def test_logging_sink_emits_one_record(self, registry, caplog):
+        set_sink(LoggingSink())
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            with trace("logged"):
+                pass
+        assert any("logged" in record.message for record in caplog.records)
+
+    def test_jsonl_sink_round_trip(self, registry, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        set_sink(sink)
+        with trace("first", n=3):
+            pass
+        with trace("second"):
+            pass
+        sink.write({"type": "metrics", "extra": True})
+        sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert [line["type"] for line in lines] == [
+            "span", "span", "metrics",
+        ]
+        assert lines[0]["name"] == "first"
+        assert lines[0]["attributes"] == {"n": 3}
+        assert lines[0]["duration_seconds"] >= 0.0
+
+
+class TestProfiled:
+    def test_records_calls_and_seconds(self, registry):
+        @profiled("unit")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work(2) == 3
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["unit.calls"] == 2
+        assert snapshot["histograms"]["unit.seconds"]["count"] == 2
+
+    def test_bare_decorator_derives_name(self, registry):
+        @profiled
+        def derived():
+            return None
+
+        derived()
+        assert "test_obs.derived.calls" in (
+            registry.snapshot()["counters"]
+        )
+
+    def test_records_even_when_function_raises(self, registry):
+        @profiled("fails")
+        def explode():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            explode()
+        assert registry.snapshot()["counters"]["fails.calls"] == 1
+
+
+class TestKernelInstrumentation:
+    def test_t_erank_records_tuples_accessed(self, registry, fig4):
+        ranks = tuple_expected_ranks(fig4)
+        assert len(ranks) == 4
+        snapshot = registry.snapshot()
+        # The exact pass reads every tuple of the Figure 4 relation.
+        assert snapshot["counters"]["t_erank.tuples_accessed"] == 4
+        assert snapshot["counters"]["t_erank.calls"] == 1
+        assert snapshot["histograms"]["t_erank.seconds"]["count"] == 1
+
+    def test_prune_counter_matches_result_metadata(self, registry, fig4):
+        result = t_erank_prune(fig4, 2)
+        snapshot = registry.snapshot()
+        assert (
+            snapshot["counters"]["t_erank_prune.tuples_accessed"]
+            == result.metadata["tuples_accessed"]
+        )
+
+    def test_planner_counts_method_and_accesses(self, registry, fig4):
+        result = TopKPlanner().execute(fig4, 2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["query.method.expected_rank"] == 1
+        assert (
+            snapshot["counters"]["query.tuples_accessed"]
+            == result.metadata["tuples_accessed"]
+        )
+        assert (
+            snapshot["histograms"]["span.query.execute.seconds"]["count"]
+            == 1
+        )
+
+    def test_results_identical_with_obs_on_and_off(self, registry, fig4):
+        enabled = tuple_expected_ranks(fig4)
+        registry.disable()
+        disabled = tuple_expected_ranks(fig4)
+        assert enabled == disabled
+
+
+class TestAccessCounter:
+    def test_zero_latency_never_sleeps(self, monkeypatch):
+        def forbidden(_seconds):
+            raise AssertionError("time.sleep entered with zero latency")
+
+        monkeypatch.setattr("repro.engine.access.time.sleep", forbidden)
+        counter = AccessCounter()
+        for _ in range(100):
+            counter.charge()
+        assert counter.count == 100
+
+    def test_reset_allows_reuse_across_repetitions(self, fig4):
+        counter = AccessCounter()
+        for _ in score_cursor(fig4, counter):
+            pass
+        assert counter.count == 4
+        counter.reset()
+        assert counter.count == 0
+        for _ in score_cursor(fig4, counter):
+            pass
+        assert counter.count == 4
+
+    def test_charge_flows_into_registry(self, registry, fig4):
+        counter = AccessCounter()
+        for _ in score_cursor(fig4, counter):
+            pass
+        assert (
+            registry.snapshot()["counters"]["engine.tuples_accessed"] == 4
+        )
+
+    def test_charge_skips_registry_when_disabled(self, registry, fig4):
+        registry.disable()
+        counter = AccessCounter()
+        counter.charge()
+        registry.enable()
+        assert "engine.tuples_accessed" not in (
+            registry.snapshot()["counters"]
+        )

@@ -8,7 +8,6 @@ implements the paper.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.bench import attribute_workload, tuple_workload
 from repro.core import (

@@ -9,7 +9,6 @@ from repro.models import (
     AttributeLevelRelation,
     AttributeTuple,
     DiscretePDF,
-    ExclusionRule,
     TupleLevelRelation,
     TupleLevelTuple,
     enumerate_attribute_worlds,

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.bench.report import build_report, main
+from repro.bench.report import baseline_section, build_report, main
 
 
 @pytest.fixture
@@ -39,6 +41,33 @@ class TestBuildReport:
         empty.mkdir()
         with pytest.raises(ValueError):
             build_report(empty)
+
+    def test_baseline_section_appended(self, results_dir, tmp_path):
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text(json.dumps({
+            "metrics": {
+                "t_erank/uu/n=4000/seconds": {
+                    "kind": "seconds", "value": 0.25,
+                },
+                "t_erank_prune/uu/k=10/tuples_accessed": {
+                    "kind": "count", "value": 358.0,
+                },
+            },
+            "environment": {"python": "3.11.7"},
+        }))
+        report = build_report(
+            results_dir, timestamp="T", baseline=baseline
+        )
+        assert "## Perf-smoke baseline" in report
+        assert "`t_erank/uu/n=4000/seconds` | seconds | 0.25" in report
+        assert "358" in report
+        assert "python=3.11.7" in report
+
+    def test_baseline_section_rejects_non_baseline_json(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="metrics"):
+            baseline_section(bogus)
 
 
 class TestMain:

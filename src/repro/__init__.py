@@ -14,7 +14,11 @@ for Probabilistic Data and Expected Ranks"* (Cormode, Li, Yi — ICDE
   Figure 5 (:mod:`repro.core.properties`);
 * a small probabilistic database engine (:mod:`repro.engine`),
   synthetic workload generators (:mod:`repro.datagen`), and the
-  benchmark harness behind EXPERIMENTS.md (:mod:`repro.bench`).
+  benchmark harness behind EXPERIMENTS.md (:mod:`repro.bench`);
+* resilience primitives — fault injection, retry/backoff/deadlines,
+  lenient-ingest quarantine (:mod:`repro.robust`) — behind the
+  engine's :class:`~repro.engine.query.ResilientExecutor`
+  degradation ladder.
 
 Quickstart
 ----------

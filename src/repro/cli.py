@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands cover the everyday workflow without writing Python:
+A handful of commands cover the everyday workflow without writing
+Python:
 
 * ``topk`` — run a ranking query over a relation file;
 * ``describe`` — relation metadata (model, sizes, uncertainty);
@@ -10,6 +11,20 @@ Four commands cover the everyday workflow without writing Python:
 Relation files are the CSV/JSON formats of :mod:`repro.engine.io`;
 CSVs are sniffed by header (a ``value`` column means attribute-level,
 a ``score`` column tuple-level).
+
+Robustness
+----------
+File-reading commands take ``--lenient`` (quarantine malformed rows
+instead of aborting; ``--quarantine-out`` persists the reject log as
+JSONL).  ``topk`` additionally takes ``--deadline-ms``,
+``--max-retries``, and the chaos knobs ``--inject-faults`` /
+``--fault-seed`` / ``--fault-latency-ms``; any of the resilience flags
+routes the query through the engine's
+:class:`~repro.engine.query.ResilientExecutor` degradation ladder
+(exact → pruned → Monte-Carlo) instead of the plain exact path.
+
+Errors never dump tracebacks: each :class:`~repro.exceptions.ReproError`
+family maps to its own exit code (see :data:`EXIT_CODES`).
 """
 
 from __future__ import annotations
@@ -29,23 +44,87 @@ from repro.engine.io import (
     save_json,
     save_tuple_csv,
 )
-from repro.exceptions import ReproError, SchemaError
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineError,
+    ModelError,
+    RankingError,
+    ReproError,
+    SchemaError,
+    UnknownMethodError,
+    WorkloadError,
+)
 from repro.models.attribute import AttributeLevelRelation
+from repro.robust import (
+    Deadline,
+    FaultInjector,
+    QuarantineLog,
+    RetryPolicy,
+    fault_seed_from_env,
+)
 
-__all__ = ["main", "build_parser", "load_relation"]
+__all__ = [
+    "EXIT_CODES",
+    "build_parser",
+    "exit_code_for",
+    "load_relation",
+    "main",
+]
+
+#: Exit code per error family, most-specific first.  Code 1 is the
+#: catch-all for a :class:`ReproError` outside every named family and
+#: 2 stays argparse's usage-error convention.
+EXIT_CODES: tuple[tuple[type[BaseException], int], ...] = (
+    (DeadlineExceededError, 7),
+    (SchemaError, 3),  # includes QuarantineError
+    (ModelError, 4),
+    (RankingError, 5),  # includes UnknownMethodError etc.
+    (WorkloadError, 8),
+    (EngineError, 6),  # remaining engine errors (incl. transient)
+    (ReproError, 1),
+    (OSError, 10),  # missing files and other environment errors
+)
 
 
-def load_relation(path: Path | str):
-    """Load a relation from ``.json`` or a sniffed ``.csv`` file."""
+def exit_code_for(error: BaseException) -> int:
+    """The process exit code for ``error`` (see :data:`EXIT_CODES`)."""
+    for family, code in EXIT_CODES:
+        if isinstance(error, family):
+            return code
+    return 1
+
+
+def load_relation(
+    path: Path | str,
+    *,
+    mode: str = "strict",
+    quarantine: QuarantineLog | None = None,
+    injector: FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+):
+    """Load a relation from ``.json`` or a sniffed ``.csv`` file.
+
+    Keywords are forwarded to the :mod:`repro.engine.io` loaders: the
+    strict/lenient ingest contract plus the resilience hooks (chaos
+    injector, retry policy, shared deadline).
+    """
     path = Path(path)
+    keywords = dict(
+        mode=mode,
+        quarantine=quarantine,
+        injector=injector,
+        retry=retry,
+        deadline=deadline,
+    )
     if path.suffix.lower() == ".json":
-        return load_json(path)
+        return load_json(path, **keywords)
     with path.open(newline="") as handle:
         header = next(csv.reader(handle), [])
     if "value" in header:
-        return load_attribute_csv(path)
+        return load_attribute_csv(path, **keywords)
     if "score" in header:
-        return load_tuple_csv(path)
+        return load_tuple_csv(path, **keywords)
     raise SchemaError(
         f"{path}: cannot tell the model from columns {header!r} "
         "(need a 'value' or 'score' column)"
@@ -73,8 +152,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    # Ingest flags shared by every file-reading command.
+    ingest = argparse.ArgumentParser(add_help=False)
+    ingest.add_argument(
+        "--lenient",
+        dest="lenient",
+        action="store_true",
+        help=(
+            "quarantine malformed input rows instead of aborting "
+            "(default: strict, fail on the first bad row)"
+        ),
+    )
+    ingest.add_argument(
+        "--strict",
+        dest="lenient",
+        action="store_false",
+        help="fail on the first malformed input row (the default)",
+    )
+    ingest.add_argument(
+        "--quarantine-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --lenient, append rejected rows to PATH as JSON "
+            "lines"
+        ),
+    )
+    ingest.set_defaults(lenient=False)
+
     topk = commands.add_parser(
-        "topk", help="run a top-k ranking query over a relation file"
+        "topk",
+        parents=[ingest],
+        help="run a top-k ranking query over a relation file",
     )
     topk.add_argument("file", type=Path, help="relation .csv or .json")
     topk.add_argument("-k", type=int, default=10, help="answers wanted")
@@ -107,20 +217,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full result as JSON instead of a table",
     )
+    topk.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "wall-clock budget for the query; when it cannot be met "
+            "the answer degrades exact -> pruned -> Monte-Carlo "
+            "instead of failing"
+        ),
+    )
+    topk.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "extra attempts per degradation rung on transient "
+            "data-access failures (default 3)"
+        ),
+    )
+    topk.add_argument(
+        "--inject-faults",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "chaos demo: inject transient data-access faults at "
+            "RATE in [0, 1] (deterministic per --fault-seed)"
+        ),
+    )
+    topk.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help=(
+            "seed for injected faults (default: REPRO_FAULT_SEED "
+            "or 0)"
+        ),
+    )
+    topk.add_argument(
+        "--fault-latency-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="injected per-access latency for the chaos demo",
+    )
 
     describe = commands.add_parser(
-        "describe", help="print relation metadata"
+        "describe", parents=[ingest], help="print relation metadata"
     )
     describe.add_argument("file", type=Path)
 
     distribution = commands.add_parser(
-        "distribution", help="print one tuple's rank distribution"
+        "distribution",
+        parents=[ingest],
+        help="print one tuple's rank distribution",
     )
     distribution.add_argument("file", type=Path)
     distribution.add_argument("tid", help="tuple identifier")
 
     explain = commands.add_parser(
         "explain",
+        parents=[ingest],
         help="explain why one tuple outranks another (expected rank)",
     )
     explain.add_argument("file", type=Path)
@@ -129,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     churn = commands.add_parser(
         "churn",
+        parents=[ingest],
         help="top-k churn under random input noise (robustness)",
     )
     churn.add_argument("file", type=Path)
@@ -149,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = commands.add_parser(
         "audit",
+        parents=[ingest],
         help="check the Section 4.1 ranking properties on a relation",
     )
     audit.add_argument("file", type=Path)
@@ -189,8 +351,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_for(args, **resilience):
+    """Load ``args.file`` honouring the shared ingest flags.
+
+    Lenient mode collects rejects in a :class:`QuarantineLog`
+    (persisted to ``--quarantine-out`` when given) and reports the
+    summary on stderr so stdout stays parseable.
+    """
+    quarantine = None
+    if getattr(args, "lenient", False):
+        quarantine = QuarantineLog(
+            path=getattr(args, "quarantine_out", None)
+        )
+    try:
+        relation = load_relation(
+            args.file,
+            mode="lenient" if quarantine is not None else "strict",
+            quarantine=quarantine,
+            **resilience,
+        )
+    finally:
+        if quarantine is not None:
+            quarantine.close()
+    if quarantine is not None and quarantine.rows:
+        print(quarantine.summary(), file=sys.stderr)
+    return relation
+
+
 def _command_topk(args) -> int:
-    relation = load_relation(args.file)
+    resilient = (
+        args.deadline_ms is not None
+        or args.max_retries is not None
+        or args.inject_faults is not None
+        or args.fault_latency_ms > 0
+    )
     options = {}
     if args.phi is not None:
         options["phi"] = args.phi
@@ -198,7 +392,49 @@ def _command_topk(args) -> int:
         options["threshold"] = args.threshold
     if args.ties is not None:
         options["ties"] = args.ties
-    result = rank(relation, args.k, method=args.method, **options)
+    if not resilient:
+        # The plain path is untouched by the resilience layer so that
+        # default invocations stay bit-identical to the exact engine
+        # (and free of its overhead).
+        relation = _load_for(args)
+        result = rank(relation, args.k, method=args.method, **options)
+    else:
+        from repro.engine.query import ResilientExecutor
+
+        seed = (
+            args.fault_seed
+            if args.fault_seed is not None
+            else fault_seed_from_env()
+        )
+        injector = None
+        if args.inject_faults is not None or args.fault_latency_ms > 0:
+            injector = FaultInjector(
+                error_rate=args.inject_faults or 0.0,
+                latency_rate=1.0 if args.fault_latency_ms > 0 else 0.0,
+                latency_seconds=args.fault_latency_ms / 1000.0,
+                seed=seed,
+            )
+        retry = RetryPolicy(
+            max_retries=(
+                args.max_retries if args.max_retries is not None else 3
+            ),
+            base_delay=0.01,
+            max_delay=0.1,
+        )
+        # The deadline governs the query ladder, not the load: the
+        # last ladder rung guarantees an answer, while an expired
+        # deadline mid-load could only fail.  The load still sees the
+        # chaos injector and survives its faults via the retry policy.
+        relation = _load_for(args, injector=injector, retry=retry)
+        executor = ResilientExecutor(
+            retry=retry,
+            deadline_ms=args.deadline_ms,
+            injector=injector,
+            seed=seed,
+        )
+        result = executor.execute(
+            relation, args.k, method=args.method, **options
+        )
     if args.json:
         import json as json_module
 
@@ -213,13 +449,22 @@ def _command_topk(args) -> int:
             "" if item.statistic is None else f"\t{item.statistic:.6g}"
         )
         print(f"{item.position + 1}\t{item.tid}{statistic}")
+    if result.metadata.get("resilient"):
+        meta = result.metadata
+        print(
+            f"resilience: degraded={meta['degraded']} "
+            f"method={meta['fallback_method']} "
+            f"attempts={meta['attempts']} "
+            f"faults_survived={meta['faults_survived']} "
+            f"faults_injected={meta['faults_injected']}"
+        )
     return 0
 
 
 def _command_describe(args) -> int:
     from repro.models.validation import diagnose
 
-    relation = load_relation(args.file)
+    relation = _load_for(args)
     if isinstance(relation, AttributeLevelRelation):
         print("model: attribute-level")
         print(f"tuples: {relation.size}")
@@ -250,7 +495,7 @@ def _command_describe(args) -> int:
 
 
 def _command_distribution(args) -> int:
-    relation = load_relation(args.file)
+    relation = _load_for(args)
     if isinstance(relation, AttributeLevelRelation):
         from repro.core import attribute_rank_distribution
 
@@ -271,7 +516,7 @@ def _command_distribution(args) -> int:
 def _command_explain(args) -> int:
     from repro.core.explain import explain_pair
 
-    relation = load_relation(args.file)
+    relation = _load_for(args)
     explanation = explain_pair(relation, args.better, args.worse)
     print(explanation.describe())
     return 0
@@ -280,7 +525,7 @@ def _command_explain(args) -> int:
 def _command_churn(args) -> int:
     from repro.core.sensitivity import stability_profile
 
-    relation = load_relation(args.file)
+    relation = _load_for(args)
     profile = stability_profile(
         relation,
         args.k,
@@ -309,15 +554,17 @@ def _command_audit(args) -> int:
     from repro.bench.harness import Table
     from repro.core.properties import PROPERTY_NAMES, property_matrix
 
-    relation = load_relation(args.file)
+    relation = _load_for(args)
     methods = {}
     for name in args.methods.split(","):
         name = name.strip()
         if not name:
             continue
         if name not in available_methods():
-            print(f"error: unknown method {name!r}", file=sys.stderr)
-            return 1
+            known = ", ".join(sorted(available_methods()))
+            raise UnknownMethodError(
+                f"unknown ranking method {name!r}; available: {known}"
+            )
         options = (
             {"threshold": args.threshold} if name == "pt_k" else {}
         )
@@ -427,12 +674,9 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
             return _run_with_metrics(args)
         return _COMMANDS[args.command](args)
-    except ReproError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -201,6 +201,24 @@ def _probability_only(
     return probability_only(relation, k, **options)
 
 
+@register_method("monte_carlo")
+def _monte_carlo(relation: Relation, k: int, **options) -> TopKResult:
+    """Sampled expected ranks with certified early stopping.
+
+    The generic possible-worlds estimator
+    (:func:`repro.core.monte_carlo.mc_expected_rank`) registered as a
+    first-class method: it is both the historical baseline the paper
+    argues against and the *last rung* of the resilient executor's
+    degradation ladder — an approximate answer at a cost bounded by
+    ``batch`` / ``max_samples``, usable when exact passes cannot
+    complete.  ``metadata["certified"]`` reports whether the
+    confidence band proved the answer exact-equivalent.
+    """
+    from repro.core.monte_carlo import mc_expected_rank
+
+    return mc_expected_rank(relation, k, **options)
+
+
 @register_method("prf_exponential")
 def _prf_exponential(
     relation: Relation, k: int, *, alpha: float = 0.9, **options

@@ -3,6 +3,7 @@ instrumented sorted access, and a planning top-k query front end."""
 
 from repro.engine.access import (
     AccessCounter,
+    ResilientCursor,
     SortedAccessCursor,
     expected_score_cursor,
     score_cursor,
@@ -23,7 +24,7 @@ from repro.engine.io import (
     save_json,
     save_tuple_csv,
 )
-from repro.engine.query import TopKPlan, TopKPlanner
+from repro.engine.query import ResilientExecutor, TopKPlan, TopKPlanner
 from repro.engine.views import RankingView
 from repro.engine.scoring import (
     score_attribute_records,
@@ -37,6 +38,8 @@ __all__ = [
     "ProbabilisticDatabase",
     "QueryLogEntry",
     "RankingView",
+    "ResilientCursor",
+    "ResilientExecutor",
     "SortedAccessCursor",
     "TopKPlan",
     "TopKPlanner",

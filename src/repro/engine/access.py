@@ -12,16 +12,19 @@ benchmark harness uses the counters to report the paper's
 
 from __future__ import annotations
 
+import random
 import time
-from typing import Generic, Iterator, Sequence, TypeVar
+from typing import Callable, Generic, Iterator, Sequence, TypeVar
 
 from repro.exceptions import EngineError
 from repro.models.attribute import AttributeLevelRelation, AttributeTuple
 from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
 from repro.obs import get_registry
+from repro.robust import Deadline, RetryPolicy, call_with_retry
 
 __all__ = [
     "AccessCounter",
+    "ResilientCursor",
     "SortedAccessCursor",
     "expected_score_cursor",
     "score_cursor",
@@ -115,6 +118,62 @@ class SortedAccessCursor(Generic[RowT]):
     def remaining(self) -> int:
         """Rows not yet accessed."""
         return len(self._rows) - self._next
+
+
+class ResilientCursor(Generic[RowT]):
+    """Retry-per-access wrapper over any row iterator.
+
+    Wraps a flaky source — typically a
+    :class:`~repro.robust.FaultyCursor` in chaos tests, a remote
+    cursor in production — and hides its transient failures behind the
+    :mod:`repro.robust.retry` policy: each ``next()`` is retried with
+    backoff until it yields a row, retries are exhausted, or the
+    shared ``deadline`` expires (raising
+    :class:`~repro.exceptions.DeadlineExceededError`, which the
+    resilient executor turns into a degradation step).
+
+    ``attempts`` and ``faults_survived`` accumulate across the whole
+    iteration so callers can fold them into result metadata.
+    """
+
+    def __init__(
+        self,
+        rows: Iterator[RowT],
+        *,
+        policy: RetryPolicy | None = None,
+        deadline: Deadline | None = None,
+        rng: random.Random | int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        operation: str = "cursor.next",
+    ) -> None:
+        self._rows = iter(rows)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.deadline = deadline
+        self.operation = operation
+        self.attempts = 0
+        self.faults_survived = 0
+        self._rng = (
+            rng
+            if isinstance(rng, random.Random)
+            else random.Random(rng)
+        )
+        self._sleep = sleep
+
+    def __iter__(self) -> "ResilientCursor[RowT]":
+        return self
+
+    def __next__(self) -> RowT:
+        row, stats = call_with_retry(
+            self.operation,
+            lambda: next(self._rows),
+            policy=self.policy,
+            deadline=self.deadline,
+            rng=self._rng,
+            sleep=self._sleep,
+        )
+        self.attempts += stats.attempts
+        self.faults_survived += stats.faults_survived
+        return row
 
 
 def expected_score_cursor(

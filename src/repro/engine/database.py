@@ -12,11 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.core.result import TopKResult
 from repro.core.semantics import rank
 from repro.engine.io import load_json, save_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.query import ResilientExecutor
 from repro.exceptions import EngineError, RelationNotFoundError
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.tuple_level import TupleLevelRelation
@@ -28,7 +31,12 @@ Relation = AttributeLevelRelation | TupleLevelRelation
 
 @dataclass(frozen=True)
 class QueryLogEntry:
-    """One executed ranking query, for auditing and experiments."""
+    """One executed ranking query, for auditing and experiments.
+
+    ``degraded`` / ``fallback_method`` are populated when the query
+    ran through a :class:`~repro.engine.query.ResilientExecutor` and
+    had to step down its degradation ladder.
+    """
 
     relation: str
     method: str
@@ -36,6 +44,8 @@ class QueryLogEntry:
     options: Mapping[str, object]
     tuples_accessed: int | None
     answer: tuple[str, ...]
+    degraded: bool = False
+    fallback_method: str | None = None
 
 
 class ProbabilisticDatabase:
@@ -135,15 +145,27 @@ class ProbabilisticDatabase:
         name: str,
         k: int,
         method: str = "expected_rank",
+        *,
+        executor: "ResilientExecutor | None" = None,
         **options,
     ) -> TopKResult:
         """Run a ranking query against a stored relation.
 
-        Every call is appended to :attr:`query_log`.
+        Every call is appended to :attr:`query_log`.  Pass a
+        :class:`~repro.engine.query.ResilientExecutor` to run the
+        query down the retry/degradation ladder instead of the plain
+        exact path; the log entry then records whether (and to what)
+        the answer degraded.
         """
         relation = self.relation(name)
-        result = rank(relation, k, method=method, **options)
+        if executor is not None:
+            result = executor.execute(
+                relation, k, method=method, **options
+            )
+        else:
+            result = rank(relation, k, method=method, **options)
         accessed = result.metadata.get("tuples_accessed")
+        degraded = bool(result.metadata.get("degraded", False))
         self._query_log.append(
             QueryLogEntry(
                 relation=name,
@@ -154,6 +176,12 @@ class ProbabilisticDatabase:
                     int(accessed) if accessed is not None else None
                 ),
                 answer=result.tids(),
+                degraded=degraded,
+                fallback_method=(
+                    str(result.metadata["fallback_method"])
+                    if degraded
+                    else None
+                ),
             )
         )
         return result

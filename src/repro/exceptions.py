@@ -19,6 +19,9 @@ __all__ = [
     "EngineError",
     "RelationNotFoundError",
     "SchemaError",
+    "QuarantineError",
+    "TransientAccessError",
+    "DeadlineExceededError",
     "WorkloadError",
 ]
 
@@ -80,6 +83,34 @@ class RelationNotFoundError(EngineError):
 
 class SchemaError(EngineError):
     """Loaded data does not match the expected relation schema."""
+
+
+class QuarantineError(SchemaError):
+    """Lenient ingest gave up: the reject budget was exceeded.
+
+    Lenient loaders quarantine malformed rows instead of raising, but a
+    :class:`~repro.robust.QuarantineLog` may carry a ``limit``; once more
+    rows are rejected than the limit allows, the input is considered
+    unsalvageable and this error reports the tally.
+    """
+
+
+class TransientAccessError(EngineError):
+    """A retriable data-access failure (flaky source, injected fault).
+
+    The retry layer (:mod:`repro.robust.retry`) treats this — alongside
+    raw :class:`OSError` — as worth another attempt; anything else
+    propagates immediately.
+    """
+
+
+class DeadlineExceededError(EngineError):
+    """An operation's deadline budget ran out before it completed.
+
+    Raised by :class:`repro.robust.Deadline` checks and by
+    per-attempt timeouts in the retry layer.  The resilient executor
+    catches it to step down the degradation ladder.
+    """
 
 
 class WorkloadError(ReproError):

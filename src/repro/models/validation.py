@@ -17,6 +17,7 @@ surface them to users.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -25,7 +26,52 @@ from repro.models.attribute import AttributeLevelRelation
 from repro.models.pdf import PROBABILITY_TOLERANCE
 from repro.models.tuple_level import TupleLevelRelation
 
-__all__ = ["Finding", "diagnose"]
+__all__ = [
+    "Finding",
+    "diagnose",
+    "probability_violation",
+    "score_violation",
+]
+
+
+def score_violation(value: object) -> str | None:
+    """Why ``value`` is unusable as a score, or ``None`` if it is fine.
+
+    The loaders call this *before* relation construction so rejects
+    carry source line numbers; the rule matches the model constructors
+    (finite floats only) plus the loader-level refusal of NaN/±inf that
+    ``float("nan")`` would otherwise smuggle through a CSV cell.
+    """
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return f"score {value!r} is not numeric"
+    if math.isnan(number):
+        return "score is NaN"
+    if math.isinf(number):
+        return f"score is {'+' if number > 0 else '-'}inf"
+    return None
+
+
+def probability_violation(value: object) -> str | None:
+    """Why ``value`` is unusable as a probability, or ``None``.
+
+    Ingest is stricter than the in-memory model: the model tolerates
+    ``p == 0`` (and :func:`diagnose` flags it), but a loaded row with
+    zero probability is dead weight that can never appear in any
+    world, so the loaders demand ``0 < p <= 1`` (within the shared
+    tolerance) and report everything else — including NaN, which fails
+    every comparison silently.
+    """
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return f"probability {value!r} is not numeric"
+    if math.isnan(number):
+        return "probability is NaN"
+    if not 0.0 < number <= 1.0 + PROBABILITY_TOLERANCE:
+        return f"probability {number!r} outside (0, 1]"
+    return None
 
 Relation = AttributeLevelRelation | TupleLevelRelation
 

@@ -1,0 +1,46 @@
+"""Resilience primitives: fault injection, retry/deadline, quarantine.
+
+Production data access fails in ways clean unit-test fixtures never
+exercise.  This package supplies the three pieces the engine threads
+together into resilient query execution:
+
+* :mod:`repro.robust.faults` — deterministic, seedable chaos
+  (transient errors, latency, corrupted/dropped rows);
+* :mod:`repro.robust.retry` — bounded stubbornness (exponential
+  backoff with jitter, per-attempt timeouts, shared deadlines);
+* :mod:`repro.robust.quarantine` — lenient ingest's structured reject
+  log.
+
+The consumer tying them together is
+:class:`repro.engine.query.ResilientExecutor`, which degrades
+exact → pruned → Monte-Carlo as faults and deadlines bite.
+"""
+
+from repro.robust.faults import (
+    CORRUPTION_TOKEN,
+    FaultInjector,
+    FaultyCursor,
+    fault_seed_from_env,
+)
+from repro.robust.quarantine import QuarantinedRow, QuarantineLog
+from repro.robust.retry import (
+    RETRIABLE_ERRORS,
+    Deadline,
+    RetryPolicy,
+    RetryStats,
+    call_with_retry,
+)
+
+__all__ = [
+    "CORRUPTION_TOKEN",
+    "Deadline",
+    "FaultInjector",
+    "FaultyCursor",
+    "QuarantineLog",
+    "QuarantinedRow",
+    "RETRIABLE_ERRORS",
+    "RetryPolicy",
+    "RetryStats",
+    "call_with_retry",
+    "fault_seed_from_env",
+]

@@ -1,0 +1,256 @@
+"""Deterministic, seedable fault injection for chaos testing.
+
+The engine's failure modes in production are environmental — flaky
+network mounts, slow disks, half-written CSVs — and none of them occur
+in unit tests unless simulated.  :class:`FaultInjector` simulates them
+*deterministically*: every decision comes from one ``random.Random``
+seeded up front, so a chaos run that found a bug replays exactly from
+its seed.
+
+Four fault kinds, each with an independent rate in ``[0, 1]``:
+
+* **transient errors** — :class:`~repro.exceptions.TransientAccessError`
+  raised from :meth:`FaultInjector.pulse`, standing in for the
+  retriable ``EIO``/timeout class of failures;
+* **latency** — :meth:`pulse` sleeps ``latency_seconds`` (through an
+  injectable ``sleep`` so tests stay instant);
+* **corrupted rows** — :meth:`mangle_row` replaces a random field with
+  garbage text, which downstream schema validation must then catch;
+* **dropped rows** — :meth:`mangle_row` returns ``None`` and the row
+  silently disappears, as with a truncated file.
+
+``fault_budget`` caps the *total* number of injected faults so that a
+high error rate cannot starve a retry loop forever: once the budget is
+spent the injector goes quiet and the system under test must recover.
+
+Every injected fault increments a ``robust.faults.injected.<kind>``
+counter in the :mod:`repro.obs` registry (free while observability is
+disabled, like all obs hooks).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Callable, Iterator, TypeVar
+
+from repro.exceptions import EngineError, TransientAccessError
+from repro.obs import count
+
+__all__ = [
+    "CORRUPTION_TOKEN",
+    "FaultInjector",
+    "FaultyCursor",
+    "fault_seed_from_env",
+]
+
+RowT = TypeVar("RowT")
+
+#: The garbage written into a corrupted field — deliberately
+#: non-numeric so schema validation trips over it.
+CORRUPTION_TOKEN = "\N{REPLACEMENT CHARACTER}corrupt"
+
+#: Environment variable chaos CI sets so every job replays one seed.
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+
+def fault_seed_from_env(default: int = 0) -> int:
+    """The chaos seed from ``REPRO_FAULT_SEED``, or ``default``."""
+    raw = os.environ.get(FAULT_SEED_ENV)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise EngineError(
+            f"{FAULT_SEED_ENV} must be an integer, got {raw!r}"
+        ) from None
+
+
+class FaultInjector:
+    """Seedable source of injected faults for relations and cursors.
+
+    Parameters
+    ----------
+    error_rate:
+        Probability that :meth:`pulse` raises a transient error.
+    latency_rate, latency_seconds:
+        Probability that :meth:`pulse` sleeps, and for how long.
+    corrupt_rate, drop_rate:
+        Per-row probabilities that :meth:`mangle_row` corrupts a field
+        or drops the row entirely.
+    seed:
+        Seeds the private RNG; identical seeds replay identical fault
+        sequences for the same call pattern.
+    fault_budget:
+        Total faults (of any kind) this injector may inject; ``None``
+        means unlimited.  A spent budget turns the injector into a
+        no-op, guaranteeing chaos tests terminate.
+    sleep:
+        Injected latency implementation (tests pass a stub).
+    """
+
+    def __init__(
+        self,
+        *,
+        error_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_seconds: float = 0.0,
+        corrupt_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+        fault_budget: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        for name, rate in (
+            ("error_rate", error_rate),
+            ("latency_rate", latency_rate),
+            ("corrupt_rate", corrupt_rate),
+            ("drop_rate", drop_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise EngineError(
+                    f"{name} must be in [0, 1], got {rate!r}"
+                )
+        if latency_seconds < 0.0:
+            raise EngineError(
+                f"latency_seconds must be >= 0, got {latency_seconds!r}"
+            )
+        if fault_budget is not None and fault_budget < 0:
+            raise EngineError(
+                f"fault_budget must be >= 0, got {fault_budget!r}"
+            )
+        self.error_rate = error_rate
+        self.latency_rate = latency_rate
+        self.latency_seconds = latency_seconds
+        self.corrupt_rate = corrupt_rate
+        self.drop_rate = drop_rate
+        self.seed = seed
+        self.fault_budget = fault_budget
+        self.injected: dict[str, int] = {
+            "error": 0,
+            "latency": 0,
+            "corrupt": 0,
+            "drop": 0,
+        }
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        """Faults injected so far, all kinds combined."""
+        return sum(self.injected.values())
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the fault budget is spent."""
+        return (
+            self.fault_budget is not None
+            and self.total_injected >= self.fault_budget
+        )
+
+    def _fire(self, kind: str, rate: float) -> bool:
+        """One budgeted coin flip; records the fault when it lands.
+
+        The RNG is advanced even for rate-0 kinds so that the decision
+        *sequence* depends only on the seed and the number of calls,
+        never on which rates happen to be zero — that is what makes a
+        chaos run replayable while tweaking one knob.
+        """
+        hit = self._rng.random() < rate
+        if not hit or self.exhausted:
+            return False
+        self.injected[kind] += 1
+        count(f"robust.faults.injected.{kind}")
+        return True
+
+    def reset(self) -> None:
+        """Replay from the start: reseed the RNG, zero the tallies."""
+        self._rng = random.Random(self.seed)
+        for kind in self.injected:
+            self.injected[kind] = 0
+
+    # ------------------------------------------------------------------
+    # Fault sites
+    # ------------------------------------------------------------------
+    def pulse(self, operation: str = "access") -> None:
+        """One data-access touchpoint: maybe sleep, maybe raise.
+
+        Latency is decided before the error so a slow-then-failing
+        source is representable; the transient error names the
+        operation for diagnostics.
+        """
+        if self._fire("latency", self.latency_rate):
+            self._sleep(self.latency_seconds)
+        if self._fire("error", self.error_rate):
+            raise TransientAccessError(
+                f"injected transient fault during {operation} "
+                f"(fault #{self.total_injected}, seed {self.seed})"
+            )
+
+    def latency_pulse(self, operation: str = "access") -> None:
+        """A latency-only touchpoint (no transient errors).
+
+        Used for per-row access inside a bulk read: at any meaningful
+        error rate, a per-row *error* chance would make an N-row pass
+        succeed with probability ``(1 - rate)**N`` — effectively never
+        — so row touchpoints inject only latency and row mangling,
+        while whole-operation touchpoints (:meth:`pulse`) carry the
+        transient-error risk.
+        """
+        if self._fire("latency", self.latency_rate):
+            self._sleep(self.latency_seconds)
+
+    def mangle_row(self, row: dict) -> dict | None:
+        """Row-level faults: ``None`` = dropped, else possibly corrupted.
+
+        Corruption replaces one (seeded-random) field value with
+        :data:`CORRUPTION_TOKEN`, leaving detection to schema
+        validation — exactly where a real bit-flip would surface.
+        """
+        if self._fire("drop", self.drop_rate):
+            return None
+        if self._fire("corrupt", self.corrupt_rate) and row:
+            victim = self._rng.choice(sorted(row))
+            row = dict(row)
+            row[victim] = CORRUPTION_TOKEN
+        return row
+
+
+class FaultyCursor(Iterator[RowT]):
+    """Wrap any row iterator with per-access fault injection.
+
+    Each ``next()`` first pulses the injector (which may raise a
+    transient error or inject latency) and only then draws from the
+    underlying iterator — so a failed access does **not** consume a
+    row, and simply calling ``next()`` again retries the same row, the
+    contract the retry layer relies on.
+    """
+
+    def __init__(
+        self,
+        rows: Iterator[RowT],
+        injector: FaultInjector,
+        *,
+        operation: str = "cursor.next",
+    ) -> None:
+        self._rows = iter(rows)
+        self._pending: list[RowT] = []
+        self.injector = injector
+        self.operation = operation
+
+    def __iter__(self) -> "FaultyCursor[RowT]":
+        return self
+
+    def __next__(self) -> RowT:
+        # Draw the row first (StopIteration must not be maskable by a
+        # fault), park it, then pulse; a raised fault leaves the row
+        # pending for the retry.
+        if not self._pending:
+            self._pending.append(next(self._rows))
+        self.injector.pulse(self.operation)
+        return self._pending.pop()

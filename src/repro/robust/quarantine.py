@@ -1,0 +1,155 @@
+"""Quarantine for malformed rows: lenient ingest's reject log.
+
+Strict ingest raises :class:`~repro.exceptions.SchemaError` on the
+first malformed row — correct for pipelines that must not proceed on
+bad data, hostile to bulk loads where one NaN among a million rows
+should not abort the job.  Lenient ingest routes each bad row here
+instead: a structured :class:`QuarantinedRow` (stable machine-readable
+``code``, human ``reason``, source ``line_number``, and the raw field
+values) collected by a :class:`QuarantineLog`.
+
+The log optionally streams to a JSONL reject file (one object per
+rejected row — the same "one JSON object per line" convention as the
+observability sink), and optionally enforces a ``limit``: rejecting
+more rows than the limit raises
+:class:`~repro.exceptions.QuarantineError`, the safety valve that keeps
+"lenient" from silently accepting a file that is mostly garbage.
+
+Each quarantined row also bumps the ``robust.quarantine.rows`` counter
+(and a per-code sibling) in the :mod:`repro.obs` registry.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Mapping
+
+from repro.exceptions import EngineError, QuarantineError
+from repro.obs import count
+
+__all__ = ["QuarantineLog", "QuarantinedRow"]
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One rejected input row.
+
+    ``code`` is stable and machine-checkable (e.g.
+    ``non_finite_score``, ``probability_out_of_range``,
+    ``duplicate_tid``); ``reason`` is for humans; ``line_number`` is
+    the 1-based source line (``None`` for non-line-oriented sources
+    such as JSON documents); ``raw`` preserves the offending fields.
+    """
+
+    code: str
+    reason: str
+    line_number: int | None = None
+    raw: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSONL rendering, used by the reject log."""
+        return {
+            "type": "quarantine",
+            "code": self.code,
+            "reason": self.reason,
+            "line_number": self.line_number,
+            "raw": dict(self.raw),
+        }
+
+    def __str__(self) -> str:
+        where = (
+            f"line {self.line_number}"
+            if self.line_number is not None
+            else "document"
+        )
+        return f"{where}: {self.code}: {self.reason}"
+
+
+class QuarantineLog:
+    """Collects rejected rows; optionally persists and bounds them.
+
+    Parameters
+    ----------
+    path:
+        When given, every rejection is appended to this file as one
+        JSON line, flushed immediately (a crashed load keeps its log).
+    limit:
+        Maximum rejections tolerated; one more raises
+        :class:`QuarantineError`.  ``None`` = unbounded.
+    """
+
+    def __init__(
+        self,
+        *,
+        path: Path | str | None = None,
+        limit: int | None = None,
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise EngineError(f"limit must be >= 0, got {limit!r}")
+        self.path = Path(path) if path is not None else None
+        self.limit = limit
+        self.rows: list[QuarantinedRow] = []
+        self._stream: IO[str] | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def add(
+        self,
+        code: str,
+        reason: str,
+        *,
+        line_number: int | None = None,
+        raw: Mapping[str, object] | None = None,
+    ) -> QuarantinedRow:
+        """Record one rejection; raises once past the limit."""
+        row = QuarantinedRow(code, reason, line_number, dict(raw or {}))
+        self.rows.append(row)
+        count("robust.quarantine.rows")
+        count(f"robust.quarantine.{code}")
+        if self.path is not None:
+            if self._stream is None:
+                self._stream = self.path.open("a")
+            self._stream.write(
+                json.dumps(row.to_dict(), sort_keys=True) + "\n"
+            )
+            self._stream.flush()
+        if self.limit is not None and len(self.rows) > self.limit:
+            raise QuarantineError(
+                f"quarantined {len(self.rows)} rows, more than the "
+                f"limit of {self.limit}; refusing to continue "
+                f"(last: {row})"
+            )
+        return row
+
+    def by_code(self) -> dict[str, int]:
+        """Rejection tally per stable code."""
+        return dict(TallyCounter(row.code for row in self.rows))
+
+    def summary(self) -> str:
+        """One line for logs: total plus per-code counts."""
+        if not self.rows:
+            return "quarantine: empty"
+        parts = ", ".join(
+            f"{code}={total}"
+            for code, total in sorted(self.by_code().items())
+        )
+        return f"quarantine: {len(self.rows)} row(s) ({parts})"
+
+    def close(self) -> None:
+        """Close the reject-log stream, if one was opened."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "QuarantineLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

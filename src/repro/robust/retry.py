@@ -1,0 +1,275 @@
+"""Retry with exponential backoff, per-attempt timeouts, and deadlines.
+
+Transient failures (see :mod:`repro.robust.faults` for their simulated
+form) are survivable by retrying; everything here exists to retry
+*bounded-ly*:
+
+* :class:`RetryPolicy` — how many extra attempts, how long to back off
+  (exponential with full jitter, capped), and an optional per-attempt
+  timeout;
+* :class:`Deadline` — a monotonic wall-clock budget shared across
+  attempts and across the degradation ladder's rungs; expiry raises
+  :class:`~repro.exceptions.DeadlineExceededError`;
+* :func:`call_with_retry` — runs a callable under a policy + deadline,
+  classifying only :class:`~repro.exceptions.TransientAccessError` and
+  raw :class:`OSError` as retriable, and returns the result together
+  with a :class:`RetryStats` audit trail.
+
+Per-attempt timeouts run the attempt on a helper thread and abandon it
+on expiry (Python cannot preempt arbitrary code); that cost is why the
+timeout is opt-in and the plain path stays thread-free.
+
+Observability: attempts, faults survived, exhaustions, and backoff
+sleep all land in the :mod:`repro.obs` registry under ``robust.retry.*``
+(free while disabled).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineError,
+    TransientAccessError,
+)
+from repro.obs import count, get_registry
+
+__all__ = [
+    "RETRIABLE_ERRORS",
+    "Deadline",
+    "RetryPolicy",
+    "RetryStats",
+    "call_with_retry",
+]
+
+ResultT = TypeVar("ResultT")
+
+#: What one more attempt might fix.  Everything else propagates.
+RETRIABLE_ERRORS: tuple[type[BaseException], ...] = (
+    TransientAccessError,
+    OSError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How stubbornly to retry a retriable failure.
+
+    ``max_retries`` counts *extra* attempts: 3 retries = up to 4 calls.
+    Backoff before retry ``i`` (1-based) is drawn uniformly from
+    ``[0, min(base_delay * multiplier**(i-1), max_delay)]`` — "full
+    jitter", which decorrelates competing clients; set ``jitter=False``
+    for the deterministic upper envelope.
+    ``attempt_timeout`` (seconds) abandons any single attempt that runs
+    longer, treating it as a transient failure.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: bool = True
+    attempt_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise EngineError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise EngineError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise EngineError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise EngineError(
+                f"attempt_timeout must be > 0, got {self.attempt_timeout!r}"
+            )
+
+    def backoff(self, retry_number: int, rng: random.Random) -> float:
+        """Seconds to sleep before retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            raise EngineError(
+                f"retry_number must be >= 1, got {retry_number!r}"
+            )
+        envelope = min(
+            self.base_delay * self.multiplier ** (retry_number - 1),
+            self.max_delay,
+        )
+        if not self.jitter:
+            return envelope
+        return rng.uniform(0.0, envelope)
+
+
+class Deadline:
+    """A monotonic time budget; ``None`` budget means unbounded.
+
+    The clock is injectable so deadline logic is testable without real
+    waiting.  One deadline is meant to be shared across everything one
+    query does — load, retries, every ladder rung — so "the query takes
+    at most X ms" is a single object, not a per-layer convention.
+    """
+
+    def __init__(
+        self,
+        budget_seconds: float | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_seconds is not None and budget_seconds < 0.0:
+            raise EngineError(
+                f"deadline budget must be >= 0, got {budget_seconds!r}"
+            )
+        self.budget_seconds = budget_seconds
+        self._clock = clock
+        self._start = clock()
+
+    @classmethod
+    def from_ms(
+        cls,
+        budget_ms: float | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline from a millisecond budget (CLI flag units)."""
+        seconds = None if budget_ms is None else budget_ms / 1000.0
+        return cls(seconds, clock=clock)
+
+    @property
+    def unbounded(self) -> bool:
+        return self.budget_seconds is None
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left; ``inf`` when unbounded, never below zero."""
+        if self.budget_seconds is None:
+            return float("inf")
+        return max(0.0, self.budget_seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, operation: str) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone."""
+        if self.expired():
+            count("robust.deadline.exceeded")
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_seconds * 1000.0:g} ms "
+                f"exceeded during {operation} "
+                f"(elapsed {self.elapsed() * 1000.0:.1f} ms)"
+            )
+
+
+@dataclass
+class RetryStats:
+    """What one :func:`call_with_retry` actually did."""
+
+    operation: str
+    attempts: int = 0
+    faults_survived: int = 0
+    timeouts: int = 0
+    backoff_seconds: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+
+def _run_attempt(
+    function: Callable[[], ResultT],
+    timeout: float | None,
+    operation: str,
+) -> ResultT:
+    """One attempt, optionally under a thread-enforced timeout."""
+    if timeout is None:
+        return function()
+    executor = ThreadPoolExecutor(
+        max_workers=1, thread_name_prefix=f"retry-{operation}"
+    )
+    try:
+        future = executor.submit(function)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise DeadlineExceededError(
+                f"attempt timeout of {timeout:g} s exceeded "
+                f"during {operation}"
+            ) from None
+    finally:
+        # Don't block on an abandoned (hung) attempt thread.
+        executor.shutdown(wait=False)
+
+
+def call_with_retry(
+    operation: str,
+    function: Callable[[], ResultT],
+    *,
+    policy: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+    rng: random.Random | int | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[ResultT, RetryStats]:
+    """Call ``function`` under ``policy``, honouring ``deadline``.
+
+    Retries on :data:`RETRIABLE_ERRORS` and on per-attempt timeouts;
+    re-raises the last error once retries are exhausted, and raises
+    :class:`DeadlineExceededError` as soon as the shared deadline
+    cannot fund another attempt.  Returns ``(result, stats)`` so
+    callers can fold the audit trail into result metadata.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    deadline = deadline if deadline is not None else Deadline(None)
+    if rng is None or isinstance(rng, int):
+        rng = random.Random(rng)
+    stats = RetryStats(operation)
+    registry = get_registry()
+    while True:
+        deadline.check(operation)
+        stats.attempts += 1
+        count("robust.retry.attempts")
+        try:
+            result = _run_attempt(
+                function, policy.attempt_timeout, operation
+            )
+        except RETRIABLE_ERRORS as error:
+            failure: BaseException = error
+            stats.errors.append(f"{type(error).__name__}: {error}")
+        except DeadlineExceededError as error:
+            # Only the per-attempt timeout lands here; a shared
+            # deadline expiry was raised by deadline.check above.
+            failure = error
+            stats.timeouts += 1
+            stats.errors.append(f"{type(error).__name__}: {error}")
+        else:
+            if stats.attempts > 1:
+                count("robust.faults.survived", stats.faults_survived)
+            return result, stats
+        stats.faults_survived += 1
+        retries_used = stats.attempts - 1
+        if retries_used >= policy.max_retries:
+            count("robust.retry.exhausted")
+            raise failure
+        pause = policy.backoff(retries_used + 1, rng)
+        if pause > 0.0:
+            if pause >= deadline.remaining():
+                # Sleeping would blow the budget; fail fast instead.
+                count("robust.deadline.exceeded")
+                raise DeadlineExceededError(
+                    f"backoff of {pause:.3f} s before retrying "
+                    f"{operation} exceeds the remaining deadline "
+                    f"({deadline.remaining():.3f} s)"
+                ) from failure
+            stats.backoff_seconds += pause
+            if registry.enabled:
+                registry.histogram(
+                    "robust.retry.backoff_seconds"
+                ).observe(pause)
+            sleep(pause)

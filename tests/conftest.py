@@ -1,6 +1,17 @@
-"""Shared fixtures: the paper's worked examples and random instances."""
+"""Shared fixtures: the paper's worked examples and random instances.
+
+Also provides a minimal stand-in for the ``timeout`` marker when the
+``pytest-timeout`` plugin is not installed: chaos tests cap their
+wall-clock via ``@pytest.mark.timeout(seconds)`` so a hung retry loop
+fails fast instead of wedging the suite, and the SIGALRM fallback keeps
+that guarantee in environments without the plugin.
+"""
 
 from __future__ import annotations
+
+import importlib.util
+import math
+import signal
 
 import pytest
 
@@ -12,6 +23,44 @@ from repro.models import (
     TupleLevelRelation,
     TupleLevelTuple,
 )
+
+
+_HAS_TIMEOUT_PLUGIN = (
+    importlib.util.find_spec("pytest_timeout") is not None
+)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback for ``@pytest.mark.timeout`` without the plugin.
+
+    When pytest-timeout is installed (as in CI) it owns the marker and
+    this wrapper stays out of the way; locally the alarm gives the same
+    hung-test protection, minus the fancy reporting.
+    """
+    marker = item.get_closest_marker("timeout")
+    if (
+        _HAS_TIMEOUT_PLUGIN
+        or marker is None
+        or not hasattr(signal, "SIGALRM")
+    ):
+        yield
+        return
+    seconds = marker.args[0] if marker.args else marker.kwargs["timeout"]
+    seconds = max(1, math.ceil(seconds))
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"test exceeded {seconds}s timeout (SIGALRM fallback)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

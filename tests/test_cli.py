@@ -95,12 +95,14 @@ class TestTopkCommand:
                 "probability_only",
             ]
         )
-        assert code == 1
+        # UnsupportedModelError is a RankingError: family exit code 5.
+        assert code == 5
         assert "error:" in capsys.readouterr().err
 
     def test_missing_file(self, tmp_path, capsys):
         code = main(["topk", str(tmp_path / "ghost.csv")])
-        assert code == 1
+        # OSError family (missing file): exit code 10.
+        assert code == 10
         assert "error:" in capsys.readouterr().err
 
     def test_json_output(self, attribute_csv, capsys):
@@ -144,7 +146,8 @@ class TestDistributionCommand:
         assert "Pr[rank = 2] = 0.5" in output
 
     def test_unknown_tid(self, tuple_csv, capsys):
-        assert main(["distribution", str(tuple_csv), "zzz"]) == 1
+        # ModelError family: exit code 4.
+        assert main(["distribution", str(tuple_csv), "zzz"]) == 4
 
 
 class TestExplainCommand:
@@ -156,11 +159,11 @@ class TestExplainCommand:
 
     def test_wrong_direction_reports_error(self, tuple_csv, capsys):
         code = main(["explain", str(tuple_csv), "t4", "t3"])
-        assert code == 1
+        assert code == 5
         assert "swap" in capsys.readouterr().err
 
     def test_unknown_tuple(self, tuple_csv, capsys):
-        assert main(["explain", str(tuple_csv), "t3", "zzz"]) == 1
+        assert main(["explain", str(tuple_csv), "t3", "zzz"]) == 4
 
 
 class TestChurnCommand:
@@ -223,8 +226,13 @@ class TestAuditCommand:
         code = main(
             ["audit", str(attribute_csv), "--methods", "bogus"]
         )
-        assert code == 1
-        assert "unknown method" in capsys.readouterr().err
+        # UnknownMethodError → RankingError family exit code, and the
+        # message must name the valid alternatives.
+        assert code == 5
+        err = capsys.readouterr().err
+        assert "unknown ranking method 'bogus'" in err
+        assert "available:" in err
+        assert "expected_rank" in err
 
     def test_audit_includes_pt_k_with_threshold(
         self, tuple_csv, capsys
@@ -275,9 +283,10 @@ class TestGenerateCommand:
 
     def test_bad_workload_reports_error(self, tmp_path, capsys):
         out = tmp_path / "gen.csv"
+        # WorkloadError family: exit code 8.
         assert main(
             ["generate", "tuple", str(out), "--workload", "bogus"]
-        ) == 1
+        ) == 8
         assert "error:" in capsys.readouterr().err
 
     def test_generated_file_is_rankable_via_cli(self, tmp_path, capsys):

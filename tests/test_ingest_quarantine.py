@@ -1,0 +1,340 @@
+"""Strict vs lenient ingest over a malformed-input corpus.
+
+The same corpus is loaded both ways: strict must raise
+:class:`~repro.exceptions.SchemaError` naming the first offending
+source line, and lenient must quarantine exactly the bad rows (with
+stable codes) while loading everything salvageable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.io import (
+    load_attribute_csv,
+    load_json,
+    load_tuple_csv,
+    save_json,
+)
+from repro.exceptions import QuarantineError, SchemaError
+from repro.robust import QuarantineLog
+
+BAD_ATTRIBUTE_CSV = """\
+tid,value,probability
+t1,100,0.4
+t1,70,0.6
+,50,1.0
+t2,nan,0.5
+t2,92,0.6
+t3,inf,1.0
+t4,85,1.5
+t5,85,0
+t6,80,1.0
+"""
+
+BAD_TUPLE_CSV = """\
+tid,score,probability,rule
+t1,100,0.4,
+t2,92,0.5,tau2
+t2,80,0.5,
+t3,nan,1.0,
+t4,80,0.5,tau2
+t5,70,2.0,
+t6,60,0.5,solo
+"""
+
+
+@pytest.fixture
+def bad_attribute_csv(tmp_path):
+    path = tmp_path / "bad_attr.csv"
+    path.write_text(BAD_ATTRIBUTE_CSV)
+    return path
+
+
+@pytest.fixture
+def bad_tuple_csv(tmp_path):
+    path = tmp_path / "bad_tup.csv"
+    path.write_text(BAD_TUPLE_CSV)
+    return path
+
+
+class TestStrictMode:
+    def test_attribute_csv_names_first_bad_line(self, bad_attribute_csv):
+        with pytest.raises(SchemaError) as excinfo:
+            load_attribute_csv(bad_attribute_csv)
+        message = str(excinfo.value)
+        assert str(bad_attribute_csv) in message
+        assert "line 4" in message  # the empty-tid row
+
+    def test_tuple_csv_names_first_bad_line(self, bad_tuple_csv):
+        with pytest.raises(SchemaError) as excinfo:
+            load_tuple_csv(bad_tuple_csv)
+        message = str(excinfo.value)
+        assert "line 4" in message  # the duplicate t2
+        assert "duplicate" in message
+
+    def test_nan_score_rejected(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("tid,score,probability\nt1,nan,0.5\n")
+        with pytest.raises(SchemaError) as excinfo:
+            load_tuple_csv(path)
+        assert "line 2" in str(excinfo.value)
+
+    def test_infinite_score_rejected(self, tmp_path):
+        path = tmp_path / "inf.csv"
+        path.write_text("tid,value,probability\nt1,-inf,1.0\n")
+        with pytest.raises(SchemaError):
+            load_attribute_csv(path)
+
+    @pytest.mark.parametrize("probability", ["1.5", "0", "-0.2", "nan"])
+    def test_out_of_range_probability_rejected(
+        self, tmp_path, probability
+    ):
+        path = tmp_path / "prob.csv"
+        path.write_text(
+            f"tid,score,probability\nt1,10,{probability}\n"
+        )
+        with pytest.raises(SchemaError):
+            load_tuple_csv(path)
+
+    def test_single_member_rule_rejected(self, tmp_path):
+        path = tmp_path / "solo.csv"
+        path.write_text(
+            "tid,score,probability,rule\n"
+            "t1,10,0.5,lonely\n"
+            "t2,9,0.5,\n"
+        )
+        with pytest.raises(SchemaError) as excinfo:
+            load_tuple_csv(path)
+        assert "lonely" in str(excinfo.value)
+
+    def test_dangling_json_rule_member_rejected(self, fig4, tmp_path):
+        path = tmp_path / "rel.json"
+        save_json(fig4, path)
+        document = json.loads(path.read_text())
+        document["rules"][0]["tids"].append("ghost")
+        path.write_text(json.dumps(document))
+        with pytest.raises(SchemaError) as excinfo:
+            load_json(path)
+        assert "ghost" in str(excinfo.value)
+
+    def test_structural_errors_fatal_even_in_lenient(self, tmp_path):
+        missing = tmp_path / "missing.csv"
+        missing.write_text("alpha,beta\n1,2\n")
+        with pytest.raises(SchemaError):
+            load_attribute_csv(missing, mode="lenient")
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SchemaError):
+            load_tuple_csv(empty, mode="lenient")
+
+    def test_unknown_mode_rejected(self, bad_tuple_csv):
+        with pytest.raises(SchemaError):
+            load_tuple_csv(bad_tuple_csv, mode="casual")
+
+
+class TestLenientMode:
+    def test_attribute_corpus_quarantines_and_loads_rest(
+        self, bad_attribute_csv
+    ):
+        log = QuarantineLog()
+        relation = load_attribute_csv(
+            bad_attribute_csv, mode="lenient", quarantine=log
+        )
+        # t1 survives whole and t6 survives; the blank tid, t3 (inf),
+        # t4 (p>1) and t5 (p=0) are rejected outright.  Losing t2's
+        # NaN alternative leaves its pdf at 0.6 total mass, so t2
+        # cascades into an invalid_distribution reject.
+        assert relation.tids() == ("t1", "t6")
+        assert log.by_code() == {
+            "missing_tid": 1,
+            "non_finite_score": 2,
+            "probability_out_of_range": 2,
+            "invalid_distribution": 1,
+        }
+        lines = {row.line_number for row in log.rows}
+        assert lines == {4, 5, 6, 7, 8, 9}
+
+    def test_tuple_corpus_quarantines_and_loads_rest(
+        self, bad_tuple_csv
+    ):
+        log = QuarantineLog()
+        relation = load_tuple_csv(
+            bad_tuple_csv, mode="lenient", quarantine=log
+        )
+        assert relation.tids() == ("t1", "t2", "t4", "t6")
+        assert log.by_code() == {
+            "duplicate_tid": 1,
+            "non_finite_score": 1,
+            "probability_out_of_range": 1,
+            "single_member_rule": 1,
+        }
+        # tau2 survives; t6 is kept but its single-member rule is not.
+        assert relation.rule_of("t2").tids == ("t2", "t4")
+        assert relation.rule_of("t6").is_singleton
+
+    def test_reject_counts_match_bad_rows(self, bad_tuple_csv):
+        log = QuarantineLog()
+        relation = load_tuple_csv(
+            bad_tuple_csv, mode="lenient", quarantine=log
+        )
+        data_rows = BAD_TUPLE_CSV.strip().splitlines()[1:]
+        # Every data row is either loaded or quarantined — minus the
+        # single-member-rule reject, whose tuple is loaded anyway.
+        kept_rejects = sum(
+            1 for row in log.rows if row.code != "single_member_rule"
+        )
+        assert relation.size + kept_rejects == len(data_rows)
+
+    def test_json_dangling_member_and_single_member_rule(
+        self, fig4, tmp_path
+    ):
+        path = tmp_path / "rel.json"
+        save_json(fig4, path)
+        document = json.loads(path.read_text())
+        document["rules"][0]["tids"].append("ghost")
+        document["rules"].append(
+            {"rule_id": "solo", "tids": ["t1"]}
+        )
+        path.write_text(json.dumps(document))
+        log = QuarantineLog()
+        relation = load_json(path, mode="lenient", quarantine=log)
+        assert log.by_code() == {
+            "dangling_rule_member": 1,
+            "single_member_rule": 1,
+        }
+        # The dangling member is stripped, the rest of the rule kept.
+        assert relation.rule_of("t2").tids == ("t2", "t4")
+
+    def test_json_bad_entries_quarantined(self, tmp_path):
+        document = {
+            "model": "tuple",
+            "tuples": [
+                {"tid": "t1", "score": 10.0, "probability": 0.5},
+                {"tid": "t1", "score": 9.0, "probability": 0.5},
+                {"tid": "t2", "score": float("nan"), "probability": 1},
+                {"tid": "t3", "score": 8.0, "probability": 2.0},
+                {"tid": "", "score": 7.0, "probability": 0.5},
+            ],
+            "rules": [],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(document).replace("NaN", '"nan"')
+        )
+        log = QuarantineLog()
+        relation = load_json(path, mode="lenient", quarantine=log)
+        assert relation.tids() == ("t1",)
+        assert log.by_code() == {
+            "duplicate_tid": 1,
+            "non_finite_score": 1,
+            "probability_out_of_range": 1,
+            "missing_tid": 1,
+        }
+
+    def test_reject_log_written_as_jsonl(self, bad_tuple_csv, tmp_path):
+        reject_path = tmp_path / "rejects.jsonl"
+        with QuarantineLog(path=reject_path) as log:
+            load_tuple_csv(
+                bad_tuple_csv, mode="lenient", quarantine=log
+            )
+        lines = [
+            json.loads(line)
+            for line in reject_path.read_text().splitlines()
+        ]
+        assert len(lines) == len(log.rows) == 4
+        assert all(line["type"] == "quarantine" for line in lines)
+        duplicate = next(
+            line for line in lines if line["code"] == "duplicate_tid"
+        )
+        assert duplicate["line_number"] == 4
+        assert duplicate["raw"]["tid"] == "t2"
+
+    def test_quarantine_limit_raises(self, bad_tuple_csv):
+        log = QuarantineLog(limit=1)
+        with pytest.raises(QuarantineError) as excinfo:
+            load_tuple_csv(
+                bad_tuple_csv, mode="lenient", quarantine=log
+            )
+        assert "limit of 1" in str(excinfo.value)
+
+    def test_summary_line(self, bad_tuple_csv):
+        log = QuarantineLog()
+        load_tuple_csv(bad_tuple_csv, mode="lenient", quarantine=log)
+        summary = log.summary()
+        assert "4 row(s)" in summary
+        assert "duplicate_tid=1" in summary
+        assert QuarantineLog().summary() == "quarantine: empty"
+
+
+class TestCliIngestFlags:
+    def test_strict_topk_fails_with_schema_exit_code(
+        self, bad_tuple_csv, capsys
+    ):
+        code = main(["topk", str(bad_tuple_csv), "-k", "2"])
+        assert code == 3  # SchemaError family
+        assert "line 4" in capsys.readouterr().err
+
+    def test_lenient_topk_succeeds_and_reports(
+        self, bad_tuple_csv, tmp_path, capsys
+    ):
+        reject_path = tmp_path / "rejects.jsonl"
+        code = main(
+            [
+                "topk",
+                str(bad_tuple_csv),
+                "-k",
+                "2",
+                "--lenient",
+                "--quarantine-out",
+                str(reject_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "top-2" in captured.out
+        assert "quarantine: 4 row(s)" in captured.err
+        assert len(reject_path.read_text().splitlines()) == 4
+
+    def test_lenient_describe_and_audit(self, bad_tuple_csv, capsys):
+        assert main(["describe", str(bad_tuple_csv), "--lenient"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "audit",
+                    str(bad_tuple_csv),
+                    "--lenient",
+                    "--methods",
+                    "expected_rank",
+                    "--max-k",
+                    "2",
+                ]
+            )
+            == 0
+        )
+
+    def test_quarantine_counters_reach_metrics_out(
+        self, bad_tuple_csv, tmp_path, capsys
+    ):
+        out = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "--metrics-out",
+                str(out),
+                "topk",
+                str(bad_tuple_csv),
+                "-k",
+                "2",
+                "--lenient",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        snapshot = json.loads(out.read_text().splitlines()[-1])
+        counters = snapshot["counters"]
+        assert counters["robust.quarantine.rows"] == 4
+        assert counters["robust.quarantine.duplicate_tid"] == 1

@@ -1,0 +1,331 @@
+"""Tests for the graceful-degradation ladder and the chaos CLI demo.
+
+The :class:`~repro.engine.query.ResilientExecutor` must (a) change
+nothing when nothing goes wrong, (b) step exact → pruned → Monte-Carlo
+exactly when the environment forces it, and (c) keep the CLI exiting 0
+with k answers under injected faults and tight deadlines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import rank
+from repro.engine.query import ResilientExecutor, TopKPlanner
+from repro.exceptions import UnknownMethodError
+from repro.robust import FaultInjector, RetryPolicy
+
+
+def no_sleep(_seconds: float) -> None:
+    pass
+
+
+def instant_retry(max_retries: int = 3) -> RetryPolicy:
+    return RetryPolicy(max_retries=max_retries, base_delay=0.0)
+
+
+class TestPlannerUnknownMethod:
+    def test_message_lists_available_methods(self, fig2):
+        with pytest.raises(UnknownMethodError) as excinfo:
+            TopKPlanner().plan(fig2, 2, "bogus")
+        message = str(excinfo.value)
+        assert "unknown ranking method 'bogus'" in message
+        assert "available:" in message
+        assert "expected_rank" in message
+
+    def test_executor_propagates_it_unchanged(self, fig2):
+        # A bad method name is a request error, not an environmental
+        # one: the ladder must not absorb it into a degraded answer.
+        executor = ResilientExecutor(
+            injector=FaultInjector(error_rate=1.0, seed=0),
+            retry=instant_retry(),
+            sleep=no_sleep,
+        )
+        with pytest.raises(UnknownMethodError):
+            executor.execute(fig2, 2, method="bogus")
+
+
+class TestNoFaultPath:
+    def test_results_identical_to_plain_rank(self, fig2):
+        executor = ResilientExecutor(sleep=no_sleep)
+        resilient = executor.execute(fig2, 2, method="expected_rank")
+        plain = rank(fig2, 2, method="expected_rank")
+        assert resilient.tids() == plain.tids()
+        assert [item.statistic for item in resilient] == [
+            item.statistic for item in plain
+        ]
+
+    def test_metadata_records_clean_run(self, fig4):
+        executor = ResilientExecutor(sleep=no_sleep)
+        result = executor.execute(fig4, 2, method="expected_rank")
+        meta = result.metadata
+        assert meta["resilient"] is True
+        assert meta["degraded"] is False
+        assert meta["fallback_method"] == "expected_rank"
+        assert meta["attempts"] == 1
+        assert meta["faults_survived"] == 0
+        assert meta["faults_injected"] == 0
+        assert [rung["outcome"] for rung in meta["ladder"]] == ["ok"]
+
+
+class TestDegradation:
+    def test_retry_survives_a_transient_fault(self, fig2):
+        injector = FaultInjector(
+            error_rate=1.0, seed=0, fault_budget=1
+        )
+        executor = ResilientExecutor(
+            injector=injector, retry=instant_retry(), sleep=no_sleep
+        )
+        result = executor.execute(fig2, 2)
+        meta = result.metadata
+        assert meta["degraded"] is False
+        assert meta["attempts"] == 2
+        assert meta["faults_survived"] == 1
+        assert result.tids() == rank(fig2, 2).tids()
+
+    def test_degrades_to_pruned_when_exact_keeps_failing(self, fig2):
+        # Budget = exactly the exact rung's 1 + 2 retries; the pruned
+        # rung then runs fault-free.
+        injector = FaultInjector(
+            error_rate=1.0, seed=0, fault_budget=3
+        )
+        executor = ResilientExecutor(
+            injector=injector,
+            retry=instant_retry(max_retries=2),
+            sleep=no_sleep,
+        )
+        result = executor.execute(fig2, 2, method="expected_rank")
+        meta = result.metadata
+        assert meta["degraded"] is True
+        assert meta["fallback_method"] == "expected_rank_prune"
+        ladder = list(meta["ladder"])
+        assert ladder[0]["rung"] == "exact"
+        assert "TransientAccessError" in ladder[0]["outcome"]
+        assert ladder[1] == {
+            "rung": "pruned",
+            "method": "expected_rank_prune",
+            "outcome": "ok",
+        }
+        # Degraded, but still the exact answer: pruning is lossless.
+        assert result.tids() == rank(fig2, 2).tids()
+
+    def test_falls_back_to_monte_carlo_as_last_resort(self, fig4):
+        # Unlimited faults: every faultable rung fails; the last
+        # resort is never pulsed and must answer.
+        injector = FaultInjector(error_rate=1.0, seed=0)
+        executor = ResilientExecutor(
+            injector=injector,
+            retry=instant_retry(max_retries=1),
+            seed=7,
+            sleep=no_sleep,
+        )
+        result = executor.execute(fig4, 2, method="expected_rank")
+        meta = result.metadata
+        assert meta["degraded"] is True
+        assert meta["fallback_method"] == "mc_expected_rank"
+        assert len(result) == 2
+        failed = [
+            rung
+            for rung in meta["ladder"]
+            if rung["outcome"] != "ok"
+        ]
+        assert len(failed) == 2  # exact and pruned both gave up
+
+    def test_monte_carlo_fallback_is_seeded(self, fig4):
+        def degraded_result():
+            executor = ResilientExecutor(
+                injector=FaultInjector(error_rate=1.0, seed=0),
+                retry=instant_retry(max_retries=0),
+                seed=11,
+                sleep=no_sleep,
+            )
+            return executor.execute(fig4, 2)
+
+        first = degraded_result()
+        second = degraded_result()
+        assert first.tids() == second.tids()
+        assert [item.statistic for item in first] == [
+            item.statistic for item in second
+        ]
+
+    def test_expired_deadline_forces_cheap_estimate(self, fig4):
+        # A zero deadline expires before the first attempt of every
+        # bounded rung; only the last resort (deadline-free, with a
+        # shrunken sampling budget) can answer.
+        executor = ResilientExecutor(
+            deadline_ms=0.0, retry=instant_retry(), sleep=no_sleep
+        )
+        result = executor.execute(fig4, 2, method="expected_rank")
+        meta = result.metadata
+        assert meta["degraded"] is True
+        assert meta["fallback_method"] == "mc_expected_rank"
+        assert len(result) == 2
+        assert meta["samples"] <= 64  # the shrunk budget
+        assert all(
+            "DeadlineExceededError" in rung["outcome"]
+            for rung in list(meta["ladder"])[:-1]
+        )
+
+    def test_pt_k_has_no_pruned_rung(self, fig4):
+        # Methods without a pruned twin degrade straight to the
+        # estimate.
+        injector = FaultInjector(error_rate=1.0, seed=0)
+        executor = ResilientExecutor(
+            injector=injector,
+            retry=instant_retry(max_retries=0),
+            sleep=no_sleep,
+        )
+        result = executor.execute(
+            fig4, 2, method="pt_k", threshold=0.4
+        )
+        rungs = [r["rung"] for r in result.metadata["ladder"]]
+        assert rungs == ["exact", "monte_carlo"]
+
+
+class TestDatabaseIntegration:
+    def test_topk_routes_through_executor(self, fig4):
+        from repro.engine import ProbabilisticDatabase
+
+        db = ProbabilisticDatabase()
+        db.create_relation("r", fig4)
+        executor = ResilientExecutor(
+            injector=FaultInjector(error_rate=1.0, seed=0),
+            retry=instant_retry(max_retries=0),
+            sleep=no_sleep,
+        )
+        result = db.topk("r", 2, executor=executor)
+        assert result.metadata["degraded"] is True
+        entry = db.query_log[-1]
+        assert entry.degraded is True
+        assert entry.fallback_method == "mc_expected_rank"
+
+    def test_plain_topk_logs_undegraded(self, fig4):
+        from repro.engine import ProbabilisticDatabase
+
+        db = ProbabilisticDatabase()
+        db.create_relation("r", fig4)
+        db.topk("r", 2)
+        entry = db.query_log[-1]
+        assert entry.degraded is False
+        assert entry.fallback_method is None
+
+
+@pytest.mark.chaos
+class TestChaosDemo:
+    """The acceptance scenario: 20% faults, tight budget, exit 0."""
+
+    @pytest.fixture
+    def workload_csv(self, tmp_path, capsys):
+        path = tmp_path / "rel.csv"
+        assert (
+            main(
+                [
+                    "generate",
+                    "tuple",
+                    str(path),
+                    "-n",
+                    "60",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return path
+
+    @pytest.mark.timeout(60)
+    def test_cli_survives_injected_faults(self, workload_csv, capsys):
+        code = main(
+            [
+                "topk",
+                str(workload_csv),
+                "-k",
+                "5",
+                "--inject-faults",
+                "0.2",
+                "--deadline-ms",
+                "500",
+                "--fault-seed",
+                "3",
+                "--max-retries",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        ranked = [
+            line
+            for line in out.splitlines()
+            if line and line[0].isdigit() and "\t" in line
+        ]
+        assert len(ranked) == 5
+        resilience = next(
+            line
+            for line in out.splitlines()
+            if line.startswith("resilience:")
+        )
+        # Seed 3 deterministically injects at least one transient
+        # fault that the retry layer survives.
+        assert "faults_injected=0" not in resilience
+        assert "faults_survived=0" not in resilience
+
+    @pytest.mark.timeout(60)
+    def test_metrics_out_records_retries_and_faults(
+        self, workload_csv, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "--metrics-out",
+                str(metrics),
+                "topk",
+                str(workload_csv),
+                "-k",
+                "5",
+                "--inject-faults",
+                "0.2",
+                "--deadline-ms",
+                "500",
+                "--fault-seed",
+                "3",
+                "--max-retries",
+                "3",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        snapshot = json.loads(metrics.read_text().splitlines()[-1])
+        counters = snapshot["counters"]
+        assert counters["robust.execute.calls"] == 1
+        assert counters["robust.faults.injected.error"] >= 1
+        assert counters["robust.retry.attempts"] >= 2
+
+    @pytest.mark.timeout(60)
+    def test_every_seed_in_a_band_exits_zero(self, workload_csv, capsys):
+        # The ladder guarantee is seed-independent: whatever the fault
+        # pattern, the CLI answers.  (Only the load can theoretically
+        # fail — after 4 consecutive open faults — which none of these
+        # seeds hits.)
+        for seed in range(8):
+            code = main(
+                [
+                    "topk",
+                    str(workload_csv),
+                    "-k",
+                    "5",
+                    "--inject-faults",
+                    "0.2",
+                    "--deadline-ms",
+                    "250",
+                    "--fault-seed",
+                    str(seed),
+                    "--max-retries",
+                    "3",
+                ]
+            )
+            capsys.readouterr()
+            assert code == 0, f"chaos run failed for seed {seed}"

@@ -1,0 +1,400 @@
+"""Tests for the resilience primitives in :mod:`repro.robust`.
+
+Everything runs with injected clocks and sleeps: no test here waits on
+real time, which keeps the retry/deadline logic exhaustively checkable
+in milliseconds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.access import ResilientCursor
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineError,
+    TransientAccessError,
+)
+from repro.robust import (
+    CORRUPTION_TOKEN,
+    Deadline,
+    FaultInjector,
+    FaultyCursor,
+    RetryPolicy,
+    call_with_retry,
+    fault_seed_from_env,
+)
+
+
+class FakeClock:
+    """A monotonic clock advanced by hand (or per ``sleep``)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(EngineError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(EngineError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(EngineError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(EngineError):
+            RetryPolicy(attempt_timeout=0.0)
+
+    def test_backoff_envelope_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=False
+        )
+        rng = random.Random(0)
+        assert policy.backoff(1, rng) == pytest.approx(0.1)
+        assert policy.backoff(2, rng) == pytest.approx(0.2)
+        assert policy.backoff(3, rng) == pytest.approx(0.4)
+        # Capped by max_delay from here on.
+        assert policy.backoff(4, rng) == pytest.approx(0.5)
+        assert policy.backoff(10, rng) == pytest.approx(0.5)
+
+    def test_jittered_backoff_stays_inside_envelope(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=True
+        )
+        rng = random.Random(42)
+        for retry_number in range(1, 20):
+            envelope = min(0.1 * 2.0 ** (retry_number - 1), 0.5)
+            for _ in range(50):
+                assert 0.0 <= policy.backoff(retry_number, rng) <= envelope
+
+    def test_backoff_rejects_retry_zero(self):
+        with pytest.raises(EngineError):
+            RetryPolicy().backoff(0, random.Random(0))
+
+
+class TestDeadline:
+    def test_unbounded(self):
+        deadline = Deadline(None)
+        assert deadline.unbounded
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired()
+        deadline.check("anything")  # never raises
+
+    def test_counts_down_on_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.now = 0.6
+        assert deadline.remaining() == pytest.approx(0.4)
+        assert not deadline.expired()
+        clock.now = 1.2
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("the query")
+        assert "the query" in str(excinfo.value)
+
+    def test_from_ms(self):
+        clock = FakeClock()
+        deadline = Deadline.from_ms(250.0, clock=clock)
+        assert deadline.budget_seconds == pytest.approx(0.25)
+        assert Deadline.from_ms(None).unbounded
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(EngineError):
+            Deadline(-1.0)
+
+
+class Flaky:
+    """A callable that fails ``failures`` times, then returns."""
+
+    def __init__(self, failures, error=TransientAccessError("boom")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class TestCallWithRetry:
+    def test_success_first_attempt(self):
+        result, stats = call_with_retry(
+            "op", lambda: 7, sleep=lambda _: None
+        )
+        assert result == 7
+        assert stats.attempts == 1
+        assert stats.faults_survived == 0
+        assert stats.backoff_seconds == 0.0
+
+    def test_survives_transient_failures(self):
+        flaky = Flaky(2)
+        result, stats = call_with_retry(
+            "op",
+            flaky,
+            policy=RetryPolicy(max_retries=3, base_delay=0.0),
+            sleep=lambda _: None,
+        )
+        assert result == "ok"
+        assert stats.attempts == 3
+        assert stats.faults_survived == 2
+        assert len(stats.errors) == 2
+
+    def test_retries_raw_oserror(self):
+        flaky = Flaky(1, error=OSError("disk hiccup"))
+        result, stats = call_with_retry(
+            "op",
+            flaky,
+            policy=RetryPolicy(max_retries=1, base_delay=0.0),
+            sleep=lambda _: None,
+        )
+        assert result == "ok"
+        assert stats.faults_survived == 1
+
+    def test_exhaustion_reraises_last_error(self):
+        flaky = Flaky(10)
+        with pytest.raises(TransientAccessError):
+            call_with_retry(
+                "op",
+                flaky,
+                policy=RetryPolicy(max_retries=2, base_delay=0.0),
+                sleep=lambda _: None,
+            )
+        assert flaky.calls == 3  # 1 try + 2 retries
+
+    def test_non_retriable_error_propagates_immediately(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("genuine bug")
+
+        with pytest.raises(ValueError):
+            call_with_retry("op", bad, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_backoff_exceeding_deadline_fails_fast(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        policy = RetryPolicy(
+            max_retries=5, base_delay=1.0, jitter=False
+        )
+        with pytest.raises(DeadlineExceededError):
+            call_with_retry(
+                "op",
+                Flaky(10),
+                policy=policy,
+                deadline=deadline,
+                sleep=clock.sleep,
+            )
+        # The 1 s backoff was never slept: it would blow the budget.
+        assert clock.now == 0.0
+
+    def test_expired_deadline_blocks_any_attempt(self):
+        clock = FakeClock()
+        deadline = Deadline(0.05, clock=clock)
+        clock.now = 1.0
+        flaky = Flaky(0)
+        with pytest.raises(DeadlineExceededError):
+            call_with_retry(
+                "op", flaky, deadline=deadline, sleep=clock.sleep
+            )
+        assert flaky.calls == 0
+
+    def test_backoff_accumulates_in_stats(self):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_retries=2, base_delay=0.1, jitter=False
+        )
+        result, stats = call_with_retry(
+            "op",
+            Flaky(2),
+            policy=policy,
+            sleep=clock.sleep,
+        )
+        assert result == "ok"
+        assert stats.backoff_seconds == pytest.approx(0.1 + 0.2)
+        assert clock.now == pytest.approx(0.3)
+
+    @pytest.mark.timeout(20)
+    def test_attempt_timeout_is_retried(self):
+        import time as real_time
+
+        calls = []
+
+        def slow_then_fast():
+            calls.append(1)
+            if len(calls) == 1:
+                real_time.sleep(0.5)
+            return "done"
+
+        policy = RetryPolicy(
+            max_retries=1, base_delay=0.0, attempt_timeout=0.05
+        )
+        result, stats = call_with_retry(
+            "op", slow_then_fast, policy=policy, sleep=lambda _: None
+        )
+        assert result == "done"
+        assert stats.timeouts == 1
+        assert stats.attempts == 2
+
+
+class TestFaultInjector:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(EngineError):
+            FaultInjector(error_rate=1.5)
+        with pytest.raises(EngineError):
+            FaultInjector(drop_rate=-0.1)
+        with pytest.raises(EngineError):
+            FaultInjector(latency_seconds=-1.0)
+        with pytest.raises(EngineError):
+            FaultInjector(fault_budget=-1)
+
+    def test_zero_rates_inject_nothing(self):
+        injector = FaultInjector(seed=3)
+        for _ in range(100):
+            injector.pulse()
+        assert injector.total_injected == 0
+
+    def test_certain_error_rate_always_raises(self):
+        injector = FaultInjector(error_rate=1.0, seed=0)
+        for _ in range(5):
+            with pytest.raises(TransientAccessError):
+                injector.pulse("reading")
+        assert injector.injected["error"] == 5
+
+    def test_same_seed_same_fault_sequence(self):
+        def trace(injector):
+            outcomes = []
+            for _ in range(200):
+                try:
+                    injector.pulse()
+                    outcomes.append("ok")
+                except TransientAccessError:
+                    outcomes.append("err")
+            return outcomes
+
+        first = trace(FaultInjector(error_rate=0.3, seed=11))
+        second = trace(FaultInjector(error_rate=0.3, seed=11))
+        different = trace(FaultInjector(error_rate=0.3, seed=12))
+        assert first == second
+        assert first != different
+        assert "err" in first and "ok" in first
+
+    def test_budget_silences_injector(self):
+        injector = FaultInjector(
+            error_rate=1.0, seed=0, fault_budget=2
+        )
+        for _ in range(2):
+            with pytest.raises(TransientAccessError):
+                injector.pulse()
+        assert injector.exhausted
+        injector.pulse()  # budget spent: no more faults
+        assert injector.total_injected == 2
+
+    def test_latency_counts_and_sleeps(self):
+        slept = []
+        injector = FaultInjector(
+            latency_rate=1.0,
+            latency_seconds=0.25,
+            seed=0,
+            sleep=slept.append,
+        )
+        injector.pulse()
+        injector.latency_pulse()
+        assert slept == [0.25, 0.25]
+        assert injector.injected["latency"] == 2
+        assert injector.injected["error"] == 0
+
+    def test_mangle_row_drops_and_corrupts(self):
+        dropper = FaultInjector(drop_rate=1.0, seed=0)
+        assert dropper.mangle_row({"tid": "t1"}) is None
+
+        corrupter = FaultInjector(corrupt_rate=1.0, seed=0)
+        row = {"tid": "t1", "score": "10"}
+        mangled = corrupter.mangle_row(row)
+        assert mangled is not None
+        assert CORRUPTION_TOKEN in mangled.values()
+        # The original row is never mutated in place.
+        assert CORRUPTION_TOKEN not in row.values()
+
+    def test_reset_replays_from_seed(self):
+        injector = FaultInjector(error_rate=0.5, seed=9)
+        first = [injector._fire("error", 0.5) for _ in range(50)]
+        injector.reset()
+        assert injector.total_injected == 0
+        second = [injector._fire("error", 0.5) for _ in range(50)]
+        assert first == second
+
+    def test_seed_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+        assert fault_seed_from_env(5) == 5
+        monkeypatch.setenv("REPRO_FAULT_SEED", "123")
+        assert fault_seed_from_env() == 123
+        monkeypatch.setenv("REPRO_FAULT_SEED", "noise")
+        with pytest.raises(EngineError):
+            fault_seed_from_env()
+
+
+class TestFaultyCursor:
+    def test_failed_access_does_not_consume_the_row(self):
+        injector = FaultInjector(error_rate=0.5, seed=1)
+        cursor = FaultyCursor(iter([1, 2, 3]), injector)
+        collected = []
+        while True:
+            try:
+                collected.append(next(cursor))
+            except TransientAccessError:
+                continue  # a bare retry must see the same row
+            except StopIteration:
+                break
+        assert collected == [1, 2, 3]
+
+    def test_clean_iteration_when_quiet(self):
+        injector = FaultInjector(seed=0)
+        assert list(FaultyCursor(iter("abc"), injector)) == list("abc")
+
+
+class TestResilientCursor:
+    def test_recovers_every_row_through_faults(self):
+        injector = FaultInjector(error_rate=0.4, seed=7)
+        flaky = FaultyCursor(iter(range(20)), injector)
+        cursor = ResilientCursor(
+            flaky,
+            policy=RetryPolicy(max_retries=10, base_delay=0.0),
+            sleep=lambda _: None,
+        )
+        assert list(cursor) == list(range(20))
+        assert cursor.faults_survived == injector.injected["error"]
+        assert cursor.faults_survived > 0
+        assert cursor.attempts == 20 + cursor.faults_survived
+
+    def test_exhausted_retries_surface_the_fault(self):
+        injector = FaultInjector(error_rate=1.0, seed=0)
+        cursor = ResilientCursor(
+            FaultyCursor(iter([1]), injector),
+            policy=RetryPolicy(max_retries=2, base_delay=0.0),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(TransientAccessError):
+            next(cursor)
+
+    def test_deadline_expiry_stops_iteration(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.now = 2.0
+        cursor = ResilientCursor(
+            iter([1, 2]), deadline=deadline, sleep=clock.sleep
+        )
+        with pytest.raises(DeadlineExceededError):
+            next(cursor)

@@ -17,17 +17,31 @@ tolerance:
 Improvements never fail, and extra metrics in the fresh run are
 reported but ignored — so adding suite cases does not break older
 baselines.
+
+With ``--history PATH`` every gated run is additionally appended to a
+JSON-lines history file (commit, timestamp, per-case values) and the
+deltas against the previous entry are printed — trend tracking on top
+of the binary gate.  History I/O problems only warn: the gate verdict
+never depends on the trend log.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Comparison", "compare_documents", "main"]
+__all__ = [
+    "Comparison",
+    "append_history",
+    "compare_documents",
+    "last_history_entry",
+    "main",
+]
 
 DEFAULT_TIME_TOLERANCE = 1.0
 DEFAULT_COUNT_TOLERANCE = 0.10
@@ -118,6 +132,97 @@ def compare_documents(
     return comparisons
 
 
+def _git_commit() -> str:
+    """The short HEAD hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        process = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if process.returncode != 0:
+        return "unknown"
+    return process.stdout.strip() or "unknown"
+
+
+def last_history_entry(path: Path) -> dict | None:
+    """The most recent well-formed history entry, or ``None``.
+
+    Malformed lines are skipped rather than fatal — the history file
+    is an append-only log that may have suffered partial writes.
+    """
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return None
+    for line in reversed(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and "metrics" in entry:
+            return entry
+    return None
+
+
+def append_history(
+    path: Path,
+    document: dict,
+    *,
+    commit: str | None = None,
+    timestamp: float | None = None,
+) -> dict:
+    """Append one run to the JSONL history; returns the entry written.
+
+    The entry records the commit (``git rev-parse`` unless overridden),
+    a POSIX ``timestamp``, the suite name, and every metric's value —
+    flat floats, so downstream plotting needs no schema knowledge.
+    """
+    entry = {
+        "commit": commit if commit is not None else _git_commit(),
+        "timestamp": (
+            timestamp if timestamp is not None else time.time()
+        ),
+        "suite": document.get("suite"),
+        "metrics": {
+            name: float(metric["value"])
+            for name, metric in document.get("metrics", {}).items()
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def _describe_deltas(previous: dict, entry: dict) -> str:
+    """Per-metric change versus the previous history entry."""
+    lines = [
+        f"history: vs {previous.get('commit', '?')} "
+        f"(t={previous.get('timestamp', 0):.0f})"
+    ]
+    previous_metrics = previous.get("metrics", {})
+    for name, value in sorted(entry["metrics"].items()):
+        before = previous_metrics.get(name)
+        if before is None:
+            lines.append(f"  {name}: new ({value:.6g})")
+        elif before == 0:
+            lines.append(f"  {name}: {before:.6g} -> {value:.6g}")
+        else:
+            delta = (value - before) / before * 100.0
+            lines.append(
+                f"  {name}: {before:.6g} -> {value:.6g} "
+                f"({delta:+.1f}%)"
+            )
+    return "\n".join(lines)
+
+
 def _load(path: Path) -> dict:
     document = json.loads(path.read_text())
     if not isinstance(document, dict) or "metrics" not in document:
@@ -153,6 +258,25 @@ def main(argv: list[str] | None = None) -> int:
             f"(default {DEFAULT_COUNT_TOLERANCE:g})"
         ),
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append this run (commit, timestamp, per-case values) to "
+            "PATH as JSON lines and print deltas vs the previous entry"
+        ),
+    )
+    parser.add_argument(
+        "--commit",
+        default=None,
+        metavar="SHA",
+        help=(
+            "commit label for the history entry (default: "
+            "git rev-parse --short HEAD)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.time_tolerance < 0 or args.count_tolerance < 0:
         print("error: tolerances must be >= 0", file=sys.stderr)
@@ -173,6 +297,23 @@ def main(argv: list[str] | None = None) -> int:
     regressions = [entry for entry in comparisons if entry.regressed]
     for entry in comparisons:
         print(entry.describe())
+    if args.history is not None:
+        # Record failing runs too — a trend log that omits bad days
+        # cannot show when a regression landed.
+        previous = last_history_entry(args.history)
+        try:
+            written = append_history(
+                args.history, current, commit=args.commit
+            )
+        except (OSError, KeyError, TypeError, ValueError) as error:
+            print(
+                f"warning: could not append history to "
+                f"{args.history}: {error}",
+                file=sys.stderr,
+            )
+        else:
+            if previous is not None:
+                print(_describe_deltas(previous, written))
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} of {len(comparisons)} metrics "

@@ -6,6 +6,8 @@ Python:
 * ``topk`` — run a ranking query over a relation file;
 * ``describe`` — relation metadata (model, sizes, uncertainty);
 * ``distribution`` — one tuple's exact rank distribution;
+* ``explain`` — with two tuple ids, why one outranks the other; with
+  none, a full query EXPLAIN report (plan, cost, timings, events);
 * ``generate`` — write a synthetic workload to a relation file.
 
 Relation files are the CSV/JSON formats of :mod:`repro.engine.io`;
@@ -16,12 +18,20 @@ Robustness
 ----------
 File-reading commands take ``--lenient`` (quarantine malformed rows
 instead of aborting; ``--quarantine-out`` persists the reject log as
-JSONL).  ``topk`` additionally takes ``--deadline-ms``,
+JSONL).  ``topk`` and ``explain`` additionally take ``--deadline-ms``,
 ``--max-retries``, and the chaos knobs ``--inject-faults`` /
 ``--fault-seed`` / ``--fault-latency-ms``; any of the resilience flags
 routes the query through the engine's
 :class:`~repro.engine.query.ResilientExecutor` degradation ladder
 (exact → pruned → Monte-Carlo) instead of the plain exact path.
+
+Observability
+-------------
+``--metrics-out PATH`` enables collection for the invocation.  The
+output format is ``--metrics-format``: ``json`` (default) streams
+spans as JSON lines followed by a final metrics snapshot;
+``prom`` writes the registry in Prometheus text exposition format
+instead (no span stream — Prometheus has no span representation).
 
 Errors never dump tracebacks: each :class:`~repro.exceptions.ReproError`
 family maps to its own exit code (see :data:`EXIT_CODES`).
@@ -150,6 +160,16 @@ def build_parser() -> argparse.ArgumentParser:
             "plus a final metrics snapshot to PATH as JSON lines"
         ),
     )
+    parser.add_argument(
+        "--metrics-format",
+        choices=["json", "prom"],
+        default="json",
+        help=(
+            "--metrics-out format: 'json' streams spans as JSON lines "
+            "plus a final snapshot; 'prom' writes the final registry "
+            "in Prometheus text exposition format (default: json)"
+        ),
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     # Ingest flags shared by every file-reading command.
@@ -181,43 +201,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.set_defaults(lenient=False)
 
-    topk = commands.add_parser(
-        "topk",
-        parents=[ingest],
-        help="run a top-k ranking query over a relation file",
-    )
-    topk.add_argument("file", type=Path, help="relation .csv or .json")
-    topk.add_argument("-k", type=int, default=10, help="answers wanted")
-    topk.add_argument(
+    # Query flags shared by topk and explain.
+    query = argparse.ArgumentParser(add_help=False)
+    query.add_argument("-k", type=int, default=10, help="answers wanted")
+    query.add_argument(
         "--method",
         default="expected_rank",
         choices=sorted(available_methods()),
         help="ranking semantics (default: expected_rank)",
     )
-    topk.add_argument(
+    query.add_argument(
         "--phi",
         type=float,
         default=None,
         help="quantile for quantile_rank methods",
     )
-    topk.add_argument(
+    query.add_argument(
         "--threshold",
         type=float,
         default=None,
         help="probability threshold for pt_k",
     )
-    topk.add_argument(
+    query.add_argument(
         "--ties",
         choices=["shared", "by_index"],
         default=None,
         help="tie-breaking rule where the method supports it",
     )
-    topk.add_argument(
+    query.add_argument(
         "--json",
         action="store_true",
-        help="emit the full result as JSON instead of a table",
+        help="emit the full result as JSON instead of text",
     )
-    topk.add_argument(
+
+    # Resilience flags shared by topk and explain; any of them routes
+    # the query through the ResilientExecutor degradation ladder.
+    resilience = argparse.ArgumentParser(add_help=False)
+    resilience.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -228,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of failing"
         ),
     )
-    topk.add_argument(
+    resilience.add_argument(
         "--max-retries",
         type=int,
         default=None,
@@ -238,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
             "data-access failures (default 3)"
         ),
     )
-    topk.add_argument(
+    resilience.add_argument(
         "--inject-faults",
         type=float,
         default=None,
@@ -248,7 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
             "RATE in [0, 1] (deterministic per --fault-seed)"
         ),
     )
-    topk.add_argument(
+    resilience.add_argument(
         "--fault-seed",
         type=int,
         default=None,
@@ -257,13 +277,20 @@ def build_parser() -> argparse.ArgumentParser:
             "or 0)"
         ),
     )
-    topk.add_argument(
+    resilience.add_argument(
         "--fault-latency-ms",
         type=float,
         default=0.0,
         metavar="MS",
         help="injected per-access latency for the chaos demo",
     )
+
+    topk = commands.add_parser(
+        "topk",
+        parents=[ingest, query, resilience],
+        help="run a top-k ranking query over a relation file",
+    )
+    topk.add_argument("file", type=Path, help="relation .csv or .json")
 
     describe = commands.add_parser(
         "describe", parents=[ingest], help="print relation metadata"
@@ -280,12 +307,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain = commands.add_parser(
         "explain",
-        parents=[ingest],
-        help="explain why one tuple outranks another (expected rank)",
+        parents=[ingest, query, resilience],
+        help=(
+            "with two tuple ids: why one outranks the other; with "
+            "none: EXPLAIN a top-k query (plan, cost, timings, events)"
+        ),
     )
     explain.add_argument("file", type=Path)
-    explain.add_argument("better", help="the higher-ranked tuple id")
-    explain.add_argument("worse", help="the lower-ranked tuple id")
+    explain.add_argument(
+        "better",
+        nargs="?",
+        default=None,
+        help="the higher-ranked tuple id (pairwise mode)",
+    )
+    explain.add_argument(
+        "worse",
+        nargs="?",
+        default=None,
+        help="the lower-ranked tuple id (pairwise mode)",
+    )
+    explain.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="plan the query but do not execute it",
+    )
+    explain.add_argument(
+        "--cheap-access",
+        action="store_true",
+        help=(
+            "plan assuming tuple access is cheap (exact pass) rather "
+            "than the default expensive-access planning that prefers "
+            "pruned scans"
+        ),
+    )
 
     churn = commands.add_parser(
         "churn",
@@ -378,13 +432,8 @@ def _load_for(args, **resilience):
     return relation
 
 
-def _command_topk(args) -> int:
-    resilient = (
-        args.deadline_ms is not None
-        or args.max_retries is not None
-        or args.inject_faults is not None
-        or args.fault_latency_ms > 0
-    )
+def _query_options(args) -> dict:
+    """Method options from the shared query flags."""
     options = {}
     if args.phi is not None:
         options["phi"] = args.phi
@@ -392,46 +441,67 @@ def _command_topk(args) -> int:
         options["threshold"] = args.threshold
     if args.ties is not None:
         options["ties"] = args.ties
+    return options
+
+
+def _build_executor(args):
+    """``(executor, injector, retry)`` from the resilience flags.
+
+    All three are ``None`` when no resilience flag was given, keeping
+    default invocations bit-identical to the exact engine (and free of
+    the resilience layer's overhead).
+    """
+    resilient = (
+        args.deadline_ms is not None
+        or args.max_retries is not None
+        or args.inject_faults is not None
+        or args.fault_latency_ms > 0
+    )
     if not resilient:
-        # The plain path is untouched by the resilience layer so that
-        # default invocations stay bit-identical to the exact engine
-        # (and free of its overhead).
+        return None, None, None
+    from repro.engine.query import ResilientExecutor
+
+    seed = (
+        args.fault_seed
+        if args.fault_seed is not None
+        else fault_seed_from_env()
+    )
+    injector = None
+    if args.inject_faults is not None or args.fault_latency_ms > 0:
+        injector = FaultInjector(
+            error_rate=args.inject_faults or 0.0,
+            latency_rate=1.0 if args.fault_latency_ms > 0 else 0.0,
+            latency_seconds=args.fault_latency_ms / 1000.0,
+            seed=seed,
+        )
+    retry = RetryPolicy(
+        max_retries=(
+            args.max_retries if args.max_retries is not None else 3
+        ),
+        base_delay=0.01,
+        max_delay=0.1,
+    )
+    executor = ResilientExecutor(
+        retry=retry,
+        deadline_ms=args.deadline_ms,
+        injector=injector,
+        seed=seed,
+    )
+    return executor, injector, retry
+
+
+def _command_topk(args) -> int:
+    options = _query_options(args)
+    executor, injector, retry = _build_executor(args)
+    if executor is None:
         relation = _load_for(args)
         result = rank(relation, args.k, method=args.method, **options)
     else:
-        from repro.engine.query import ResilientExecutor
-
-        seed = (
-            args.fault_seed
-            if args.fault_seed is not None
-            else fault_seed_from_env()
-        )
-        injector = None
-        if args.inject_faults is not None or args.fault_latency_ms > 0:
-            injector = FaultInjector(
-                error_rate=args.inject_faults or 0.0,
-                latency_rate=1.0 if args.fault_latency_ms > 0 else 0.0,
-                latency_seconds=args.fault_latency_ms / 1000.0,
-                seed=seed,
-            )
-        retry = RetryPolicy(
-            max_retries=(
-                args.max_retries if args.max_retries is not None else 3
-            ),
-            base_delay=0.01,
-            max_delay=0.1,
-        )
         # The deadline governs the query ladder, not the load: the
         # last ladder rung guarantees an answer, while an expired
         # deadline mid-load could only fail.  The load still sees the
         # chaos injector and survives its faults via the retry policy.
         relation = _load_for(args, injector=injector, retry=retry)
-        executor = ResilientExecutor(
-            retry=retry,
-            deadline_ms=args.deadline_ms,
-            injector=injector,
-            seed=seed,
-        )
         result = executor.execute(
             relation, args.k, method=args.method, **options
         )
@@ -514,11 +584,37 @@ def _command_distribution(args) -> int:
 
 
 def _command_explain(args) -> int:
-    from repro.core.explain import explain_pair
+    if (args.better is None) != (args.worse is None):
+        print(
+            "error: explain takes either two tuple ids (pairwise "
+            "mode) or none (query EXPLAIN)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.better is not None:
+        from repro.core.explain import explain_pair
 
-    relation = _load_for(args)
-    explanation = explain_pair(relation, args.better, args.worse)
-    print(explanation.describe())
+        relation = _load_for(args)
+        explanation = explain_pair(relation, args.better, args.worse)
+        print(explanation.describe())
+        return 0
+    from repro.obs.explain import explain as explain_query
+
+    executor, injector, retry = _build_executor(args)
+    relation = _load_for(args, injector=injector, retry=retry)
+    report = explain_query(
+        relation,
+        args.k,
+        args.method,
+        executor=executor,
+        dry_run=args.dry_run,
+        expensive_access=not args.cheap_access,
+        **_query_options(args),
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.describe())
     return 0
 
 
@@ -626,12 +722,16 @@ _COMMANDS = {
 
 
 def _run_with_metrics(args) -> int:
-    """Run one command with a fresh enabled registry + JSONL sink.
+    """Run one command with a fresh enabled registry + metrics output.
 
-    Spans stream to ``args.metrics_out`` as the command runs; a final
-    ``{"type": "metrics", ...}`` line carries the registry snapshot.
-    The previous registry/sink are restored afterwards so library
-    users embedding :func:`main` keep their own configuration.
+    ``--metrics-format json`` (the default) streams spans to
+    ``args.metrics_out`` as the command runs, then appends a final
+    ``{"type": "metrics", ...}`` line with the registry snapshot.
+    ``--metrics-format prom`` keeps the current sink (spans have no
+    Prometheus representation) and writes the registry in Prometheus
+    text exposition format once the command finishes.  The previous
+    registry/sink are restored afterwards so library users embedding
+    :func:`main` keep their own configuration.
     """
     from repro.obs import (
         JsonlSink,
@@ -642,8 +742,15 @@ def _run_with_metrics(args) -> int:
     )
 
     registry = MetricsRegistry(enabled=True)
-    sink = JsonlSink(args.metrics_out)
     previous_registry = set_registry(registry)
+    if args.metrics_format == "prom":
+        try:
+            with trace(f"cli.{args.command}"):
+                return _COMMANDS[args.command](args)
+        finally:
+            set_registry(previous_registry)
+            args.metrics_out.write_text(registry.to_prometheus())
+    sink = JsonlSink(args.metrics_out)
     previous_sink = set_sink(sink)
     try:
         with trace(f"cli.{args.command}"):
@@ -660,6 +767,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if (
+            args.metrics_format == "prom"
+            and args.metrics_out is None
+        ):
+            print(
+                "error: --metrics-format prom requires --metrics-out",
+                file=sys.stderr,
+            )
+            return 2
         if args.metrics_out is not None:
             # Fail fast: the sink opens lazily on the first span, which
             # would otherwise surface a bad path only after the command

@@ -30,7 +30,7 @@ from repro.core.result import RankedItem, TopKResult
 from repro.exceptions import PruningBoundError, RankingError
 from repro.models.attribute import AttributeLevelRelation, AttributeTuple
 from repro.models.possible_worlds import TieRule, _check_ties
-from repro.obs import count, profiled
+from repro.obs import count, get_registry, profiled
 
 __all__ = [
     "attribute_expected_ranks",
@@ -390,6 +390,13 @@ def a_erank_prune(
     seen: list[_SeenTuple] = []
     halted_early = False
 
+    # Bound trajectory for EXPLAIN: recorded only while observability
+    # is on, downsampled to a bounded number of points.
+    trajectory: list[dict] | None = (
+        [] if get_registry().enabled else None
+    )
+    stride = max(1, total // 64)
+
     for row in access_order:
         arriving = _SeenTuple(row, relation.position_of(row.tid))
         # Update pairwise seen-beats sums (the first term of eq. 5).
@@ -420,7 +427,18 @@ def a_erank_prune(
         ]
         lower_bound = n - math.fsum(tails)
         kth_upper = heapq.nsmallest(k, upper_bounds)[-1]
-        if kth_upper < lower_bound:
+        halting = kth_upper < lower_bound
+        if trajectory is not None and (
+            halting or n % stride == 0 or n == total
+        ):
+            trajectory.append(
+                {
+                    "accessed": n,
+                    "kth_rank": kth_upper,
+                    "unseen_bound": lower_bound,
+                }
+            )
+        if halting:
             halted_early = True
             break
 
@@ -435,17 +453,20 @@ def a_erank_prune(
     )
     ranks = attribute_expected_ranks(curtailed, ties=ties)
     winners = _select_top_k(curtailed.tids(), ranks, k)
+    metadata: dict[str, object] = {
+        "tuples_accessed": len(seen),
+        "halted_early": halted_early,
+        "exact": len(seen) == total,
+        "ties": ties,
+    }
+    if trajectory is not None:
+        metadata["prune_trajectory"] = tuple(trajectory)
     return _as_result(
         "expected_rank_prune",
         k,
         winners,
         ranks,
-        {
-            "tuples_accessed": len(seen),
-            "halted_early": halted_early,
-            "exact": len(seen) == total,
-            "ties": ties,
-        },
+        metadata,
     )
 
 

@@ -30,7 +30,7 @@ from repro.core.result import RankedItem, TopKResult
 from repro.exceptions import RankingError
 from repro.models.possible_worlds import TieRule, _check_ties
 from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
-from repro.obs import count, profiled
+from repro.obs import count, get_registry, profiled
 
 __all__ = [
     "tuple_expected_ranks",
@@ -369,6 +369,14 @@ def t_erank_prune(
     halted_early = False
     accessed = 0
 
+    # Bound trajectory for EXPLAIN: only while observability is on
+    # (the disabled path pays one pointer compare per tuple), and
+    # downsampled to a bounded number of points.
+    trajectory: list[dict] | None = (
+        [] if get_registry().enabled else None
+    )
+    stride = max(1, len(ordered) // 64)
+
     running = 0.0  # mass of all tuples scanned so far
     strict_before_group = 0.0  # mass with score strictly above current
     group_running = 0.0  # by-index exclusive mass within the tie group
@@ -407,7 +415,24 @@ def t_erank_prune(
             halted_early = True
             break
         unseen_bound = strict_before_group - 1.0
-        if len(worst_of_best) == k and -worst_of_best[0] <= unseen_bound:
+        halting = (
+            len(worst_of_best) == k and -worst_of_best[0] <= unseen_bound
+        )
+        if trajectory is not None and (
+            halting or accessed % stride == 0 or accessed == len(ordered)
+        ):
+            trajectory.append(
+                {
+                    "accessed": accessed,
+                    "kth_rank": (
+                        -worst_of_best[0]
+                        if len(worst_of_best) == k
+                        else None
+                    ),
+                    "unseen_bound": unseen_bound,
+                }
+            )
+        if halting:
             halted_early = True
             break
 
@@ -415,15 +440,18 @@ def t_erank_prune(
     if halted_early:
         count("t_erank_prune.halted_early")
     winners = _select_top_k(relation.tids(), ranks_seen, k)
+    metadata: dict[str, object] = {
+        "tuples_accessed": accessed,
+        "halted_early": halted_early,
+        "exact": True,  # seen ranks are exact, and the top-k is global
+        "ties": ties,
+    }
+    if trajectory is not None:
+        metadata["prune_trajectory"] = tuple(trajectory)
     return _as_result(
         "expected_rank_prune",
         k,
         winners,
         ranks_seen,
-        {
-            "tuples_accessed": accessed,
-            "halted_early": halted_early,
-            "exact": True,  # seen ranks are exact, and the top-k is global
-            "ties": ties,
-        },
+        metadata,
     )

@@ -19,7 +19,7 @@ from typing import Callable, Generic, Iterator, Sequence, TypeVar
 from repro.exceptions import EngineError
 from repro.models.attribute import AttributeLevelRelation, AttributeTuple
 from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
-from repro.obs import get_registry
+from repro.obs import emit_event, get_registry
 from repro.robust import Deadline, RetryPolicy, call_with_retry
 
 __all__ = [
@@ -163,14 +163,24 @@ class ResilientCursor(Generic[RowT]):
         return self
 
     def __next__(self) -> RowT:
-        row, stats = call_with_retry(
-            self.operation,
-            lambda: next(self._rows),
-            policy=self.policy,
-            deadline=self.deadline,
-            rng=self._rng,
-            sleep=self._sleep,
-        )
+        try:
+            row, stats = call_with_retry(
+                self.operation,
+                lambda: next(self._rows),
+                policy=self.policy,
+                deadline=self.deadline,
+                rng=self._rng,
+                sleep=self._sleep,
+            )
+        except StopIteration:
+            if self.faults_survived > 0:
+                emit_event(
+                    "cursor.finished",
+                    operation=self.operation,
+                    attempts=self.attempts,
+                    faults_survived=self.faults_survived,
+                )
+            raise
         self.attempts += stats.attempts
         self.faults_survived += stats.faults_survived
         return row

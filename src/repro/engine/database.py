@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Iterator, Mapping
 from repro.core.result import TopKResult
 from repro.core.semantics import rank
 from repro.engine.io import load_json, save_json
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.query import ResilientExecutor
@@ -35,7 +36,11 @@ class QueryLogEntry:
 
     ``degraded`` / ``fallback_method`` are populated when the query
     ran through a :class:`~repro.engine.query.ResilientExecutor` and
-    had to step down its degradation ladder.
+    had to step down its degradation ladder.  ``trace_id`` links the
+    entry to every span and event of the query in a JSONL trace
+    (``None`` while observability is disabled) — in particular, a
+    degraded entry shares its trace id with the executor spans that
+    produced the fallback, so the *why* is one filter away.
     """
 
     relation: str
@@ -46,6 +51,7 @@ class QueryLogEntry:
     answer: tuple[str, ...]
     degraded: bool = False
     fallback_method: str | None = None
+    trace_id: str | None = None
 
 
 class ProbabilisticDatabase:
@@ -158,12 +164,18 @@ class ProbabilisticDatabase:
         the answer degraded.
         """
         relation = self.relation(name)
-        if executor is not None:
-            result = executor.execute(
-                relation, k, method=method, **options
-            )
-        else:
-            result = rank(relation, k, method=method, **options)
+        # The db.topk span is the query's root: the planner, kernel,
+        # retry, and degradation spans all nest under it and inherit
+        # its trace id, which the log entry records for correlation.
+        with trace(
+            "db.topk", relation=name, method=method, k=k
+        ) as span:
+            if executor is not None:
+                result = executor.execute(
+                    relation, k, method=method, **options
+                )
+            else:
+                result = rank(relation, k, method=method, **options)
         accessed = result.metadata.get("tuples_accessed")
         degraded = bool(result.metadata.get("degraded", False))
         self._query_log.append(
@@ -182,6 +194,7 @@ class ProbabilisticDatabase:
                     if degraded
                     else None
                 ),
+                trace_id=span.trace_id,
             )
         )
         return result

@@ -34,7 +34,7 @@ from repro.exceptions import (
 )
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.tuple_level import TupleLevelRelation
-from repro.obs import count, trace
+from repro.obs import count, emit_event, trace
 from repro.robust import (
     Deadline,
     FaultInjector,
@@ -65,7 +65,11 @@ class TopKPlan:
     def execute(self, relation: Relation, k: int) -> TopKResult:
         """Run the planned query."""
         with trace(
-            "query.execute", method=self.method, k=k, n=relation.size
+            "query.execute",
+            method=self.method,
+            k=k,
+            n=relation.size,
+            reason=self.reason,
         ):
             result = rank(
                 relation, k, method=self.method, **self.options
@@ -345,7 +349,7 @@ class ResilientExecutor:
         outcomes: list[dict] = []
         with trace(
             "robust.execute", method=method, k=k, n=relation.size
-        ):
+        ) as root_span:
             for index, rung in enumerate(ladder):
                 degraded = index > 0
                 if rung.last_resort:
@@ -356,22 +360,33 @@ class ResilientExecutor:
                         ),
                     )
                 try:
-                    result, stats = call_with_retry(
-                        f"query.{rung.name}",
-                        self._attempt(relation, k, rung),
-                        policy=self.retry,
-                        # The last resort must answer: no deadline
-                        # abort, no injected faults (see _Rung).
-                        deadline=(
-                            Deadline(None)
-                            if rung.last_resort
-                            else deadline
-                        ),
-                        rng=rng,
-                        sleep=self._sleep,
-                    )
+                    with trace(
+                        "robust.rung",
+                        rung=rung.name,
+                        method=rung.method,
+                    ):
+                        result, stats = call_with_retry(
+                            f"query.{rung.name}",
+                            self._attempt(relation, k, rung),
+                            policy=self.retry,
+                            # The last resort must answer: no deadline
+                            # abort, no injected faults (see _Rung).
+                            deadline=(
+                                Deadline(None)
+                                if rung.last_resort
+                                else deadline
+                            ),
+                            rng=rng,
+                            sleep=self._sleep,
+                        )
                 except _RUNG_FAILURES as error:
                     count(f"robust.degrade.from_{rung.name}")
+                    emit_event(
+                        "robust.degrade",
+                        rung=rung.name,
+                        method=rung.method,
+                        error=f"{type(error).__name__}: {error}",
+                    )
                     outcomes.append(
                         {
                             "rung": rung.name,
@@ -394,6 +409,11 @@ class ResilientExecutor:
                 )
                 if degraded:
                     count(f"robust.fallback.{rung.name}")
+                    emit_event(
+                        "robust.fallback",
+                        rung=rung.name,
+                        method=rung.method,
+                    )
                 return self._finalise(
                     result,
                     degraded=degraded,
@@ -402,6 +422,7 @@ class ResilientExecutor:
                     attempts=attempts,
                     faults_survived=faults_survived,
                     backoff_seconds=backoff_seconds,
+                    trace_id=root_span.trace_id,
                 )
         raise DeadlineExceededError(  # pragma: no cover - defensive
             "every rung of the degradation ladder failed: "
@@ -428,11 +449,14 @@ class ResilientExecutor:
         attempts: int,
         faults_survived: int,
         backoff_seconds: float,
+        trace_id: str | None = None,
     ) -> TopKResult:
         # Per-rung retry stats only count the *winning* rung's
         # attempts; the failed rungs' attempts live in their ladder
         # outcome strings.  faults_injected is the chaos ground truth
-        # to compare faults_survived against.
+        # to compare faults_survived against.  trace_id (None while
+        # observability is off) links the answer to its span tree in
+        # the JSONL trace and the query log.
         metadata = dict(result.metadata)
         metadata.update(
             {
@@ -449,6 +473,7 @@ class ResilientExecutor:
                     if self.injector is not None
                     else 0
                 ),
+                "trace_id": trace_id,
             }
         )
         return replace(result, metadata=metadata)

@@ -7,7 +7,17 @@ The layer the benchmarks, the CLI and CI's perf smoke all read from:
 * :func:`trace` — spans with pluggable sinks: no-op, stdlib logging,
   or JSON lines (:mod:`repro.obs.trace`);
 * :func:`profiled` — wall time + call counts per function
-  (:mod:`repro.obs.profile`).
+  (:mod:`repro.obs.profile`);
+* :func:`explain` — one query run under a fresh registry, folded into
+  a schema-validated :class:`ExplainReport`
+  (:mod:`repro.obs.explain`);
+* :func:`to_prometheus` / :func:`parse_prometheus` — registry
+  snapshots in Prometheus text exposition format
+  (:mod:`repro.obs.export`).
+
+Spans carry per-query trace ids: the outermost span mints one, nested
+spans and :func:`emit_event` records inherit it, and
+``ProbabilisticDatabase.topk`` stamps it into the query log.
 
 Everything is **off by default and free while off**: the hot ranking
 kernels check one flag per call and skip all bookkeeping.  Turn
@@ -25,6 +35,13 @@ collection on per process with :func:`configure`, per registry with
 
 from __future__ import annotations
 
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    ExplainReport,
+    explain,
+    validate_report,
+)
+from repro.obs.export import parse_prometheus, to_prometheus
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -42,13 +59,17 @@ from repro.obs.trace import (
     NullSink,
     Sink,
     current_span_id,
+    current_trace_id,
+    emit_event,
     get_sink,
     set_sink,
     trace,
 )
 
 __all__ = [
+    "EXPLAIN_SCHEMA",
     "Counter",
+    "ExplainReport",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -59,13 +80,19 @@ __all__ = [
     "configure",
     "count",
     "current_span_id",
+    "current_trace_id",
+    "emit_event",
+    "explain",
     "get_registry",
     "get_sink",
     "metrics_enabled",
+    "parse_prometheus",
     "profiled",
     "set_registry",
     "set_sink",
+    "to_prometheus",
     "trace",
+    "validate_report",
 ]
 
 

@@ -1,0 +1,157 @@
+"""Prometheus text-exposition export for :class:`MetricsRegistry`.
+
+Serialises every instrument of a registry into the Prometheus text
+format (version 0.0.4) so the library's metrics plug into standard
+scrapers — node exporters, pushgateways, ``promtool`` — without any
+new dependency:
+
+* counters become ``<name>_total`` samples with ``# TYPE ... counter``;
+* gauges become plain samples (unset gauges are skipped);
+* histograms emit cumulative ``_bucket{le="..."}`` lines straight from
+  the fixed log-spaced buckets, plus ``_sum`` and ``_count``.
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the library's dotted names have their
+dots mapped to underscores and gain a ``repro_`` prefix, so
+``t_erank.tuples_accessed`` exports as
+``repro_t_erank_tuples_accessed_total``.
+
+:func:`parse_prometheus` is the matching minimal parser — enough to
+round-trip this module's own output (CI does exactly that) and to
+sanity-check any exposition snapshot in tests; it is *not* a general
+Prometheus client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "metric_name",
+    "parse_prometheus",
+    "to_prometheus",
+]
+
+PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str, *, prefix: str = PREFIX) -> str:
+    """Sanitise a dotted registry name into a Prometheus metric name."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _format_value(value: float) -> str:
+    """Render one sample value (Prometheus accepts Go-style floats)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def to_prometheus(registry: "MetricsRegistry") -> str:
+    """Serialise ``registry`` to the Prometheus text format.
+
+    Families are emitted in sorted-name order; the output always ends
+    with a newline (scrapers require it).  An empty registry yields an
+    empty string.
+    """
+    lines: list[str] = []
+    for name, counter in sorted(registry._counters.items()):
+        exported = metric_name(name) + "_total"
+        lines.append(f"# TYPE {exported} counter")
+        lines.append(f"{exported} {_format_value(counter.value)}")
+    for name, gauge in sorted(registry._gauges.items()):
+        if gauge.value is None:
+            continue
+        exported = metric_name(name)
+        lines.append(f"# TYPE {exported} gauge")
+        lines.append(f"{exported} {_format_value(gauge.value)}")
+    for name, histogram in sorted(registry._histograms.items()):
+        exported = metric_name(name)
+        lines.append(f"# TYPE {exported} histogram")
+        for bound, cumulative in histogram.cumulative_buckets():
+            le = "+Inf" if math.isinf(bound) else _format_value(bound)
+            lines.append(
+                f'{exported}_bucket{{le="{le}"}} {cumulative}'
+            )
+        lines.append(f"{exported}_sum {_format_value(histogram.total)}")
+        lines.append(f"{exported}_count {histogram.count}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse an exposition snapshot back into plain data.
+
+    Returns ``{family_name: {"type": ..., "samples": [...]}}`` where
+    each sample is ``{"name": ..., "labels": {...}, "value": float}``.
+    Raises :class:`ValueError` on a malformed sample line, so a failed
+    round-trip is loud.
+    """
+    families: dict[str, dict] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families.setdefault(
+                    parts[2], {"type": parts[3], "samples": []}
+                )
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        name = match.group("name")
+        labels = {
+            key: value.replace('\\"', '"')
+            for key, value in _LABEL.findall(
+                match.group("labels") or ""
+            )
+        }
+        sample = {
+            "name": name,
+            "labels": labels,
+            "value": _parse_value(match.group("value")),
+        }
+        # Histogram series (_bucket/_sum/_count) belong to their base
+        # family when one was declared.
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+                break
+        families.setdefault(
+            family, {"type": "untyped", "samples": []}
+        )["samples"].append(sample)
+    return families

@@ -11,8 +11,11 @@ to thread through the hot kernels:
   first, so the vectorized kernels pay at most one attribute load per
   *call* (never per tuple) when observability is off — which is the
   default.
-* **Aggregates only.**  Histograms keep count/total/min/max rather
-  than samples, so a million observations cost the same memory as one.
+* **Aggregates only.**  Histograms keep count/total/min/max plus a
+  fixed set of log-spaced bucket counts rather than samples, so a
+  million observations cost the same memory as one — while still
+  supporting percentile estimates (p50/p95/p99) and the Prometheus
+  ``_bucket`` exposition lines.
 
 Enable collection explicitly (:func:`MetricsRegistry.enable`, the CLI
 ``--metrics-out`` flag) or ambiently via the ``REPRO_METRICS=1``
@@ -23,10 +26,13 @@ from __future__ import annotations
 
 import os
 import threading
+from bisect import bisect_left
 from time import perf_counter
 from types import TracebackType
+from typing import Sequence
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -36,6 +42,15 @@ __all__ = [
     "metrics_enabled",
     "set_registry",
 ]
+
+#: Default histogram bucket upper bounds: doubling steps from 1 µs to
+#: ~67 s (27 finite buckets plus the implicit overflow bucket).  Every
+#: histogram this library records is a wall-clock duration in seconds,
+#: so a fixed log-spaced ladder makes percentiles exact-enough (at
+#: most one doubling of error) without storing samples.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    1e-6 * 2.0**exponent for exponent in range(27)
+)
 
 
 class Counter:
@@ -94,16 +109,35 @@ class _Timing:
 
 
 class Histogram:
-    """Aggregate distribution summary: count, total, min, max, mean."""
+    """Aggregate distribution summary with fixed log-spaced buckets.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Keeps count/total/min/max plus one integer per bucket — never the
+    samples themselves — so memory is constant and ``observe`` is a
+    handful of compares plus one binary search.  Bucket ``i`` counts
+    samples with ``value <= buckets[i]`` (Prometheus ``le``
+    semantics); one extra overflow bucket catches everything above the
+    last bound.  :meth:`quantile` interpolates within the landing
+    bucket and clamps to the observed ``[min, max]``, so percentile
+    estimates are off by at most one bucket width.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "_bucket_counts")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] | None = None
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets: tuple[float, ...] = (
+            DEFAULT_BUCKETS
+            if buckets is None
+            else tuple(sorted(buckets))
+        )
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -113,6 +147,7 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._bucket_counts[bisect_left(self.buckets, value)] += 1
 
     def time(self) -> _Timing:
         """``with histogram.time(): ...`` records the block's seconds."""
@@ -122,23 +157,81 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        The last pair's bound is ``inf`` and its count equals
+        :attr:`count` — exactly the ``le="+Inf"`` exposition line.
+        """
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(
+            self.buckets, self._bucket_counts
+        ):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        pairs.append((float("inf"), self.count))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation within the landing bucket (uniform
+        assumption), clamped to the observed extremes; an empty
+        histogram answers 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, in_bucket in enumerate(self._bucket_counts):
+            if not in_bucket:
+                continue
+            previous = cumulative
+            cumulative += in_bucket
+            if cumulative >= target:
+                lower = self.buckets[index - 1] if index else 0.0
+                upper = (
+                    self.buckets[index]
+                    if index < len(self.buckets)
+                    else self.max
+                )
+                fraction = (target - previous) / in_bucket
+                estimate = lower + (upper - lower) * min(
+                    1.0, max(0.0, fraction)
+                )
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - defensive
+
+    def percentiles(self) -> dict[str, float]:
+        """The conventional p50/p95/p99 trio, from the buckets."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
 
     def summary(self) -> dict[str, float]:
         """The aggregates as a plain dict (empty histogram -> zeros)."""
         if not self.count:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            **self.percentiles(),
         }
 
 
@@ -186,6 +279,7 @@ class _NullHistogram:
     min = 0.0
     max = 0.0
     mean = 0.0
+    buckets: tuple[float, ...] = ()
 
     def observe(self, value: float) -> None:
         return None
@@ -193,12 +287,21 @@ class _NullHistogram:
     def time(self) -> _NullContext:
         return _NULL_CONTEXT
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        return [(float("inf"), 0)]
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def percentiles(self) -> dict[str, float]:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
     def reset(self) -> None:
         return None
 
     def summary(self) -> dict[str, float]:
         return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                "mean": 0.0}
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 _NULL_CONTEXT = _NullContext()
@@ -283,6 +386,16 @@ class MetricsRegistry:
                     )
                 },
             }
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Delegates to :func:`repro.obs.export.to_prometheus`; see that
+        module for the naming and formatting contract.
+        """
+        from repro.obs.export import to_prometheus
+
+        return to_prometheus(self)
 
     def reset(self) -> None:
         """Zero every instrument (names and identities survive)."""

@@ -15,6 +15,13 @@ be overridden with ``@profiled("t_erank")``.  Algorithm-specific
 counters (tuples accessed, pruning halts) are recorded separately by
 the algorithms themselves via :func:`repro.obs.count`.
 
+Generator functions are detected and wrapped with a driving generator
+instead: the call counter still ticks once per invocation, and the
+``.seconds`` histogram records the *cumulative time spent inside the
+generator* (summed across ``next()`` resumptions, observed when the
+generator finishes or is closed) — not the microseconds it takes to
+create the generator object.
+
 When the registry is disabled the wrapper is a single attribute check
 followed by a tail call — cheap enough for the vectorized kernels,
 whose per-call work dwarfs it by orders of magnitude.
@@ -23,6 +30,7 @@ whose per-call work dwarfs it by orders of magnitude.
 from __future__ import annotations
 
 import functools
+import inspect
 from time import perf_counter
 from typing import Callable, TypeVar, overload
 
@@ -63,6 +71,38 @@ def profiled(function=None, *, name=None):
         metric = name if name is not None else _default_name(inner)
         calls_metric = f"{metric}.calls"
         seconds_metric = f"{metric}.seconds"
+
+        if inspect.isgeneratorfunction(inner):
+
+            @functools.wraps(inner)
+            def generator_wrapper(*args, **kwargs):
+                registry = get_registry()
+                if not registry.enabled:
+                    yield from inner(*args, **kwargs)
+                    return
+                registry.counter(calls_metric).inc()
+                # Accumulate only the time spent *inside* the
+                # generator body; the consumer's time between items
+                # must not be charged to the producer.
+                elapsed = 0.0
+                iterator = inner(*args, **kwargs)
+                try:
+                    while True:
+                        start = perf_counter()
+                        try:
+                            item = next(iterator)
+                        except StopIteration:
+                            elapsed += perf_counter() - start
+                            return
+                        elapsed += perf_counter() - start
+                        yield item
+                finally:
+                    registry.histogram(seconds_metric).observe(
+                        elapsed
+                    )
+
+            setattr(generator_wrapper, "__profiled_metric__", metric)
+            return generator_wrapper
 
         @functools.wraps(inner)
         def wrapper(*args, **kwargs):

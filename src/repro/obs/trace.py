@@ -8,11 +8,15 @@ free-form attributes:
         tuple_expected_ranks(relation)
 
 Spans nest via a :mod:`contextvars` stack, so a query span shows the
-kernel spans it contains through their ``parent_id``.  Finished spans
-go to the configured sink (:class:`NullSink` by default,
-:class:`LoggingSink` for stdlib logging, :class:`JsonlSink` for a
-machine-readable trace file) and their durations also land in the
-default metrics registry as ``span.<name>.seconds`` histograms.
+kernel spans it contains through their ``parent_id``.  The outermost
+span of a stack additionally mints a **trace id** that every nested
+span (and :func:`emit_event` record) inherits, so one query's full
+tree — planner decision, kernel invocation, retries, degradation —
+is reconstructable from a JSONL trace by filtering on ``trace_id``.
+Finished spans go to the configured sink (:class:`NullSink` by
+default, :class:`LoggingSink` for stdlib logging, :class:`JsonlSink`
+for a machine-readable trace file) and their durations also land in
+the default metrics registry as ``span.<name>.seconds`` histograms.
 
 Tracing follows the registry's enablement: when the default registry
 is disabled, :func:`trace` returns a shared no-op handle and costs one
@@ -24,7 +28,9 @@ from __future__ import annotations
 import itertools
 import json
 import logging
+import threading
 import time
+import uuid
 from contextvars import ContextVar
 from pathlib import Path
 from types import TracebackType
@@ -38,6 +44,8 @@ __all__ = [
     "NullSink",
     "Sink",
     "current_span_id",
+    "current_trace_id",
+    "emit_event",
     "get_sink",
     "set_sink",
     "trace",
@@ -98,6 +106,9 @@ class JsonlSink:
         else:
             self._path = None
             self._stream = target
+        # Spans may finish on several threads at once; the lock keeps
+        # each JSON line atomic (no interleaved partial writes).
+        self._lock = threading.Lock()
 
     def _handle(self) -> IO[str]:
         if self._stream is None:
@@ -109,9 +120,11 @@ class JsonlSink:
         self.write(span)
 
     def write(self, record: dict) -> None:
-        handle = self._handle()
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
-        handle.flush()
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            handle = self._handle()
+            handle.write(line)
+            handle.flush()
 
     def close(self) -> None:
         if self._stream is not None and self._path is not None:
@@ -129,6 +142,9 @@ _sink: Sink = NullSink()
 _span_ids = itertools.count(1)
 _active_span: ContextVar[int | None] = ContextVar(
     "repro_active_span", default=None
+)
+_active_trace: ContextVar[str | None] = ContextVar(
+    "repro_active_trace", default=None
 )
 
 
@@ -150,24 +166,70 @@ def current_span_id() -> int | None:
     return _active_span.get()
 
 
+def current_trace_id() -> str | None:
+    """The trace id of the active span stack, if any.
+
+    Minted by the outermost span and inherited by everything nested
+    inside it, including spans opened by other layers (planner, kernel,
+    retry ladder) — so one id stitches a whole query together.
+    """
+    return _active_trace.get()
+
+
+def new_trace_id() -> str:
+    """A fresh, process-unique trace id (16 hex chars)."""
+    return uuid.uuid4().hex[:16]
+
+
+def emit_event(name: str, **attributes: object) -> None:
+    """Emit a point-in-time record to the sink, inside the live trace.
+
+    Events carry the ambient ``trace_id`` / ``span_id`` so they land in
+    the right place of a reconstructed query tree; the retry layer uses
+    them for "recovered after N attempts" / "retries exhausted" marks.
+    Free (no record, no dict) while the default registry is disabled.
+    """
+    if not get_registry().enabled:
+        return
+    _sink.emit(
+        {
+            "type": "event",
+            "name": name,
+            "trace_id": _active_trace.get(),
+            "span_id": _active_span.get(),
+            "attributes": attributes,
+        }
+    )
+
+
 class _SpanHandle:
     """Live span: times the block, then emits and records it."""
 
     __slots__ = ("name", "attributes", "span_id", "parent_id",
-                 "_start", "_token", "error")
+                 "trace_id", "_start", "_token", "_trace_token",
+                 "error")
 
     def __init__(self, name: str, attributes: dict) -> None:
         self.name = name
         self.attributes = attributes
         self.span_id = next(_span_ids)
         self.parent_id: int | None = None
+        self.trace_id: str | None = None
         self.error: str | None = None
         self._start = 0.0
         self._token = None
+        self._trace_token = None
 
     def __enter__(self) -> "_SpanHandle":
         self.parent_id = _active_span.get()
         self._token = _active_span.set(self.span_id)
+        trace_id = _active_trace.get()
+        if trace_id is None:
+            # Outermost span of the stack: mint the trace id that
+            # every nested span and event will inherit.
+            trace_id = new_trace_id()
+            self._trace_token = _active_trace.set(trace_id)
+        self.trace_id = trace_id
         self._start = time.perf_counter()
         return self
 
@@ -180,6 +242,8 @@ class _SpanHandle:
         duration = time.perf_counter() - self._start
         if self._token is not None:
             _active_span.reset(self._token)
+        if self._trace_token is not None:
+            _active_trace.reset(self._trace_token)
         if exc is not None:
             self.error = f"{type(exc).__name__}: {exc}"
         registry = get_registry()
@@ -192,6 +256,7 @@ class _SpanHandle:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "duration_seconds": duration,
             "attributes": self.attributes,
         }
@@ -207,6 +272,7 @@ class _NullSpan:
     name = "<disabled>"
     span_id = None
     parent_id = None
+    trace_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self

@@ -21,7 +21,10 @@ timeout is opt-in and the plain path stays thread-free.
 
 Observability: attempts, faults survived, exhaustions, and backoff
 sleep all land in the :mod:`repro.obs` registry under ``robust.retry.*``
-(free while disabled).
+(free while disabled).  When tracing is on, a retry loop additionally
+emits ``retry.recovered`` / ``retry.exhausted`` events carrying the
+ambient trace id, so EXPLAIN reports and JSONL traces can attribute
+every recovery or give-up to the query that suffered it.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from repro.exceptions import (
     EngineError,
     TransientAccessError,
 )
-from repro.obs import count, get_registry
+from repro.obs import count, emit_event, get_registry
 
 __all__ = [
     "RETRIABLE_ERRORS",
@@ -251,11 +254,23 @@ def call_with_retry(
         else:
             if stats.attempts > 1:
                 count("robust.faults.survived", stats.faults_survived)
+                emit_event(
+                    "retry.recovered",
+                    operation=operation,
+                    attempts=stats.attempts,
+                    faults_survived=stats.faults_survived,
+                )
             return result, stats
         stats.faults_survived += 1
         retries_used = stats.attempts - 1
         if retries_used >= policy.max_retries:
             count("robust.retry.exhausted")
+            emit_event(
+                "retry.exhausted",
+                operation=operation,
+                attempts=stats.attempts,
+                error=f"{type(failure).__name__}: {failure}",
+            )
             raise failure
         pause = policy.backoff(retries_used + 1, rng)
         if pause > 0.0:

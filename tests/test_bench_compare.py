@@ -8,7 +8,11 @@ import pytest
 
 import repro.bench.baseline as baseline_module
 from repro.bench.baseline import run_suite, write_baseline
-from repro.bench.compare import compare_documents
+from repro.bench.compare import (
+    append_history,
+    compare_documents,
+    last_history_entry,
+)
 from repro.bench.compare import main as compare_main
 
 
@@ -156,3 +160,120 @@ class TestCompareCli:
         code = compare_main([str(good), str(tmp_path / "missing.json")])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestHistory:
+    DOCUMENT = {
+        "suite": "repro-perf-smoke",
+        "metrics": {
+            "kernel/seconds": {"kind": "seconds", "value": 0.5},
+            "prune/tuples_accessed": {"kind": "count", "value": 40},
+        },
+    }
+
+    def test_append_writes_flat_jsonl_entry(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        written = append_history(
+            path, self.DOCUMENT, commit="abc1234", timestamp=100.0
+        )
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert entry == written
+        assert entry["commit"] == "abc1234"
+        assert entry["timestamp"] == 100.0
+        assert entry["suite"] == "repro-perf-smoke"
+        assert entry["metrics"]["kernel/seconds"] == 0.5
+        assert entry["metrics"]["prune/tuples_accessed"] == 40.0
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "history.jsonl"
+        append_history(path, self.DOCUMENT, commit="x")
+        assert path.exists()
+
+    def test_last_entry_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, self.DOCUMENT, commit="first")
+        with path.open("a") as handle:
+            handle.write("{truncated\n")
+        assert last_history_entry(path)["commit"] == "first"
+
+    def test_last_entry_none_when_missing(self, tmp_path):
+        assert last_history_entry(tmp_path / "ghost.jsonl") is None
+
+    def test_default_commit_is_resolved_or_unknown(self, tmp_path):
+        entry = append_history(
+            tmp_path / "history.jsonl", self.DOCUMENT
+        )
+        assert isinstance(entry["commit"], str) and entry["commit"]
+
+    def test_cli_appends_and_prints_deltas(self, tmp_path, capsys):
+        document = json.loads(json.dumps(self.DOCUMENT))
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(document))
+        history = tmp_path / "history.jsonl"
+        # First gated run: entry written, no previous to diff against.
+        code = compare_main(
+            [
+                str(base),
+                str(base),
+                "--history",
+                str(history),
+                "--commit",
+                "run1",
+            ]
+        )
+        assert code == 0
+        first_output = capsys.readouterr().out
+        assert "history:" not in first_output
+        # Second run with a faster kernel: deltas versus run1.
+        document["metrics"]["kernel/seconds"]["value"] = 0.25
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(document))
+        code = compare_main(
+            [
+                str(base),
+                str(fresh),
+                "--history",
+                str(history),
+                "--commit",
+                "run2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "history: vs run1" in output
+        assert "kernel/seconds: 0.5 -> 0.25 (-50.0%)" in output
+        entries = [
+            json.loads(line)
+            for line in history.read_text().splitlines()
+        ]
+        assert [entry["commit"] for entry in entries] == [
+            "run1", "run2",
+        ]
+
+    def test_failing_gate_still_records_history(self, tmp_path, capsys):
+        document = json.loads(json.dumps(self.DOCUMENT))
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(document))
+        document["metrics"]["prune/tuples_accessed"]["value"] = 400
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(document))
+        history = tmp_path / "history.jsonl"
+        code = compare_main(
+            [str(base), str(fresh), "--history", str(history)]
+        )
+        assert code == 1
+        assert history.exists()
+
+    def test_history_io_failure_warns_but_gate_passes(
+        self, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(self.DOCUMENT))
+        # A directory where the history file should be: append fails.
+        blocked = tmp_path / "history.jsonl"
+        blocked.mkdir()
+        code = compare_main(
+            [str(base), str(base), "--history", str(blocked)]
+        )
+        assert code == 0
+        assert "warning" in capsys.readouterr().err

@@ -165,6 +165,81 @@ class TestExplainCommand:
     def test_unknown_tuple(self, tuple_csv, capsys):
         assert main(["explain", str(tuple_csv), "t3", "zzz"]) == 4
 
+    def test_single_tuple_id_is_usage_error(self, tuple_csv, capsys):
+        code = main(["explain", str(tuple_csv), "t3"])
+        assert code == 2
+        assert "two tuple ids" in capsys.readouterr().err
+
+    def test_query_mode_prints_report(self, tuple_csv, capsys):
+        code = main(["explain", str(tuple_csv), "-k", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "EXPLAIN" in output
+        assert "trace_id=" in output
+        assert "plan" in output
+
+    def test_query_mode_json_satisfies_schema(self, tuple_csv, capsys):
+        from repro.obs import validate_report
+
+        code = main(["explain", str(tuple_csv), "-k", "2", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        validate_report(report)
+        assert report["query"]["k"] == 2
+        assert report["plan"]["method"]
+        assert report["execution"]["tuples_accessed"] is not None
+        assert len(report["execution"]["answer"]) == 2
+
+    def test_query_mode_dry_run(self, tuple_csv, capsys):
+        code = main(
+            ["explain", str(tuple_csv), "-k", "2", "--dry-run"]
+        )
+        assert code == 0
+        assert "dry run" in capsys.readouterr().out
+
+    def test_cheap_access_changes_the_plan(self, tuple_csv, capsys):
+        main(["explain", str(tuple_csv), "-k", "2", "--json"])
+        pruned = json.loads(capsys.readouterr().out)
+        main(
+            [
+                "explain",
+                str(tuple_csv),
+                "-k",
+                "2",
+                "--json",
+                "--cheap-access",
+            ]
+        )
+        cheap = json.loads(capsys.readouterr().out)
+        assert pruned["plan"]["method"] == "expected_rank_prune"
+        assert cheap["plan"]["method"] == "expected_rank"
+
+    def test_query_mode_with_resilience_flags(self, tuple_csv, capsys):
+        code = main(
+            [
+                "explain",
+                str(tuple_csv),
+                "-k",
+                "2",
+                "--json",
+                "--inject-faults",
+                "0.7",
+                "--fault-seed",
+                "6",
+                "--max-retries",
+                "2",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        # Seeded chaos: this (rate, seed) pair deterministically lets
+        # the load through, exhausts the exact rung's retries, and
+        # answers from a fallback rung.
+        assert report["execution"]["degraded"] is True
+        names = [event["name"] for event in report["events"]]
+        assert "robust.degrade" in names
+        assert "robust.fallback" in names
+
 
 class TestChurnCommand:
     def test_profile_printed(self, tuple_csv, capsys):
@@ -359,3 +434,87 @@ class TestMetricsOut:
         capsys.readouterr()
         assert not list(tmp_path.glob("*.jsonl"))
         assert not get_registry().snapshot()["counters"]
+
+
+class TestMetricsFormat:
+    def test_prom_output_parses_back(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        from repro.obs import parse_prometheus
+
+        out = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "--metrics-out",
+                str(out),
+                "--metrics-format",
+                "prom",
+                "topk",
+                str(attribute_csv),
+                "-k",
+                "2",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        families = parse_prometheus(out.read_text())
+        assert "repro_a_erank_calls_total" in families
+        assert "repro_a_erank_seconds" in families
+        assert families["repro_a_erank_seconds"]["type"] == "histogram"
+
+    def test_prom_without_metrics_out_is_usage_error(
+        self, attribute_csv, capsys
+    ):
+        code = main(
+            [
+                "--metrics-format",
+                "prom",
+                "topk",
+                str(attribute_csv),
+                "-k",
+                "1",
+            ]
+        )
+        assert code == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_json_stays_the_default_stream(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        out = tmp_path / "metrics.jsonl"
+        main(
+            [
+                "--metrics-out",
+                str(out),
+                "topk",
+                str(attribute_csv),
+                "-k",
+                "1",
+            ]
+        )
+        capsys.readouterr()
+        lines = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert lines[-1]["type"] == "metrics"
+
+    def test_prom_restores_ambient_registry(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        from repro.obs import get_registry
+
+        before = get_registry()
+        main(
+            [
+                "--metrics-out",
+                str(tmp_path / "m.prom"),
+                "--metrics-format",
+                "prom",
+                "topk",
+                str(attribute_csv),
+                "-k",
+                "1",
+            ]
+        )
+        capsys.readouterr()
+        assert get_registry() is before

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import logging
+import threading
 
 import pytest
 
@@ -20,12 +21,26 @@ from repro.obs import (
     NullSink,
     configure,
     count,
+    current_trace_id,
+    emit_event,
     metrics_enabled,
+    parse_prometheus,
     profiled,
     set_registry,
     set_sink,
+    to_prometheus,
     trace,
 )
+
+
+class _Capture:
+    """A sink that keeps every record for assertions."""
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
 
 
 @pytest.fixture
@@ -310,4 +325,418 @@ class TestAccessCounter:
         registry.enable()
         assert "engine.tuples_accessed" not in (
             registry.snapshot()["counters"]
+        )
+
+
+class TestTraceIds:
+    def test_root_span_mints_trace_id(self, registry):
+        with trace("root") as span:
+            assert span.trace_id is not None
+            assert current_trace_id() == span.trace_id
+        assert current_trace_id() is None
+
+    def test_nested_spans_inherit_the_trace_id(self, registry):
+        sink = _Capture()
+        set_sink(sink)
+        with trace("outer") as outer:
+            with trace("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+        ids = {record["trace_id"] for record in sink.records}
+        assert ids == {outer.trace_id}
+
+    def test_separate_roots_get_distinct_ids(self, registry):
+        with trace("first") as first:
+            pass
+        with trace("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+
+    def test_emit_event_carries_ambient_ids(self, registry):
+        sink = _Capture()
+        set_sink(sink)
+        with trace("op") as span:
+            emit_event("checkpoint", step=3)
+        event = next(
+            record
+            for record in sink.records
+            if record["type"] == "event"
+        )
+        assert event["name"] == "checkpoint"
+        assert event["trace_id"] == span.trace_id
+        assert event["span_id"] == span.span_id
+        assert event["attributes"] == {"step": 3}
+
+    def test_event_outside_any_span_has_null_ids(self, registry):
+        sink = _Capture()
+        set_sink(sink)
+        emit_event("orphan")
+        assert sink.records[0]["trace_id"] is None
+        assert sink.records[0]["span_id"] is None
+
+    def test_events_free_while_disabled(self, registry):
+        sink = _Capture()
+        set_sink(sink)
+        registry.disable()
+        emit_event("nothing")
+        assert sink.records == []
+
+    def test_null_span_has_no_trace_id(self, registry):
+        registry.disable()
+        with trace("off") as span:
+            assert span.trace_id is None
+
+    def test_query_log_entry_records_the_trace_id(self, registry, fig4):
+        from repro.engine.database import ProbabilisticDatabase
+
+        sink = _Capture()
+        set_sink(sink)
+        db = ProbabilisticDatabase()
+        db.create_relation("r", fig4)
+        db.topk("r", 2)
+        entry = db.query_log[-1]
+        assert entry.trace_id is not None
+        span_ids = {
+            record["trace_id"]
+            for record in sink.records
+            if record["type"] == "span"
+        }
+        # Every span of the query carries the logged trace id.
+        assert span_ids == {entry.trace_id}
+
+    def test_query_log_trace_id_none_while_disabled(
+        self, registry, fig4
+    ):
+        from repro.engine.database import ProbabilisticDatabase
+
+        registry.disable()
+        db = ProbabilisticDatabase()
+        db.create_relation("r", fig4)
+        db.topk("r", 2)
+        assert db.query_log[-1].trace_id is None
+
+    def test_resilient_result_metadata_links_to_spans(
+        self, registry, fig4
+    ):
+        from repro.engine.query import ResilientExecutor
+
+        sink = _Capture()
+        set_sink(sink)
+        result = ResilientExecutor().execute(fig4, 2)
+        trace_id = result.metadata["trace_id"]
+        assert trace_id is not None
+        names = {
+            record["name"]
+            for record in sink.records
+            if record["trace_id"] == trace_id
+        }
+        assert {"robust.execute", "robust.rung"} <= names
+
+
+class TestBucketHistogram:
+    def test_cumulative_buckets_are_monotone_and_end_at_count(
+        self, registry
+    ):
+        histogram = registry.histogram("h")
+        for value in (0.5e-6, 3e-6, 5e-6, 100.0):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        counts = [count_ for _, count_ in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1] == (float("inf"), 4)
+
+    def test_quantile_lands_in_the_right_bucket(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", buckets=[1.0, 2.0, 4.0, 8.0])
+        for value in (0.5, 1.5, 1.6, 3.0, 7.0):
+            histogram.observe(value)
+        # The median sample (1.5, 1.6 region) lies in the (1, 2]
+        # bucket; interpolation must answer inside it.
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+        assert histogram.quantile(0.0) == pytest.approx(0.5)
+        assert histogram.quantile(1.0) == pytest.approx(7.0)
+
+    def test_quantile_clamped_to_observed_range(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", buckets=[10.0, 20.0])
+        histogram.observe(12.0)
+        # One sample in (10, 20]: naive interpolation would answer a
+        # bucket edge; the clamp pins it to the only observed value.
+        assert histogram.quantile(0.5) == pytest.approx(12.0)
+
+    def test_empty_histogram_answers_zero(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.percentiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_quantile_rejects_out_of_range(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_summary_includes_percentiles(self, registry):
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        summary = histogram.summary()
+        assert {"p50", "p95", "p99"} <= set(summary)
+
+    def test_reset_clears_bucket_counts(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        histogram.reset()
+        assert histogram.cumulative_buckets()[-1] == (float("inf"), 0)
+
+    def test_percentiles_order_on_skewed_data(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h")
+        for _ in range(99):
+            histogram.observe(1e-6)
+        histogram.observe(10.0)
+        percentiles = histogram.percentiles()
+        assert (
+            percentiles["p50"]
+            <= percentiles["p95"]
+            <= percentiles["p99"]
+        )
+        assert percentiles["p50"] == pytest.approx(1e-6)
+
+
+class TestPrometheusExport:
+    def test_counter_gets_total_suffix_and_type_line(self, registry):
+        registry.counter("demo.calls").inc(3)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_demo_calls_total counter" in text
+        assert "repro_demo_calls_total 3" in text
+        assert text.endswith("\n")
+
+    def test_gauge_and_histogram_families(self, registry):
+        registry.gauge("load").set(0.5)
+        registry.histogram("lat").observe(1.0)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_load gauge" in text
+        assert "# TYPE repro_lat histogram" in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_sum 1" in text
+        assert "repro_lat_count 1" in text
+
+    def test_invalid_characters_sanitised(self, registry):
+        registry.counter("span.query-execute/total").inc()
+        text = to_prometheus(registry)
+        assert "repro_span_query_execute_total_total 1" in text
+
+    def test_empty_registry_exports_empty_string(self):
+        assert to_prometheus(MetricsRegistry(enabled=True)) == ""
+
+    def test_round_trip_through_parser(self, registry):
+        registry.counter("a.calls").inc(2)
+        registry.gauge("b").set(7.0)
+        histogram = registry.histogram("c")
+        histogram.observe(3e-6)
+        histogram.observe(1.0)
+        families = parse_prometheus(to_prometheus(registry))
+        assert families["repro_a_calls_total"]["type"] == "counter"
+        assert (
+            families["repro_a_calls_total"]["samples"][0]["value"] == 2
+        )
+        assert families["repro_b"]["samples"][0]["value"] == 7.0
+        histogram_family = families["repro_c"]
+        assert histogram_family["type"] == "histogram"
+        names = {
+            sample["name"] for sample in histogram_family["samples"]
+        }
+        assert {
+            "repro_c_bucket", "repro_c_sum", "repro_c_count",
+        } == names
+        inf_bucket = [
+            sample
+            for sample in histogram_family["samples"]
+            if sample["labels"].get("le") == "+Inf"
+        ]
+        assert inf_bucket[0]["value"] == 2
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a metric line at all !!!\n")
+
+    def test_registry_method_delegates(self, registry):
+        registry.counter("x").inc()
+        assert registry.to_prometheus() == to_prometheus(registry)
+
+
+class TestJsonlSinkConcurrency:
+    def test_nested_spans_from_many_threads_stay_atomic(
+        self, registry, tmp_path
+    ):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        set_sink(sink)
+
+        def work(index):
+            with trace("outer", worker=index):
+                with trace("inner", worker=index):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(index,))
+            for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        # Every record parses (no interleaved partial writes) and
+        # every worker contributed its two spans.
+        assert len(lines) == 16
+        workers = {
+            line["attributes"]["worker"] for line in lines
+        }
+        assert workers == set(range(8))
+
+    def test_thread_trace_ids_do_not_leak_across_threads(
+        self, registry, tmp_path
+    ):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        set_sink(sink)
+
+        def work(index):
+            with trace("root", worker=index):
+                pass
+
+        threads = [
+            threading.Thread(target=work, args=(index,))
+            for index in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        # Each thread's root span minted its own trace id.
+        assert len({line["trace_id"] for line in lines}) == 6
+
+
+class TestProfiledGenerator:
+    def test_generator_counts_one_call_and_times_iteration(
+        self, registry
+    ):
+        @profiled("gen")
+        def stream(n):
+            for index in range(n):
+                yield index
+
+        assert list(stream(4)) == [0, 1, 2, 3]
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["gen.calls"] == 1
+        assert snapshot["histograms"]["gen.seconds"]["count"] == 1
+
+    def test_generator_still_lazy_when_profiled(self, registry):
+        pulled = []
+
+        @profiled("lazy")
+        def stream():
+            for index in range(100):
+                pulled.append(index)
+                yield index
+
+        iterator = stream()
+        assert pulled == []
+        assert next(iterator) == 0
+        assert pulled == [0]
+        iterator.close()
+        # Early close still lands the timing observation.
+        assert (
+            registry.snapshot()["histograms"]["lazy.seconds"]["count"]
+            == 1
+        )
+
+    def test_generator_exception_still_records(self, registry):
+        @profiled("bad")
+        def stream():
+            yield 1
+            raise RuntimeError("mid-iteration")
+
+        iterator = stream()
+        assert next(iterator) == 1
+        with pytest.raises(RuntimeError):
+            next(iterator)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["bad.calls"] == 1
+        assert snapshot["histograms"]["bad.seconds"]["count"] == 1
+
+    def test_disabled_generator_passthrough(self, registry):
+        registry.disable()
+
+        @profiled("off")
+        def stream():
+            yield from range(3)
+
+        assert list(stream()) == [0, 1, 2]
+        registry.enable()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestPruneTrajectory:
+    def test_tuple_prune_records_trajectory(self, registry):
+        from repro.bench.workloads import tuple_workload
+
+        relation = tuple_workload("uu", 200, seed=5)
+        result = t_erank_prune(relation, 5)
+        trajectory = result.metadata["prune_trajectory"]
+        assert trajectory
+        accessed = [point["accessed"] for point in trajectory]
+        assert accessed == sorted(accessed)
+        assert accessed[-1] == result.metadata["tuples_accessed"]
+        final = trajectory[-1]
+        assert {"accessed", "kth_rank", "unseen_bound"} <= set(final)
+
+    def test_attr_prune_records_trajectory(self, registry):
+        from repro.bench.workloads import attribute_workload
+        from repro.core.attr_expected_rank import a_erank_prune
+
+        relation = attribute_workload("zipf", 120, seed=5)
+        result = a_erank_prune(relation, 5)
+        trajectory = result.metadata["prune_trajectory"]
+        assert trajectory
+        assert (
+            trajectory[-1]["accessed"]
+            == result.metadata["tuples_accessed"]
+        )
+
+    def test_no_trajectory_while_disabled(self, registry, fig4):
+        registry.disable()
+        result = t_erank_prune(fig4, 2)
+        assert "prune_trajectory" not in result.metadata
+
+    def test_answers_identical_with_and_without_trajectory(
+        self, registry
+    ):
+        from repro.bench.workloads import tuple_workload
+
+        relation = tuple_workload("uu", 150, seed=9)
+        enabled = t_erank_prune(relation, 5)
+        registry.disable()
+        disabled = t_erank_prune(relation, 5)
+        assert enabled.tids() == disabled.tids()
+        assert (
+            enabled.metadata["tuples_accessed"]
+            == disabled.metadata["tuples_accessed"]
         )

@@ -8,7 +8,17 @@ Python:
 * ``distribution`` — one tuple's exact rank distribution;
 * ``explain`` — with two tuple ids, why one outranks the other; with
   none, a full query EXPLAIN report (plan, cost, timings, events);
-* ``generate`` — write a synthetic workload to a relation file.
+* ``generate`` — write a synthetic workload to a relation file;
+* ``capture`` — execute a workload file, recording every query to a
+  capture JSONL (``--capture-out``, also available on ``topk``);
+* ``replay`` — re-run a capture against the current code, diffing
+  answer digests / tuples accessed / latency per query (exit 9 on
+  any answer regression, 12 on degraded input);
+* ``report`` — aggregate capture + trace JSONL into a session report
+  (slowest queries, per-method latency percentiles, pruning
+  efficacy, degradation rates);
+* ``chrome-trace`` — convert a span JSONL trace into Chrome
+  trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 
 Relation files are the CSV/JSON formats of :mod:`repro.engine.io`;
 CSVs are sniffed by header (a ``value`` column means attribute-level,
@@ -42,7 +52,10 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+import time
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
 from repro.core import rank
 from repro.core.semantics import available_methods
@@ -83,7 +96,11 @@ __all__ = [
 
 #: Exit code per error family, most-specific first.  Code 1 is the
 #: catch-all for a :class:`ReproError` outside every named family and
-#: 2 stays argparse's usage-error convention.
+#: 2 stays argparse's usage-error convention.  Two further codes are
+#: returned directly (not raised): 9 — ``repro replay`` found an
+#: answer-digest regression; 12 — ``replay`` / ``report`` /
+#: ``chrome-trace`` ran on degraded input (corrupt JSONL lines,
+#: dataset mismatches) without finding a regression.
 EXIT_CODES: tuple[tuple[type[BaseException], int], ...] = (
     (DeadlineExceededError, 7),
     (SchemaError, 3),  # includes QuarantineError
@@ -141,6 +158,23 @@ def load_relation(
     )
 
 
+def _package_version() -> str:
+    """The installed package version, or the source tree's fallback.
+
+    ``importlib.metadata`` answers for installed copies; running
+    straight from a checkout (``PYTHONPATH=src``) falls back to
+    ``repro.__version__`` so ``--version`` works either way.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -149,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Ranking queries over probabilistic data "
             "(expected / median / quantile ranks and baselines)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     parser.add_argument(
         "--metrics-out",
@@ -285,9 +324,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="injected per-access latency for the chaos demo",
     )
 
+    # Capture flags shared by topk and the capture command.
+    capture_flags = argparse.ArgumentParser(add_help=False)
+    capture_flags.add_argument(
+        "--capture-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append one replayable capture record per executed query "
+            "to PATH as JSON lines (see 'repro replay')"
+        ),
+    )
+    capture_flags.add_argument(
+        "--capture-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap the capture file at N bytes; when the cap trips, a "
+            "truncation notice is written and later records dropped"
+        ),
+    )
+
     topk = commands.add_parser(
         "topk",
-        parents=[ingest, query, resilience],
+        parents=[ingest, query, resilience, capture_flags],
         help="run a top-k ranking query over a relation file",
     )
     topk.add_argument("file", type=Path, help="relation .csv or .json")
@@ -385,6 +447,101 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.4,
         help="PT-k threshold, when pt_k is among the methods",
+    )
+
+    capture = commands.add_parser(
+        "capture",
+        parents=[ingest, resilience, capture_flags],
+        help=(
+            "execute a workload file against a relation, recording "
+            "a replayable capture (--capture-out is required)"
+        ),
+    )
+    capture.add_argument(
+        "file", type=Path, help="relation .csv or .json"
+    )
+    capture.add_argument(
+        "workload",
+        type=Path,
+        help=(
+            "workload JSONL: one query per line, e.g. "
+            '{"k": 5, "method": "expected_rank"} (optional "phi", '
+            '"threshold", "ties", or a nested "options" object)'
+        ),
+    )
+
+    replay = commands.add_parser(
+        "replay",
+        parents=[ingest],
+        help=(
+            "re-run a capture against the current code and diff "
+            "answers (exit 9 on regression, 12 on degraded input)"
+        ),
+    )
+    replay.add_argument(
+        "file", type=Path, help="relation .csv or .json"
+    )
+    replay.add_argument(
+        "capture", type=Path, help="capture JSONL to replay"
+    )
+    replay.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay report as JSON instead of text",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help=(
+            "aggregate capture and trace JSONL into a session report "
+            "(slowest queries, latency percentiles, pruning efficacy)"
+        ),
+    )
+    report.add_argument(
+        "--capture",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="capture JSONL from --capture-out (repeatable)",
+    )
+    report.add_argument(
+        "--trace",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="span/metrics JSONL from --metrics-out (repeatable)",
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="slowest queries to list (default 5)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the session report as JSON instead of text",
+    )
+
+    chrome = commands.add_parser(
+        "chrome-trace",
+        help=(
+            "convert a span JSONL trace into Chrome trace-event JSON "
+            "(loadable in Perfetto / chrome://tracing)"
+        ),
+    )
+    chrome.add_argument(
+        "trace", type=Path, help="span JSONL from --metrics-out"
+    )
+    chrome.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="output file (default: <trace>.chrome.json)",
     )
 
     generate = commands.add_parser(
@@ -490,20 +647,95 @@ def _build_executor(args):
     return executor, injector, retry
 
 
+@contextmanager
+def _capture_for(args) -> Iterator["object | None"]:
+    """Install a capture log for ``--capture-out``, restore after.
+
+    Yields the installed :class:`~repro.obs.capture.CaptureLog`, or
+    ``None`` when the flag was not given (in which case nothing is
+    imported and nothing changes).
+    """
+    out = getattr(args, "capture_out", None)
+    if out is None:
+        yield None
+        return
+    from repro.obs.capture import CaptureLog, set_capture
+
+    log = CaptureLog(
+        out, max_bytes=getattr(args, "capture_max_bytes", None)
+    )
+    previous = set_capture(log)
+    try:
+        yield log
+    finally:
+        set_capture(previous)
+        log.close()
+    if log.truncated:
+        print(
+            f"warning: {out} hit --capture-max-bytes; "
+            "later records were dropped",
+            file=sys.stderr,
+        )
+
+
+def _execute_recorded(
+    relation, k, method, options, executor, relation_name
+):
+    """Run one query, recording it when a capture log is ambient.
+
+    The plain path (no capture installed) stays bit-identical to
+    calling the engine directly: :func:`query_capture` is one ``None``
+    check and no clock is read.
+    """
+    from repro.obs.capture import query_capture
+
+    with query_capture() as capture:
+        if capture is None:
+            if executor is not None:
+                return executor.execute(
+                    relation, k, method=method, **options
+                )
+            return rank(relation, k, method=method, **options)
+        start = time.perf_counter()
+        if executor is not None:
+            result = executor.execute(
+                relation, k, method=method, **options
+            )
+        else:
+            result = rank(relation, k, method=method, **options)
+        capture.record_query(
+            relation,
+            result,
+            k=k,
+            method=method,
+            options=options,
+            wall_seconds=time.perf_counter() - start,
+            relation_name=relation_name,
+            executor=executor,
+        )
+        return result
+
+
 def _command_topk(args) -> int:
     options = _query_options(args)
     executor, injector, retry = _build_executor(args)
-    if executor is None:
-        relation = _load_for(args)
-        result = rank(relation, args.k, method=args.method, **options)
-    else:
-        # The deadline governs the query ladder, not the load: the
-        # last ladder rung guarantees an answer, while an expired
-        # deadline mid-load could only fail.  The load still sees the
-        # chaos injector and survives its faults via the retry policy.
-        relation = _load_for(args, injector=injector, retry=retry)
-        result = executor.execute(
-            relation, args.k, method=args.method, **options
+    with _capture_for(args):
+        if executor is None:
+            relation = _load_for(args)
+        else:
+            # The deadline governs the query ladder, not the load:
+            # the last ladder rung guarantees an answer, while an
+            # expired deadline mid-load could only fail.  The load
+            # still sees the chaos injector and survives its faults
+            # via the retry policy.
+            relation = _load_for(args, injector=injector, retry=retry)
+        result = _execute_recorded(
+            relation,
+            args.k,
+            args.method,
+            options,
+            executor,
+            str(args.file),
         )
     if args.json:
         import json as json_module
@@ -710,6 +942,138 @@ def _command_generate(args) -> int:
     return 0
 
 
+def _workload_query(record) -> tuple[int, str, dict]:
+    """``(k, method, options)`` from one workload JSONL record."""
+    k = int(record.get("k", 10))
+    method = str(record.get("method", "expected_rank"))
+    options = dict(record.get("options") or {})
+    for key in ("phi", "threshold", "ties"):
+        if key in record:
+            options[key] = record[key]
+    return k, method, options
+
+
+def _command_capture(args) -> int:
+    from repro.obs.capture import read_jsonl
+    from repro.obs.replay import EXIT_PARTIAL_INPUT
+
+    if args.capture_out is None:
+        print(
+            "error: capture requires --capture-out",
+            file=sys.stderr,
+        )
+        return 2
+    relation = _load_for(args)
+    workload, problems = read_jsonl(args.workload)
+    for problem in problems:
+        print(
+            f"warning: {args.workload}: {problem}", file=sys.stderr
+        )
+    executed = 0
+    with _capture_for(args):
+        for record in workload:
+            k, method, options = _workload_query(record)
+            # A fresh executor per query restarts the injector and
+            # Monte-Carlo RNGs from their seeds, exactly as replay
+            # will — one query's chaos never leaks into the next.
+            executor, _, _ = _build_executor(args)
+            _execute_recorded(
+                relation,
+                k,
+                method,
+                options,
+                executor,
+                str(args.file),
+            )
+            executed += 1
+    print(
+        f"captured {executed} queries from {args.workload} "
+        f"to {args.capture_out}"
+    )
+    return EXIT_PARTIAL_INPUT if problems else 0
+
+
+def _command_replay(args) -> int:
+    import json as json_module
+
+    from repro.obs.replay import replay_capture
+
+    relation = _load_for(args)
+    report = replay_capture(args.capture, relation)
+    for problem in report.problems:
+        print(
+            f"warning: {args.capture}: {problem}", file=sys.stderr
+        )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return report.exit_code()
+
+
+def _command_report(args) -> int:
+    import json as json_module
+
+    from repro.obs.capture import read_jsonl
+    from repro.obs.report import build_report
+
+    if not args.capture and not args.trace:
+        print(
+            "error: report needs at least one --capture or --trace",
+            file=sys.stderr,
+        )
+        return 2
+    capture_records: list[dict] = []
+    trace_records: list[dict] = []
+    problems: list[str] = []
+    for path in args.capture:
+        records, bad = read_jsonl(path)
+        capture_records.extend(records)
+        problems.extend(f"{path}: {item}" for item in bad)
+    for path in args.trace:
+        records, bad = read_jsonl(path)
+        trace_records.extend(records)
+        problems.extend(f"{path}: {item}" for item in bad)
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    report = build_report(
+        capture_records,
+        trace_records,
+        top_n=args.top,
+        sources={
+            "captures": [str(path) for path in args.capture],
+            "traces": [str(path) for path in args.trace],
+        },
+        problems=problems,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return report.exit_code()
+
+
+def _command_chrome_trace(args) -> int:
+    from repro.obs.capture import read_jsonl
+    from repro.obs.chrome_trace import write_chrome_trace
+    from repro.obs.replay import EXIT_PARTIAL_INPUT
+
+    records, problems = read_jsonl(args.trace)
+    for problem in problems:
+        print(f"warning: {args.trace}: {problem}", file=sys.stderr)
+    out = args.out
+    if out is None:
+        out = args.trace.with_suffix(".chrome.json")
+    document = write_chrome_trace(records, out)
+    spans = sum(
+        1
+        for event in document["traceEvents"]
+        if event.get("ph") == "X"
+    )
+    print(f"wrote {spans} spans to {out}")
+    return EXIT_PARTIAL_INPUT if problems else 0
+
+
 _COMMANDS = {
     "topk": _command_topk,
     "describe": _command_describe,
@@ -718,6 +1082,10 @@ _COMMANDS = {
     "churn": _command_churn,
     "audit": _command_audit,
     "generate": _command_generate,
+    "capture": _command_capture,
+    "replay": _command_replay,
+    "report": _command_report,
+    "chrome-trace": _command_chrome_trace,
 }
 
 
@@ -776,6 +1144,23 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        capture_out = getattr(args, "capture_out", None)
+        capture_cap = getattr(args, "capture_max_bytes", None)
+        if capture_cap is not None and capture_cap <= 0:
+            print(
+                "error: --capture-max-bytes must be positive",
+                file=sys.stderr,
+            )
+            return 2
+        if capture_out is not None:
+            parent = capture_out.resolve().parent
+            if not parent.is_dir():
+                print(
+                    f"error: --capture-out directory {parent} "
+                    "does not exist",
+                    file=sys.stderr,
+                )
+                return 2
         if args.metrics_out is not None:
             # Fail fast: the sink opens lazily on the first span, which
             # would otherwise surface a bad path only after the command

@@ -10,6 +10,7 @@ query log the experiments can inspect.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, Mapping
@@ -18,6 +19,7 @@ from repro.core.result import TopKResult
 from repro.core.semantics import rank
 from repro.engine.io import load_json, save_json
 from repro.obs import trace
+from repro.obs.capture import query_capture
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.query import ResilientExecutor
@@ -162,41 +164,63 @@ class ProbabilisticDatabase:
         query down the retry/degradation ladder instead of the plain
         exact path; the log entry then records whether (and to what)
         the answer degraded.
+
+        When an ambient :class:`~repro.obs.capture.CaptureLog` is
+        installed, the query is additionally recorded there —
+        ``db.topk`` claims the capture point, so a nested executor
+        does not record the same query twice.
         """
         relation = self.relation(name)
-        # The db.topk span is the query's root: the planner, kernel,
-        # retry, and degradation spans all nest under it and inherit
-        # its trace id, which the log entry records for correlation.
-        with trace(
-            "db.topk", relation=name, method=method, k=k
-        ) as span:
-            if executor is not None:
-                result = executor.execute(
-                    relation, k, method=method, **options
+        with query_capture() as capture:
+            start = time.perf_counter()
+            # The db.topk span is the query's root: the planner,
+            # kernel, retry, and degradation spans all nest under it
+            # and inherit its trace id, which the log entry records
+            # for correlation.
+            with trace(
+                "db.topk", relation=name, method=method, k=k
+            ) as span:
+                if executor is not None:
+                    result = executor.execute(
+                        relation, k, method=method, **options
+                    )
+                else:
+                    result = rank(
+                        relation, k, method=method, **options
+                    )
+            accessed = result.metadata.get("tuples_accessed")
+            degraded = bool(result.metadata.get("degraded", False))
+            self._query_log.append(
+                QueryLogEntry(
+                    relation=name,
+                    method=method,
+                    k=k,
+                    options=dict(options),
+                    tuples_accessed=(
+                        int(accessed) if accessed is not None else None
+                    ),
+                    answer=result.tids(),
+                    degraded=degraded,
+                    fallback_method=(
+                        str(result.metadata["fallback_method"])
+                        if degraded
+                        else None
+                    ),
+                    trace_id=span.trace_id,
                 )
-            else:
-                result = rank(relation, k, method=method, **options)
-        accessed = result.metadata.get("tuples_accessed")
-        degraded = bool(result.metadata.get("degraded", False))
-        self._query_log.append(
-            QueryLogEntry(
-                relation=name,
-                method=method,
-                k=k,
-                options=dict(options),
-                tuples_accessed=(
-                    int(accessed) if accessed is not None else None
-                ),
-                answer=result.tids(),
-                degraded=degraded,
-                fallback_method=(
-                    str(result.metadata["fallback_method"])
-                    if degraded
-                    else None
-                ),
-                trace_id=span.trace_id,
             )
-        )
+            if capture is not None:
+                capture.record_query(
+                    relation,
+                    result,
+                    k=k,
+                    method=method,
+                    options=options,
+                    wall_seconds=time.perf_counter() - start,
+                    relation_name=name,
+                    executor=executor,
+                    trace_id=span.trace_id,
+                )
         return result
 
     @property

@@ -77,6 +77,7 @@ __all__ = [
     "load_tuple_csv",
     "save_tuple_csv",
     "load_json",
+    "relation_document",
     "save_json",
 ]
 
@@ -419,13 +420,17 @@ def save_tuple_csv(relation: TupleLevelRelation, path: Path | str) -> None:
             )
 
 
-def save_json(
+def relation_document(
     relation: AttributeLevelRelation | TupleLevelRelation,
-    path: Path | str,
-) -> None:
-    """Write either relation kind to a self-describing JSON document."""
+) -> dict:
+    """Either relation kind as its self-describing JSON document.
+
+    This is the exact structure :func:`save_json` writes; it is also
+    what :func:`repro.obs.capture.relation_digest` hashes, so a
+    dataset's digest is stable across save/load round-trips.
+    """
     if isinstance(relation, AttributeLevelRelation):
-        document = {
+        document: dict = {
             "model": "attribute",
             "tuples": [
                 {
@@ -454,6 +459,15 @@ def save_json(
                 if not rule.is_singleton
             ],
         }
+    return document
+
+
+def save_json(
+    relation: AttributeLevelRelation | TupleLevelRelation,
+    path: Path | str,
+) -> None:
+    """Write either relation kind to a self-describing JSON document."""
+    document = relation_document(relation)
     Path(path).write_text(json.dumps(document, indent=2))
 
 

@@ -35,6 +35,7 @@ from repro.exceptions import (
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.tuple_level import TupleLevelRelation
 from repro.obs import count, emit_event, trace
+from repro.obs.capture import query_capture
 from repro.robust import (
     Deadline,
     FaultInjector,
@@ -338,7 +339,40 @@ class ResilientExecutor:
         Raises only for genuine request errors (unknown method,
         negative ``k``, unsupported model, ...) — never for transient
         faults or deadline pressure, which are absorbed by the ladder.
+
+        When an ambient :class:`~repro.obs.capture.CaptureLog` is
+        installed (and no outer layer such as ``db.topk`` has already
+        claimed it), the query is recorded there with this executor's
+        full resilience configuration, so a replay can rebuild an
+        identical ladder.
         """
+        with query_capture() as capture:
+            if capture is None:
+                return self._execute_ladder(
+                    relation, k, method, **options
+                )
+            start = time.perf_counter()
+            result = self._execute_ladder(
+                relation, k, method, **options
+            )
+            capture.record_query(
+                relation,
+                result,
+                k=k,
+                method=method,
+                options=options,
+                wall_seconds=time.perf_counter() - start,
+                executor=self,
+            )
+            return result
+
+    def _execute_ladder(
+        self,
+        relation: Relation,
+        k: int,
+        method: str = "expected_rank",
+        **options,
+    ) -> TopKResult:
         deadline = Deadline.from_ms(self.deadline_ms, clock=self._clock)
         ladder = self._ladder(relation, k, method, options)
         rng = random.Random(self.seed)

@@ -13,7 +13,13 @@ The layer the benchmarks, the CLI and CI's perf smoke all read from:
   (:mod:`repro.obs.explain`);
 * :func:`to_prometheus` / :func:`parse_prometheus` — registry
   snapshots in Prometheus text exposition format
-  (:mod:`repro.obs.export`).
+  (:mod:`repro.obs.export`);
+* :class:`CaptureLog` / :func:`replay_capture` / :func:`build_report`
+  / :func:`to_chrome_trace` — durable workload capture, deterministic
+  replay with per-query regression verdicts, session-wide reports,
+  and Perfetto-loadable trace export (:mod:`repro.obs.capture`,
+  :mod:`repro.obs.replay`, :mod:`repro.obs.report`,
+  :mod:`repro.obs.chrome_trace`).
 
 Spans carry per-query trace ids: the outermost span mints one, nested
 spans and :func:`emit_event` records inherit it, and
@@ -35,12 +41,32 @@ collection on per process with :func:`configure`, per registry with
 
 from __future__ import annotations
 
+from repro.obs.capture import (
+    CaptureLog,
+    answer_digest,
+    get_capture,
+    query_capture,
+    read_jsonl,
+    relation_digest,
+    set_capture,
+)
+from repro.obs.chrome_trace import (
+    build_span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.explain import (
     EXPLAIN_SCHEMA,
     ExplainReport,
     explain,
     validate_report,
 )
+from repro.obs.replay import (
+    QueryReplay,
+    ReplayReport,
+    replay_capture,
+)
+from repro.obs.report import SessionReport, build_report
 from repro.obs.export import parse_prometheus, to_prometheus
 from repro.obs.metrics import (
     Counter,
@@ -68,6 +94,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "EXPLAIN_SCHEMA",
+    "CaptureLog",
     "Counter",
     "ExplainReport",
     "Gauge",
@@ -76,23 +103,37 @@ __all__ = [
     "LoggingSink",
     "MetricsRegistry",
     "NullSink",
+    "QueryReplay",
+    "ReplayReport",
+    "SessionReport",
     "Sink",
+    "answer_digest",
+    "build_report",
+    "build_span_tree",
     "configure",
     "count",
     "current_span_id",
     "current_trace_id",
     "emit_event",
     "explain",
+    "get_capture",
     "get_registry",
     "get_sink",
     "metrics_enabled",
     "parse_prometheus",
     "profiled",
+    "query_capture",
+    "read_jsonl",
+    "relation_digest",
+    "replay_capture",
+    "set_capture",
     "set_registry",
     "set_sink",
+    "to_chrome_trace",
     "to_prometheus",
     "trace",
     "validate_report",
+    "write_chrome_trace",
 ]
 
 

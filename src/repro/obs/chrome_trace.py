@@ -1,0 +1,230 @@
+"""Export a span JSONL stream as Chrome trace-event JSON.
+
+The span sink writes one record per *finished* span, so a JSONL trace
+lists children before their parents and interleaves concurrent
+queries.  This module reconstructs the span tree via ``parent_id``
+(:func:`build_span_tree`), lays every span out on a shared timeline,
+and emits the Chrome trace-event format that Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly —
+one track per trace id, so a query's planner → kernel → cursor
+timeline reads as a flamegraph.
+
+Spans recorded by this version carry ``start_seconds`` (a shared
+``perf_counter`` origin) and are placed at their true offsets.  Older
+traces without it are laid out synthetically from the tree alone:
+children packed end-to-end from their parent's start, roots from the
+previous root's end — nesting stays faithful even when absolute time
+is unknown.
+
+``emit_event`` records become instant events on their trace's track,
+placed inside their owning span.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "SpanNode",
+    "build_span_tree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+@dataclass
+class SpanNode:
+    """One span record plus its children, in emit order."""
+
+    record: dict
+    children: list["SpanNode"] = field(default_factory=list)
+    #: Start offset on the shared timeline, filled by the layout pass
+    #: (equals the recorded ``start_seconds`` when present).
+    start: float = 0.0
+
+    @property
+    def span_id(self) -> object:
+        return self.record.get("span_id")
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name"))
+
+    @property
+    def trace_id(self) -> str | None:
+        value = self.record.get("trace_id")
+        return None if value is None else str(value)
+
+    @property
+    def duration(self) -> float:
+        return float(self.record.get("duration_seconds") or 0.0)
+
+    def walk(self) -> Iterator["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_span_tree(
+    records: Sequence[Mapping],
+) -> list[SpanNode]:
+    """Reconstruct the span forest of a JSONL trace via parent ids.
+
+    Accepts the full record stream (events, metrics lines, and
+    truncation notices are ignored) and returns the roots: spans with
+    no ``parent_id``, or whose parent never made it into the stream
+    (a truncated trace) — orphans become roots rather than vanishing.
+    Children keep the stream's emit order, which for a single-threaded
+    trace is completion order; the layout pass restores start order
+    from ``start_seconds`` where available.
+    """
+    spans = [
+        dict(record)
+        for record in records
+        if record.get("type") == "span"
+        and record.get("span_id") is not None
+    ]
+    nodes = {
+        record["span_id"]: SpanNode(record) for record in spans
+    }
+    roots: list[SpanNode] = []
+    for record in spans:
+        node = nodes[record["span_id"]]
+        parent = nodes.get(record.get("parent_id"))
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    _layout(roots)
+    return roots
+
+
+def _layout(roots: list[SpanNode]) -> None:
+    """Assign every node a start offset on one shared timeline."""
+    timed = all(
+        node.record.get("start_seconds") is not None
+        for root in roots
+        for node in root.walk()
+    )
+    if timed:
+        for root in roots:
+            for node in root.walk():
+                node.start = float(node.record["start_seconds"])
+                node.children.sort(
+                    key=lambda child: float(
+                        child.record["start_seconds"]
+                    )
+                )
+        return
+    # No (or partial) timestamps: synthesize a consistent layout from
+    # the tree alone — siblings packed end-to-end from the parent's
+    # start, roots from the previous root's end.
+    cursor = 0.0
+    for root in roots:
+        _pack(root, cursor)
+        cursor = root.start + root.duration
+
+
+def _pack(node: SpanNode, start: float) -> None:
+    node.start = start
+    offset = start
+    for child in node.children:
+        _pack(child, offset)
+        offset += child.duration
+
+
+def to_chrome_trace(records: Sequence[Mapping]) -> dict:
+    """The Chrome trace-event document for a span/event stream.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` with
+    complete (``"X"``) events for spans, instant (``"i"``) events for
+    ``emit_event`` records, and thread-name metadata naming each trace
+    id's track.  Timestamps are microseconds from the earliest span.
+    """
+    roots = build_span_tree(records)
+    nodes = [node for root in roots for node in root.walk()]
+    origin = min(
+        (node.start for node in nodes), default=0.0
+    )
+    track_of: dict[str | None, int] = {}
+    trace_events: list[dict] = []
+
+    def track(trace_id: str | None) -> int:
+        existing = track_of.get(trace_id)
+        if existing is not None:
+            return existing
+        number = len(track_of) + 1
+        track_of[trace_id] = number
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": number,
+                "args": {
+                    "name": (
+                        f"trace {trace_id}"
+                        if trace_id is not None
+                        else "untraced"
+                    )
+                },
+            }
+        )
+        return number
+
+    starts: dict[object, float] = {}
+    for node in sorted(nodes, key=lambda item: item.start):
+        starts[node.span_id] = node.start
+        event = {
+            "ph": "X",
+            "name": node.name,
+            "cat": "span",
+            "pid": 1,
+            "tid": track(node.trace_id),
+            "ts": (node.start - origin) * 1e6,
+            "dur": node.duration * 1e6,
+            "args": {
+                "span_id": node.span_id,
+                "parent_id": node.record.get("parent_id"),
+                "trace_id": node.trace_id,
+                **(node.record.get("attributes") or {}),
+            },
+        }
+        error = node.record.get("error")
+        if error is not None:
+            event["args"]["error"] = error
+        trace_events.append(event)
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        trace_id = record.get("trace_id")
+        trace_id = None if trace_id is None else str(trace_id)
+        anchor = starts.get(record.get("span_id"), origin)
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": str(record.get("name")),
+                "cat": "event",
+                "pid": 1,
+                "tid": track(trace_id),
+                "ts": (anchor - origin) * 1e6,
+                "s": "t",
+                "args": dict(record.get("attributes") or {}),
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    records: Sequence[Mapping], path: Path | str
+) -> dict:
+    """Write :func:`to_chrome_trace` output to ``path``; returns it."""
+    document = to_chrome_trace(records)
+    Path(path).write_text(json.dumps(document, indent=1))
+    return document

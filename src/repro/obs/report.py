@@ -1,0 +1,342 @@
+"""Session reports: aggregate view over a whole captured workload.
+
+Where :mod:`repro.obs.explain` dissects one query,
+:func:`build_report` looks *across* queries: it folds a capture JSONL
+(:mod:`repro.obs.capture`) and optionally a span/event trace JSONL
+(``--metrics-out``) into one :class:`SessionReport` —
+
+* top-N slowest queries, each with its trace id so the span tree is
+  one grep (or one Chrome-trace export) away;
+* per-method latency p50/p95/p99, computed by feeding the recorded
+  wall times through the same bucketed
+  :class:`~repro.obs.metrics.Histogram` the live registry uses;
+* pruning efficacy — the distribution of tuples-accessed as a
+  fraction of the relation size, the paper's Sections 5–6 cost story
+  over a realistic stream rather than one invocation;
+* robustness rates: degraded / retried / fault-surviving query
+  fractions from the capture, plus quarantine totals and
+  degrade/retry event counts from the trace.
+
+Everything is plain data (``to_dict`` / ``describe``); corrupt input
+lines degrade the report (``problems`` + exit 12) instead of killing
+it, matching the quarantine philosophy of the ingest layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.obs.metrics import Histogram
+from repro.obs.replay import EXIT_PARTIAL_INPUT
+
+__all__ = ["SessionReport", "build_report"]
+
+#: Fraction-of-relation buckets for the pruning-efficacy histogram.
+_FRACTION_BUCKETS = tuple(index / 20.0 for index in range(1, 21))
+
+
+def _percentiles(values: Iterable[float]) -> dict[str, float]:
+    """p50/p95/p99 via the registry's bucketed histogram type."""
+    histogram = Histogram("report")
+    for value in values:
+        histogram.observe(value)
+    return histogram.percentiles()
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """The aggregate story of one captured session."""
+
+    sources: dict
+    summary: dict
+    methods: dict
+    slowest: list
+    pruning: dict
+    rates: dict
+    spans: dict
+    events: dict
+    problems: tuple[str, ...]
+
+    def exit_code(self) -> int:
+        return EXIT_PARTIAL_INPUT if self.problems else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "sources": self.sources,
+            "summary": self.summary,
+            "methods": self.methods,
+            "slowest": self.slowest,
+            "pruning": self.pruning,
+            "rates": self.rates,
+            "spans": self.spans,
+            "events": self.events,
+            "problems": list(self.problems),
+        }
+
+    def describe(self) -> str:
+        """A human-readable rendering for terminal output."""
+        lines = ["session report"]
+        summary = self.summary
+        lines.append(
+            f"  queries: {summary['queries']} over "
+            f"{summary['datasets']} dataset(s), "
+            f"{summary['methods']} method(s)"
+        )
+        if summary.get("wall_seconds_total") is not None:
+            lines.append(
+                "  total query wall time: "
+                f"{summary['wall_seconds_total'] * 1e3:.2f}ms"
+            )
+        if self.slowest:
+            lines.append("  slowest queries:")
+            for entry in self.slowest:
+                wall = entry["wall_seconds"]
+                rendered = (
+                    "?" if wall is None else f"{wall * 1e3:.2f}ms"
+                )
+                lines.append(
+                    f"    [{entry['seq']}] {entry['method']} "
+                    f"k={entry['k']}: {rendered} "
+                    f"trace_id={entry['trace_id']}"
+                )
+        for method in sorted(self.methods):
+            stats = self.methods[method]
+            lines.append(
+                f"  method {method}: {stats['count']}x "
+                f"p50={stats['p50'] * 1e3:.2f}ms "
+                f"p95={stats['p95'] * 1e3:.2f}ms "
+                f"p99={stats['p99'] * 1e3:.2f}ms"
+            )
+        pruning = self.pruning
+        if pruning["queries_with_cost"]:
+            lines.append(
+                "  pruning efficacy: mean fraction accessed "
+                f"{pruning['mean_fraction']:.1%} "
+                f"(p50 {pruning['p50']:.1%}, p95 {pruning['p95']:.1%})"
+                f" over {pruning['queries_with_cost']} queries; "
+                f"{pruning['full_scans']} full scans"
+            )
+        rates = self.rates
+        lines.append(
+            f"  rates: degraded {rates['degraded_rate']:.1%}, "
+            f"retried {rates['retried_rate']:.1%}, "
+            f"faults survived {rates['fault_survival_rate']:.1%}, "
+            f"quarantined rows {rates['quarantined_rows']}"
+        )
+        for name, total in sorted(self.events.items()):
+            lines.append(f"  event {name}: {total}x")
+        for problem in self.problems:
+            lines.append(f"  ! {problem}")
+        return "\n".join(lines)
+
+
+def _method_stats(queries: Sequence[Mapping]) -> dict:
+    methods: dict[str, dict] = {}
+    for group in {
+        str(record.get("method")) for record in queries
+    }:
+        walls = [
+            float(record["wall_seconds"])
+            for record in queries
+            if str(record.get("method")) == group
+            and record.get("wall_seconds") is not None
+        ]
+        entry: dict = {
+            "count": sum(
+                1
+                for record in queries
+                if str(record.get("method")) == group
+            )
+        }
+        entry.update(_percentiles(walls))
+        accessed = [
+            record["tuples_accessed"] / record["n"]
+            for record in queries
+            if str(record.get("method")) == group
+            and record.get("tuples_accessed") is not None
+            and record.get("n")
+        ]
+        entry["mean_fraction_accessed"] = (
+            sum(accessed) / len(accessed) if accessed else None
+        )
+        methods[group] = entry
+    return methods
+
+
+def _pruning_stats(queries: Sequence[Mapping]) -> dict:
+    fractions = [
+        record["tuples_accessed"] / record["n"]
+        for record in queries
+        if record.get("tuples_accessed") is not None
+        and record.get("n")
+    ]
+    if not fractions:
+        return {
+            "queries_with_cost": 0,
+            "mean_fraction": None,
+            "p50": None,
+            "p95": None,
+            "full_scans": 0,
+            "distribution": [],
+        }
+    histogram = Histogram("fraction", buckets=_FRACTION_BUCKETS)
+    for fraction in fractions:
+        histogram.observe(fraction)
+    return {
+        "queries_with_cost": len(fractions),
+        "mean_fraction": sum(fractions) / len(fractions),
+        "p50": histogram.quantile(0.50),
+        "p95": histogram.quantile(0.95),
+        "full_scans": sum(
+            1 for fraction in fractions if fraction >= 1.0
+        ),
+        "distribution": [
+            {"le": bound, "count": cumulative}
+            for bound, cumulative in histogram.cumulative_buckets()
+            if bound != float("inf")
+        ],
+    }
+
+
+def _rates(
+    queries: Sequence[Mapping], trace_records: Sequence[Mapping]
+) -> tuple[dict, dict]:
+    total = len(queries)
+    degraded = sum(
+        1 for record in queries if record.get("degraded")
+    )
+    retried = sum(
+        1
+        for record in queries
+        if (record.get("attempts") or 0) > 1
+    )
+    survived = sum(
+        1
+        for record in queries
+        if (record.get("faults_survived") or 0) > 0
+    )
+    quarantined = 0.0
+    events: dict[str, int] = {}
+    for record in trace_records:
+        kind = record.get("type")
+        if kind == "event":
+            name = str(record.get("name"))
+            events[name] = events.get(name, 0) + 1
+        elif kind == "metrics":
+            counters = record.get("counters") or {}
+            quarantined += sum(
+                value
+                for name, value in counters.items()
+                if name == "robust.quarantine.rows"
+            )
+    rates = {
+        "degraded_rate": degraded / total if total else 0.0,
+        "retried_rate": retried / total if total else 0.0,
+        "fault_survival_rate": survived / total if total else 0.0,
+        "degraded": degraded,
+        "retried": retried,
+        "faults_survived": survived,
+        "quarantined_rows": int(quarantined),
+    }
+    return rates, events
+
+
+def _span_stats(trace_records: Sequence[Mapping]) -> dict:
+    spans: dict[str, Histogram] = {}
+    for record in trace_records:
+        if record.get("type") != "span":
+            continue
+        duration = record.get("duration_seconds")
+        if duration is None:
+            continue
+        name = str(record.get("name"))
+        histogram = spans.get(name)
+        if histogram is None:
+            histogram = spans[name] = Histogram(name)
+        histogram.observe(float(duration))
+    return {
+        name: {
+            "count": histogram.count,
+            "total_seconds": histogram.total,
+            **histogram.percentiles(),
+        }
+        for name, histogram in sorted(spans.items())
+    }
+
+
+def build_report(
+    capture_records: Sequence[Mapping],
+    trace_records: Sequence[Mapping] = (),
+    *,
+    top_n: int = 5,
+    sources: Mapping[str, object] | None = None,
+    problems: Sequence[str] = (),
+) -> SessionReport:
+    """Fold capture + trace records into one :class:`SessionReport`.
+
+    ``capture_records`` / ``trace_records`` are parsed JSONL records
+    (see :func:`repro.obs.capture.read_jsonl`); unknown record types
+    are ignored so the two streams can even be one concatenated file.
+    ``problems`` carries the reader's corrupt-line findings into the
+    report, where they turn the exit code to 12.
+    """
+    queries = [
+        record
+        for record in capture_records
+        if record.get("type") == "query"
+    ]
+    walls = [
+        float(record["wall_seconds"])
+        for record in queries
+        if record.get("wall_seconds") is not None
+    ]
+    slowest = sorted(
+        (
+            record
+            for record in queries
+            if record.get("wall_seconds") is not None
+        ),
+        key=lambda record: float(record["wall_seconds"]),
+        reverse=True,
+    )[: max(top_n, 0)]
+    summary = {
+        "queries": len(queries),
+        "datasets": len(
+            {
+                record.get("dataset_digest")
+                for record in queries
+                if record.get("dataset_digest")
+            }
+        ),
+        "methods": len(
+            {record.get("method") for record in queries}
+        )
+        if queries
+        else 0,
+        "wall_seconds_total": sum(walls) if walls else None,
+        "latency": _percentiles(walls) if walls else None,
+    }
+    rates, events = _rates(queries, trace_records)
+    return SessionReport(
+        sources=dict(sources or {}),
+        summary=summary,
+        methods=_method_stats(queries),
+        slowest=[
+            {
+                "seq": record.get("seq"),
+                "method": record.get("method"),
+                "k": record.get("k"),
+                "wall_seconds": record.get("wall_seconds"),
+                "trace_id": record.get("trace_id"),
+                "tuples_accessed": record.get("tuples_accessed"),
+                "degraded": bool(record.get("degraded")),
+            }
+            for record in slowest
+        ],
+        pruning=_pruning_stats(queries),
+        rates=rates,
+        spans=_span_stats(trace_records),
+        events=events,
+        problems=tuple(problems),
+    )

@@ -97,18 +97,43 @@ class JsonlSink:
     stream.  :meth:`write` takes arbitrary JSON-serialisable records,
     which the CLI uses to append a final metrics snapshot after the
     span lines.
+
+    ``max_bytes`` caps the file so a long capture or trace session
+    cannot grow it unboundedly: once the next record would push past
+    the cap, one final ``{"type": "truncation_notice", ...}`` record
+    is written (so readers can tell a capped file from a crashed
+    writer) and every later record is silently dropped and counted in
+    :attr:`dropped_records`.
     """
 
-    def __init__(self, target: Path | str | IO[str]) -> None:
+    def __init__(
+        self,
+        target: Path | str | IO[str],
+        *,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(
+                f"max_bytes must be > 0, got {max_bytes!r}"
+            )
         if isinstance(target, (str, Path)):
             self._path: Path | None = Path(target)
             self._stream: IO[str] | None = None
         else:
             self._path = None
             self._stream = target
+        self.max_bytes = max_bytes
+        self.dropped_records = 0
+        self._bytes_written = 0
+        self._truncated = False
         # Spans may finish on several threads at once; the lock keeps
         # each JSON line atomic (no interleaved partial writes).
         self._lock = threading.Lock()
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the ``max_bytes`` cap has tripped."""
+        return self._truncated
 
     def _handle(self) -> IO[str]:
         if self._stream is None:
@@ -122,7 +147,27 @@ class JsonlSink:
     def write(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
+            if self._truncated:
+                self.dropped_records += 1
+                return
             handle = self._handle()
+            if self.max_bytes is not None:
+                size = len(line.encode("utf-8"))
+                if self._bytes_written + size > self.max_bytes:
+                    self._truncated = True
+                    self.dropped_records = 1
+                    notice = json.dumps(
+                        {
+                            "type": "truncation_notice",
+                            "max_bytes": self.max_bytes,
+                            "bytes_written": self._bytes_written,
+                        },
+                        sort_keys=True,
+                    )
+                    handle.write(notice + "\n")
+                    handle.flush()
+                    return
+                self._bytes_written += size
             handle.write(line)
             handle.flush()
 
@@ -257,6 +302,10 @@ class _SpanHandle:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "trace_id": self.trace_id,
+            # perf_counter origin: meaningless absolutely, but shared
+            # by every span of the process, so Chrome-trace export can
+            # lay spans out on one consistent timeline.
+            "start_seconds": self._start,
             "duration_seconds": duration,
             "attributes": self.attributes,
         }

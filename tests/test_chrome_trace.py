@@ -1,0 +1,278 @@
+"""Chrome trace-event export: span-tree reconstruction and layout."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    emit_event,
+    set_registry,
+    set_sink,
+    trace,
+)
+from repro.obs.capture import read_jsonl
+from repro.obs.chrome_trace import (
+    build_span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import NullSink
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_registry(fresh)
+    previous_sink = set_sink(NullSink())
+    yield fresh
+    set_sink(previous_sink)
+    set_registry(previous)
+
+
+def _span(
+    span_id,
+    name,
+    parent_id=None,
+    trace_id="t1",
+    duration=1.0,
+    start=None,
+):
+    record = {
+        "type": "span",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "trace_id": trace_id,
+        "name": name,
+        "duration_seconds": duration,
+    }
+    if start is not None:
+        record["start_seconds"] = start
+    return record
+
+
+class TestBuildSpanTree:
+    def test_nested_spans_reconstruct(self):
+        # JSONL order is completion order: leaf first, root last.
+        records = [
+            _span("c", "kernel", parent_id="b", duration=0.2),
+            _span("b", "plan", parent_id="a", duration=0.5),
+            _span("a", "query", duration=1.0),
+        ]
+        roots = build_span_tree(records)
+        assert [root.name for root in roots] == ["query"]
+        plan = roots[0].children[0]
+        assert plan.name == "plan"
+        assert [child.name for child in plan.children] == ["kernel"]
+
+    def test_interleaved_traces_stay_separate(self):
+        records = [
+            _span("a1", "inner", parent_id="a0", trace_id="ta"),
+            _span("b1", "inner", parent_id="b0", trace_id="tb"),
+            _span("a0", "query", trace_id="ta"),
+            _span("b0", "query", trace_id="tb"),
+        ]
+        roots = build_span_tree(records)
+        assert len(roots) == 2
+        assert {root.trace_id for root in roots} == {"ta", "tb"}
+        for root in roots:
+            assert [c.trace_id for c in root.children] == [
+                root.trace_id
+            ]
+
+    def test_orphan_becomes_root(self):
+        records = [
+            _span("x", "lonely", parent_id="missing"),
+        ]
+        roots = build_span_tree(records)
+        assert [root.name for root in roots] == ["lonely"]
+
+    def test_events_and_metrics_lines_ignored(self):
+        records = [
+            {"type": "metrics", "counters": {}},
+            {"type": "event", "name": "e", "span_id": "a"},
+            _span("a", "query"),
+        ]
+        roots = build_span_tree(records)
+        assert len(roots) == 1
+
+    def test_real_timestamps_used_when_present(self):
+        records = [
+            _span(
+                "b", "late", parent_id="a", duration=0.1, start=10.5
+            ),
+            _span(
+                "c", "early", parent_id="a", duration=0.1, start=10.1
+            ),
+            _span("a", "root", duration=1.0, start=10.0),
+        ]
+        roots = build_span_tree(records)
+        root = roots[0]
+        assert root.start == 10.0
+        # Children re-sorted into start order.
+        assert [child.name for child in root.children] == [
+            "early",
+            "late",
+        ]
+
+    def test_timestampless_trace_packs_synthetically(self):
+        records = [
+            _span("b", "first", parent_id="a", duration=0.2),
+            _span("c", "second", parent_id="a", duration=0.3),
+            _span("a", "root", duration=1.0),
+        ]
+        roots = build_span_tree(records)
+        root = roots[0]
+        first, second = root.children
+        assert root.start == 0.0
+        assert first.start == 0.0
+        assert second.start == pytest.approx(0.2)
+
+
+class TestToChromeTrace:
+    def test_nesting_holds_in_ts_dur(self):
+        records = [
+            _span(
+                "b", "child", parent_id="a", duration=0.2, start=1.1
+            ),
+            _span("a", "parent", duration=1.0, start=1.0),
+        ]
+        document = to_chrome_trace(records)
+        events = {
+            event["name"]: event
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        }
+        parent, child = events["parent"], events["child"]
+        assert parent["ts"] <= child["ts"]
+        assert (
+            child["ts"] + child["dur"]
+            <= parent["ts"] + parent["dur"]
+        )
+        assert child["args"]["parent_id"] == "a"
+
+    def test_one_track_per_trace_id(self):
+        records = [
+            _span("a", "q", trace_id="ta"),
+            _span("b", "q", trace_id="tb"),
+        ]
+        document = to_chrome_trace(records)
+        names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert names == {"trace ta", "trace tb"}
+        tids = {
+            event["tid"]
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert len(tids) == 2
+
+    def test_instant_events_anchored_to_span(self):
+        records = [
+            _span("a", "query", duration=1.0, start=5.0),
+            {
+                "type": "event",
+                "name": "retry",
+                "span_id": "a",
+                "trace_id": "t1",
+                "attributes": {"attempt": 2},
+            },
+        ]
+        document = to_chrome_trace(records)
+        instants = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "i"
+        ]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "retry"
+        assert instants[0]["args"] == {"attempt": 2}
+
+    def test_live_trace_round_trip(self, registry, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        set_sink(sink)
+        with trace("outer", n=2):
+            with trace("inner"):
+                emit_event("tick")
+        sink.close()
+        records, problems = read_jsonl(path)
+        assert problems == []
+        document = to_chrome_trace(records)
+        spans = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert {event["name"] for event in spans} == {
+            "outer",
+            "inner",
+        }
+        roots = build_span_tree(records)
+        assert [root.name for root in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        out = tmp_path / "out.json"
+        write_chrome_trace([_span("a", "q")], out)
+        document = json.loads(out.read_text())
+        assert document["displayTimeUnit"] == "ms"
+
+
+class TestChromeTraceCli:
+    def test_converts_a_cli_trace(
+        self, fig2, tmp_path, capsys
+    ):
+        from repro.engine.io import save_attribute_csv
+
+        csv_path = tmp_path / "rel.csv"
+        save_attribute_csv(fig2, csv_path)
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "--metrics-out",
+                    str(trace_path),
+                    "topk",
+                    str(csv_path),
+                    "-k",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["chrome-trace", str(trace_path)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in output
+        out_path = trace_path.with_suffix(".chrome.json")
+        document = json.loads(out_path.read_text())
+        assert any(
+            event["ph"] == "X"
+            for event in document["traceEvents"]
+        )
+
+    def test_corrupt_trace_exits_12(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        trace_path.write_text(
+            json.dumps(_span("a", "q")) + "\n{broken\n"
+        )
+        code = main(
+            [
+                "chrome-trace",
+                str(trace_path),
+                "--out",
+                str(tmp_path / "out.json"),
+            ]
+        )
+        streams = capsys.readouterr()
+        assert code == 12
+        assert "warning:" in streams.err

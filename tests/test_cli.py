@@ -518,3 +518,15 @@ class TestMetricsFormat:
         )
         capsys.readouterr()
         assert get_registry() is before
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("repro ")
+        assert repro.__version__ in output

@@ -740,3 +740,51 @@ class TestPruneTrajectory:
             enabled.metadata["tuples_accessed"]
             == disabled.metadata["tuples_accessed"]
         )
+
+
+class TestJsonlSinkMaxBytes:
+    def test_cap_writes_truncation_notice(self, tmp_path):
+        path = tmp_path / "capped.jsonl"
+        sink = JsonlSink(path, max_bytes=40)
+        first = {"type": "span", "name": "keep"}
+        sink.write(first)
+        for index in range(5):
+            sink.write({"type": "span", "name": f"drop{index}"})
+        sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["name"] == "keep"
+        assert lines[-1]["type"] == "truncation_notice"
+        assert lines[-1]["max_bytes"] == 40
+        assert sink.truncated is True
+        # One record tripped the cap, four more were dropped after.
+        assert sink.dropped_records == 5
+
+    def test_no_cap_never_truncates(self, tmp_path):
+        path = tmp_path / "free.jsonl"
+        sink = JsonlSink(path)
+        for index in range(50):
+            sink.write({"i": index})
+        sink.close()
+        assert sink.truncated is False
+        assert sink.dropped_records == 0
+        assert len(path.read_text().splitlines()) == 50
+
+    def test_non_positive_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "bad.jsonl", max_bytes=0)
+
+    def test_file_stays_at_or_under_cap_plus_notice(self, tmp_path):
+        path = tmp_path / "capped.jsonl"
+        cap = 200
+        sink = JsonlSink(path, max_bytes=cap)
+        for index in range(20):
+            sink.write({"type": "span", "name": "x" * 10, "i": index})
+        sink.close()
+        lines = path.read_text().splitlines()
+        # Every line except the final notice fits within the cap.
+        payload = sum(len(line) + 1 for line in lines[:-1])
+        assert payload <= cap
+        assert json.loads(lines[-1])["type"] == "truncation_notice"

@@ -1,0 +1,241 @@
+"""Session reports aggregated from capture + trace JSONL."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.io import save_attribute_csv
+from repro.obs.report import build_report
+
+
+def _query(
+    seq,
+    method="expected_rank",
+    wall=0.01,
+    n=100,
+    accessed=50,
+    **extra,
+):
+    record = {
+        "type": "query",
+        "seq": seq,
+        "method": method,
+        "k": 5,
+        "wall_seconds": wall,
+        "n": n,
+        "tuples_accessed": accessed,
+        "dataset_digest": "d0",
+        "trace_id": f"trace{seq}",
+    }
+    record.update(extra)
+    return record
+
+
+@pytest.fixture
+def attribute_csv(fig2, tmp_path):
+    path = tmp_path / "attr.csv"
+    save_attribute_csv(fig2, path)
+    return path
+
+
+class TestBuildReport:
+    def test_summary_counts(self):
+        report = build_report(
+            [
+                _query(0),
+                _query(1, method="median_rank"),
+                {"type": "metrics"},
+            ]
+        )
+        assert report.summary["queries"] == 2
+        assert report.summary["methods"] == 2
+        assert report.summary["datasets"] == 1
+        assert report.exit_code() == 0
+
+    def test_slowest_ordering_and_trace_ids(self):
+        report = build_report(
+            [
+                _query(0, wall=0.001),
+                _query(1, wall=0.5),
+                _query(2, wall=0.01),
+            ],
+            top_n=2,
+        )
+        assert [entry["seq"] for entry in report.slowest] == [1, 2]
+        assert report.slowest[0]["trace_id"] == "trace1"
+
+    def test_per_method_percentiles(self):
+        queries = [
+            _query(index, wall=0.002) for index in range(10)
+        ]
+        report = build_report(queries)
+        stats = report.methods["expected_rank"]
+        assert stats["count"] == 10
+        # The bucketed histogram returns the bucket upper bound that
+        # covers the observations.
+        assert stats["p50"] >= 0.002
+        assert stats["p99"] >= stats["p50"]
+
+    def test_pruning_fractions(self):
+        report = build_report(
+            [
+                _query(0, n=100, accessed=25),
+                _query(1, n=100, accessed=100),
+                _query(2, n=100, accessed=None),
+            ]
+        )
+        pruning = report.pruning
+        assert pruning["queries_with_cost"] == 2
+        assert pruning["mean_fraction"] == pytest.approx(0.625)
+        assert pruning["full_scans"] == 1
+
+    def test_rates_from_capture_and_trace(self):
+        capture = [
+            _query(0, degraded=True, attempts=3, faults_survived=2),
+            _query(1),
+        ]
+        trace = [
+            {"type": "event", "name": "robust.retry"},
+            {"type": "event", "name": "robust.retry"},
+            {
+                "type": "metrics",
+                "counters": {"robust.quarantine.rows": 4},
+            },
+        ]
+        report = build_report(capture, trace)
+        assert report.rates["degraded_rate"] == pytest.approx(0.5)
+        assert report.rates["retried_rate"] == pytest.approx(0.5)
+        assert report.rates["fault_survival_rate"] == pytest.approx(
+            0.5
+        )
+        assert report.rates["quarantined_rows"] == 4
+        assert report.events == {"robust.retry": 2}
+
+    def test_span_stats_from_trace(self):
+        trace = [
+            {
+                "type": "span",
+                "span_id": "a",
+                "name": "db.topk",
+                "duration_seconds": 0.01,
+            },
+            {
+                "type": "span",
+                "span_id": "b",
+                "name": "db.topk",
+                "duration_seconds": 0.02,
+            },
+        ]
+        report = build_report([], trace)
+        assert report.spans["db.topk"]["count"] == 2
+        assert report.spans["db.topk"][
+            "total_seconds"
+        ] == pytest.approx(0.03)
+
+    def test_problems_flip_exit_code(self):
+        report = build_report(
+            [_query(0)], problems=["line 3: invalid JSON"]
+        )
+        assert report.exit_code() == 12
+        assert "line 3" in report.describe()
+
+    def test_empty_report_is_well_formed(self):
+        report = build_report([])
+        assert report.summary["queries"] == 0
+        assert report.exit_code() == 0
+        assert "session report" in report.describe()
+
+
+class TestReportCli:
+    def _capture(self, attribute_csv, tmp_path, capsys):
+        out = tmp_path / "cap.jsonl"
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(
+            '{"k": 2}\n{"k": 3, "method": "expected_score"}\n'
+        )
+        assert (
+            main(
+                [
+                    "capture",
+                    str(attribute_csv),
+                    str(workload),
+                    "--capture-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return out
+
+    def test_text_report(self, attribute_csv, tmp_path, capsys):
+        out = self._capture(attribute_csv, tmp_path, capsys)
+        code = main(["report", "--capture", str(out)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "queries: 2" in output
+        assert "method expected_rank" in output
+
+    def test_json_report(self, attribute_csv, tmp_path, capsys):
+        out = self._capture(attribute_csv, tmp_path, capsys)
+        code = main(
+            ["report", "--capture", str(out), "--json", "--top", "1"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["summary"]["queries"] == 2
+        assert len(payload["slowest"]) == 1
+
+    def test_needs_an_input(self, capsys):
+        code = main(["report"])
+        assert code == 2
+        assert "--capture" in capsys.readouterr().err
+
+    def test_corrupt_lines_warn_exit_12(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        out = self._capture(attribute_csv, tmp_path, capsys)
+        with out.open("a") as handle:
+            handle.write("{oops\n")
+        code = main(["report", "--capture", str(out)])
+        streams = capsys.readouterr()
+        assert code == 12
+        assert "warning:" in streams.err
+        assert "queries: 2" in streams.out
+
+    def test_combines_capture_and_trace(
+        self, attribute_csv, tmp_path, capsys
+    ):
+        out = self._capture(attribute_csv, tmp_path, capsys)
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "--metrics-out",
+                    str(trace_path),
+                    "topk",
+                    str(attribute_csv),
+                    "-k",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "report",
+                "--capture",
+                str(out),
+                "--trace",
+                str(trace_path),
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["spans"]
+        assert payload["sources"]["traces"] == [str(trace_path)]

@@ -83,8 +83,9 @@ def test_accessed_prefix_vs_world_density(record, benchmark):
     assert rows == sorted(rows, reverse=True)
     assert all(table.column("answer == exact"))
 
-    relation = tuple_workload("uu", N, probability_low=0.8,
-                              probability_high=1.0)
+    relation = tuple_workload(
+        "uu", N, probability_low=0.8, probability_high=1.0
+    )
     benchmark.pedantic(
         t_erank_prune, args=(relation, 20), rounds=3, iterations=1
     )

@@ -1,0 +1,54 @@
+"""AST-based invariant linter for this repository's own contracts.
+
+The paper's ranking semantics rest on hard postulates (exact-k,
+containment, unique ranking, value invariance, stability), and the
+layers built on top of the reproduction — tuples-accessed accounting,
+seeded fault injection, replayable captures with floating-point-stable
+digests — rest on invariants of their own: no unseeded randomness on
+engine paths, no wall-clock reads where spans or digests need
+monotonic time, no raw iteration that bypasses the
+:class:`~repro.engine.access.AccessCounter`.  Nothing in ruff or mypy
+knows those contracts; this package enforces them at lint time with
+~8 project-specific rules over the stdlib :mod:`ast` (no new runtime
+dependencies).
+
+Run it as ``python -m repro.analysis src`` or ``repro lint src``.
+Each rule has a stable ``RPRxxx`` code, a rationale, and an inline
+suppression syntax (``# repro: noqa RPR001`` on the offending line or
+on a comment line directly above it).  A checked-in baseline file
+(``analysis_baseline.json``) records deliberate exceptions — each with
+a written reason — so pre-existing accepted findings never block CI
+while any *new* finding fails it.
+
+See ``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, Rule, rules_by_code
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "RULES",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "load_baseline",
+    "rules_by_code",
+    "write_baseline",
+]

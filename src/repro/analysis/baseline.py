@@ -1,0 +1,193 @@
+"""The accepted-findings baseline: deliberate exceptions, with reasons.
+
+The checked-in ``analysis_baseline.json`` records findings that were
+reviewed and accepted — each entry carries a human-written ``reason``
+explaining why the construct is deliberate.  CI then fails only on
+*new* findings: per ``(path, code, message)`` key, up to ``count``
+occurrences are absorbed by the baseline and any excess is reported.
+
+Keys deliberately omit line numbers so ordinary edits that shift an
+accepted site up or down a file do not resurrect it; moving the code
+to a *different file* does invalidate the entry, forcing a re-review
+— which is the point.
+
+Stale entries (the accepted finding no longer occurs, or occurs fewer
+times) are reported as warnings so the baseline shrinks as violations
+are actually fixed, instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding kind in one file."""
+
+    path: str
+    code: str
+    message: str
+    count: int = 1
+    reason: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.path}::{self.code}::{self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "code": self.code,
+            "message": self.message,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set, plus the partition operation."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+    source: str | None = None
+
+    def allowance(self) -> dict[str, int]:
+        allowed: dict[str, int] = {}
+        for entry in self.entries:
+            allowed[entry.key] = allowed.get(entry.key, 0) + entry.count
+        return allowed
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """``(new, accepted, stale)`` for one analysis run.
+
+        Per key, findings are absorbed in file order until the
+        baseline count is spent; the rest are new.  ``stale`` lists
+        entries whose allowance was not fully used — candidates for
+        deletion from the baseline file.
+        """
+        remaining = self.allowance()
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in sorted(findings):
+            left = remaining.get(finding.key, 0)
+            if left > 0:
+                remaining[finding.key] = left - 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if remaining.get(entry.key, 0) > 0
+        ]
+        return new, accepted, stale
+
+
+@dataclass
+class _Grouped:
+    count: int = 0
+    lines: list[int] = field(default_factory=list)
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Read a baseline file; raises ``ValueError`` on a bad document."""
+    path = Path(path)
+    document = json.loads(path.read_text())
+    if not isinstance(document, Mapping):
+        raise ValueError(f"{path}: baseline must be a JSON object")
+    version = document.get("version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    raw_entries = document.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    entries = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, Mapping):
+            raise ValueError(
+                f"{path}: entry {index} must be an object"
+            )
+        try:
+            entries.append(
+                BaselineEntry(
+                    path=str(raw["path"]),
+                    code=str(raw["code"]),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                    reason=str(raw.get("reason", "")),
+                )
+            )
+        except KeyError as missing:
+            raise ValueError(
+                f"{path}: entry {index} is missing {missing}"
+            ) from None
+    return Baseline(entries=tuple(entries), source=str(path))
+
+
+def write_baseline(
+    findings: Sequence[Finding],
+    path: Path | str,
+    *,
+    previous: Baseline | None = None,
+) -> Baseline:
+    """Write the current findings as the new accepted baseline.
+
+    Reasons from ``previous`` entries survive for keys that still
+    occur; genuinely new keys get an empty reason that a reviewer is
+    expected to fill in (the self-check test treats a reasonless
+    entry as a failure, so a thoughtless ``--write-baseline`` cannot
+    silently accept violations).
+    """
+    reasons: dict[str, str] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            if entry.reason:
+                reasons.setdefault(entry.key, entry.reason)
+    grouped: dict[tuple[str, str, str], _Grouped] = {}
+    for finding in sorted(findings):
+        slot = grouped.setdefault(
+            (finding.path, finding.code, finding.message), _Grouped()
+        )
+        slot.count += 1
+        slot.lines.append(finding.line)
+    entries = tuple(
+        BaselineEntry(
+            path=file_path,
+            code=code,
+            message=message,
+            count=slot.count,
+            reason=reasons.get(
+                f"{file_path}::{code}::{message}", ""
+            ),
+        )
+        for (file_path, code, message), slot in sorted(grouped.items())
+    )
+    baseline = Baseline(entries=entries, source=str(path))
+    document = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    return baseline

@@ -1,0 +1,291 @@
+"""Command line for the invariant linter.
+
+Two entry points share this module: ``python -m repro.analysis`` and
+the ``repro lint`` subcommand of the main CLI.  Exit codes:
+
+* ``0`` — clean (no findings beyond the baseline);
+* ``1`` — new findings (or ``--write-baseline`` left reasonless
+  entries to fill in);
+* ``2`` — usage errors (argparse, unknown rule codes, missing
+  baseline file);
+* ``13`` — internal analyzer error (a rule crashed): distinct so CI
+  can tell "the code is dirty" from "the linter is broken".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import traceback
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, Rule, rules_by_code
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL_ERROR",
+    "EXIT_USAGE",
+    "add_arguments",
+    "main",
+    "run",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL_ERROR = 13
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the linter's arguments (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directory trees to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "accepted-findings file; only findings beyond it fail "
+            "(see analysis_baseline.json)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "rewrite --baseline with the current findings, keeping "
+            "existing reasons; new entries get an empty reason to "
+            "fill in"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated RPR codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated RPR codes to skip",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the findings report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _parse_codes(raw: str) -> list[str]:
+    return [
+        code.strip().upper()
+        for code in raw.split(",")
+        if code.strip()
+    ]
+
+
+def _resolve_rules(
+    args: argparse.Namespace, stderr: IO[str]
+) -> tuple[Rule, ...] | None:
+    """The active rule set, or ``None`` on an unknown code."""
+    catalogue = rules_by_code()
+    selected = list(RULES)
+    for option in ("select", "ignore"):
+        raw = getattr(args, option)
+        if raw is None:
+            continue
+        codes = _parse_codes(raw)
+        unknown = [code for code in codes if code not in catalogue]
+        if unknown:
+            print(
+                f"error: unknown rule code(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(catalogue))}",
+                file=stderr,
+            )
+            return None
+        if option == "select":
+            selected = [catalogue[code] for code in codes]
+        else:
+            selected = [
+                rule for rule in selected if rule.code not in codes
+            ]
+    return tuple(selected)
+
+
+def _print_rules(stream: IO[str]) -> None:
+    for rule in RULES:
+        print(f"{rule.code}  {rule.name}", file=stream)
+        print(f"    {rule.summary}", file=stream)
+        for line in rule.rationale.split(". "):
+            line = line.strip()
+            if line:
+                suffix = "" if line.endswith(".") else "."
+                print(f"      {line}{suffix}", file=stream)
+    print(file=stream)
+    print(
+        "suppress inline with '# repro: noqa RPR001' on the line or "
+        "a comment line above;",
+        file=stream,
+    )
+    print(
+        "accept deliberately (with a reason) in the --baseline file.",
+        file=stream,
+    )
+
+
+def _report_json(
+    stream: IO[str],
+    new: list[Finding],
+    accepted: list[Finding],
+    stale: list,
+) -> None:
+    print(
+        json.dumps(
+            {
+                "new": [finding.to_dict() for finding in new],
+                "accepted": [
+                    finding.to_dict() for finding in accepted
+                ],
+                "stale_baseline_entries": [
+                    entry.to_dict() for entry in stale
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+        file=stream,
+    )
+
+
+def _report_text(
+    stdout: IO[str],
+    stderr: IO[str],
+    new: list[Finding],
+    accepted: list[Finding],
+    stale: list,
+) -> None:
+    for finding in new:
+        print(finding.format(), file=stdout)
+    for entry in stale:
+        print(
+            f"warning: stale baseline entry ({entry.path}: "
+            f"{entry.code} x{entry.count}) — the finding no longer "
+            "occurs; delete it from the baseline",
+            file=stderr,
+        )
+    summary = (
+        f"{len(new)} new finding(s), {len(accepted)} baselined"
+    )
+    if stale:
+        summary += f", {len(stale)} stale baseline entr(y/ies)"
+    print(summary, file=stdout)
+
+
+def run(
+    args: argparse.Namespace,
+    *,
+    stdout: IO[str] | None = None,
+    stderr: IO[str] | None = None,
+) -> int:
+    """Execute one lint invocation from parsed arguments."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    if args.list_rules:
+        _print_rules(out)
+        return EXIT_CLEAN
+    rules = _resolve_rules(args, err)
+    if rules is None:
+        return EXIT_USAGE
+    if args.write_baseline and args.baseline is None:
+        print(
+            "error: --write-baseline requires --baseline", file=err
+        )
+        return EXIT_USAGE
+    baseline = Baseline()
+    if args.baseline is not None and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except OSError as error:
+            print(f"error: {error}", file=err)
+            return EXIT_USAGE
+        except ValueError as error:
+            print(f"error: {error}", file=err)
+            return EXIT_USAGE
+    try:
+        findings = analyze_paths(args.paths, rules=rules)
+    except OSError as error:
+        print(f"error: {error}", file=err)
+        return EXIT_USAGE
+    except Exception:  # repro: noqa RPR005 - becomes exit 13
+        print(
+            "internal analyzer error:\n" + traceback.format_exc(),
+            file=err,
+        )
+        return EXIT_INTERNAL_ERROR
+    if args.write_baseline:
+        previous = None
+        if Path(args.baseline).exists():
+            previous = load_baseline(args.baseline)
+        written = write_baseline(
+            findings, args.baseline, previous=previous
+        )
+        reasonless = [
+            entry for entry in written.entries if not entry.reason
+        ]
+        print(
+            f"wrote {len(written.entries)} entr(y/ies) to "
+            f"{args.baseline}",
+            file=out,
+        )
+        for entry in reasonless:
+            print(
+                f"warning: {entry.path}: {entry.code} has no reason "
+                "— document why this exception is deliberate",
+                file=err,
+            )
+        return EXIT_FINDINGS if reasonless else EXIT_CLEAN
+    new, accepted, stale = baseline.partition(findings)
+    if args.json:
+        _report_json(out, new, accepted, stale)
+    else:
+        _report_text(out, err, new, accepted, stale)
+    return EXIT_FINDINGS if new else EXIT_CLEAN
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant linter for the repro codebase: "
+            "determinism, probability-safety, and accounting "
+            "contracts (rules RPR001-RPR008)."
+        ),
+    )
+    add_arguments(parser)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    return run(args)

@@ -1,0 +1,208 @@
+"""Per-module facts the rules consult: imports, parents, suppressions.
+
+One :class:`ModuleContext` is built per analyzed file, before any rule
+runs.  It resolves three things rules need constantly:
+
+* **what names mean** — alias maps for the handful of modules the
+  rules care about (``random``, ``numpy.random``, ``time``,
+  ``datetime``, and the instruments of :mod:`repro.obs.metrics`), so
+  ``import numpy.random as npr`` cannot dodge RPR001;
+* **where a node sits** — a child-to-parent map over the whole tree,
+  giving rules ancestor queries ("is this comparison inside
+  ``__eq__``?", "is this set iteration wrapped in ``sorted``?")
+  without every rule re-walking the file;
+* **what is suppressed** — ``# repro: noqa`` / ``# repro: noqa
+  RPR001, RPR002`` directives, honoured on the offending line *or* on
+  a comment line directly above it (the repo's 79-column limit often
+  leaves no room at the end of the offending line itself).
+
+A fixture or vendored file can pin its module identity with a
+``# repro: module repro.engine.fake`` comment; path-scoped rules then
+apply as if the file lived at that dotted path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ModuleContext", "dotted_name"]
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\b[:\s]*(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)?",
+    re.IGNORECASE,
+)
+_MODULE = re.compile(
+    r"#\s*repro:\s*module\s+(?P<module>[\w.]+)", re.IGNORECASE
+)
+
+#: Sentinel meaning "every code is suppressed on this line".
+ALL_CODES = frozenset({"*"})
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _derive_module(path: Path) -> str:
+    """Dotted module path, anchored at the ``repro`` package root."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class ModuleContext:
+    """Everything the rules know about one analyzed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.module = self._module_directive() or _derive_module(
+            Path(path)
+        )
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+        # Alias maps, filled by one import scan.  Keys are the local
+        # names; values are the canonical thing they refer to.
+        self.module_aliases: dict[str, str] = {}
+        self.imported_names: dict[str, str] = {}
+        self._scan_imports()
+
+        self._suppressions: dict[int, frozenset[str]] = {}
+        self._scan_suppressions()
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+    def _module_directive(self) -> str | None:
+        for line in self.source.splitlines()[:5]:
+            match = _MODULE.search(line)
+            if match:
+                return match.group("module")
+        return None
+
+    def _scan_suppressions(self) -> None:
+        for number, line in enumerate(self.lines, start=1):
+            match = _NOQA.search(line)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                self._suppressions[number] = ALL_CODES
+            else:
+                self._suppressions[number] = frozenset(
+                    code.strip().upper()
+                    for code in codes.split(",")
+                )
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is silenced at ``line``.
+
+        A directive counts when it sits on the offending line itself
+        or on a *comment-only* line directly above it.
+        """
+        for candidate in (line, line - 1):
+            codes = self._suppressions.get(candidate)
+            if codes is None:
+                continue
+            if candidate != line:
+                text = self.lines[candidate - 1].lstrip()
+                if not text.startswith("#"):
+                    continue
+            if codes is ALL_CODES or code in codes:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Imports
+    # ------------------------------------------------------------------
+    def _scan_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    self.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imported_names[local] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """The canonical dotted target of a call, alias-expanded.
+
+        ``npr.rand(3)`` resolves to ``numpy.random.rand`` when the
+        module was imported as ``import numpy.random as npr``;
+        ``Random()`` resolves to ``random.Random`` after ``from random
+        import Random``.  Unresolvable targets answer ``None``.
+        """
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        return self.canonical(name)
+
+    def canonical(self, name: str) -> str:
+        """Expand the leading alias of a dotted name, if known."""
+        head, _, rest = name.partition(".")
+        if head in self.imported_names:
+            expanded = self.imported_names[head]
+            return f"{expanded}.{rest}" if rest else expanded
+        if head in self.module_aliases:
+            expanded = self.module_aliases[head]
+            return f"{expanded}.{rest}" if rest else expanded
+        return name
+
+    # ------------------------------------------------------------------
+    # Ancestry
+    # ------------------------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> str | None:
+        """Name of the nearest enclosing def, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return ancestor.name
+        return None
+
+    def inside_call_to(self, node: ast.AST, names: frozenset[str]) -> bool:
+        """Whether an ancestor call's target name is in ``names``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                target = dotted_name(ancestor.func)
+                if target is not None and (
+                    target in names or target.split(".")[-1] in names
+                ):
+                    return True
+        return False

@@ -1,0 +1,122 @@
+"""The analysis driver: parse, dispatch, suppress, collect.
+
+One tree walk serves every rule: the engine groups the active rules
+by the AST node types they registered (:attr:`Rule.node_types`), then
+visits each node exactly once and hands it to the interested rules.
+Findings on lines carrying a ``# repro: noqa`` directive (or with one
+on a comment line directly above) are dropped before they are
+returned.
+
+A file that does not parse yields a single ``RPR000`` finding rather
+than crashing the run — a syntax error is the most fatal invariant
+violation of all, and the CLI must keep walking the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, Rule
+
+__all__ = ["analyze_file", "analyze_paths", "analyze_source"]
+
+
+def _position(node: ast.AST) -> tuple[int, int]:
+    """Best-effort (line, column) — comprehensions have no span."""
+    if hasattr(node, "lineno"):
+        return node.lineno, getattr(node, "col_offset", 0) + 1
+    iterable = getattr(node, "iter", None)
+    if iterable is not None and hasattr(iterable, "lineno"):
+        return iterable.lineno, iterable.col_offset + 1
+    return 1, 1
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run the rules over one module's source text."""
+    active = tuple(RULES if rules is None else rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1),
+                code="RPR000",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = ModuleContext(path, source, tree)
+    applicable = [rule for rule in active if rule.applies_to(ctx)]
+    dispatch: dict[type[ast.AST], list[Rule]] = {}
+    for rule in applicable:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if not dispatch:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            for offender, message in rule.check(node, ctx):
+                line, column = _position(offender)
+                if ctx.suppressed(line, rule.code):
+                    continue
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        column=column,
+                        code=rule.code,
+                        message=message,
+                    )
+                )
+    return sorted(findings)
+
+
+def analyze_file(
+    path: Path | str, *, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Analyze one file; ``OSError`` propagates for missing paths."""
+    path = Path(path)
+    return analyze_source(
+        path.read_text(), path.as_posix(), rules=rules
+    )
+
+
+def _python_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze files and directory trees; results sorted by location.
+
+    Raises :class:`OSError` for a path that does not exist — a typo'd
+    invocation must not report a falsely clean run.
+    """
+    findings: list[Finding] = []
+    for entry in paths:
+        entry = Path(entry)
+        if not entry.exists():
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+        for file in _python_files(entry):
+            findings.extend(analyze_file(file, rules=rules))
+    return sorted(findings)

@@ -1,0 +1,49 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding is one violation at one source location.  Its identity for
+baseline purposes is ``(path, code, message)`` — deliberately *not*
+the line number, so unrelated edits that shift a deliberate exception
+up or down the file do not resurrect it as "new".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+    #: True when an inline/above-line ``# repro: noqa`` matched; the
+    #: engine keeps suppressed findings out of its return value, this
+    #: flag exists for the tooling that counts suppressions.
+    suppressed: bool = field(default=False, compare=False)
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: location-free, line-number-free."""
+        return f"{self.path}::{self.code}::{self.message}"
+
+    def format(self) -> str:
+        """The conventional one-line lint format."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.code} {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }

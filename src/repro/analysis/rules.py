@@ -1,0 +1,583 @@
+"""The rule catalogue: eight project-specific invariant checks.
+
+Each rule is a small class with a stable ``RPRxxx`` code, a one-line
+summary, a written rationale (also rendered by ``--list-rules`` and
+``docs/static_analysis.md``), the AST node types it wants to see, and
+a ``check`` generator yielding ``(node, message)`` violations.  The
+engine builds a dispatch table from :attr:`Rule.node_types`, so one
+walk of the tree serves every rule — adding a rule is a ~30-line
+class plus a registry entry.
+
+Messages are deliberately stable strings: the baseline file keys on
+``(path, code, message)``, so a rewording invalidates accepted
+baseline entries (that is a feature — reworded rule, re-reviewed
+exceptions — but do it knowingly).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+
+__all__ = ["RULES", "Rule", "rules_by_code"]
+
+Violation = Iterator[tuple[ast.AST, str]]
+
+
+class Rule:
+    """Base class: subclasses override the metadata and ``check``."""
+
+    code: str = "RPR000"
+    name: str = "abstract"
+    summary: str = ""
+    rationale: str = ""
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Violation:
+        raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+
+# ----------------------------------------------------------------------
+# RPR001 — unseeded randomness
+# ----------------------------------------------------------------------
+
+#: Module-level functions of :mod:`random` that draw from the hidden
+#: process-global generator.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "betavariate", "binomialvariate", "choice", "choices",
+        "expovariate", "gammavariate", "gauss", "getrandbits",
+        "lognormvariate", "normalvariate", "paretovariate", "randbytes",
+        "randint", "random", "randrange", "sample", "seed", "shuffle",
+        "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` attributes that are fine to *reference*: the
+#: modern Generator machinery (still checked for a missing seed at the
+#: call sites below).
+_NUMPY_SAFE = frozenset(
+    {
+        "BitGenerator", "Generator", "MT19937", "PCG64", "PCG64DXSM",
+        "Philox", "SFC64", "SeedSequence", "default_rng",
+    }
+)
+
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    }
+)
+
+
+def _call_has_seed(node: ast.Call) -> bool:
+    """Whether a constructor call passes a non-``None`` first seed."""
+    if node.args:
+        first = node.args[0]
+        return not (
+            isinstance(first, ast.Constant) and first.value is None
+        )
+    return any(
+        keyword.arg == "seed"
+        and not (
+            isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is None
+        )
+        for keyword in node.keywords
+    )
+
+
+class UnseededRandomness(Rule):
+    code = "RPR001"
+    name = "unseeded-randomness"
+    summary = (
+        "process-global or unseeded RNG on a deterministic path"
+    )
+    rationale = (
+        "Deterministic replay (repro replay) re-runs captured queries "
+        "and diffs answer digests; chaos runs replay their exact "
+        "fault sequence from REPRO_FAULT_SEED.  Any draw from the "
+        "process-global random module, the legacy numpy.random API, "
+        "or an unseeded Random()/default_rng() makes the replay "
+        "diverge from the capture for reasons no digest can explain."
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Violation:
+        target = ctx.resolve_call(node)
+        if target is None:
+            return
+        head, _, tail = target.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM:
+            yield node, (
+                f"{target}() draws from the process-global RNG; "
+                "thread a seeded random.Random through instead"
+            )
+        elif target == "random.SystemRandom":
+            yield node, (
+                "random.SystemRandom is OS entropy by design and can "
+                "never replay deterministically"
+            )
+        elif target in _SEEDED_CONSTRUCTORS:
+            if not _call_has_seed(node):
+                yield node, (
+                    f"{target}() without a seed breaks deterministic "
+                    "replay; pass an explicit seed or rng"
+                )
+        elif head == "numpy.random" and tail not in _NUMPY_SAFE:
+            yield node, (
+                f"legacy numpy.random API ({target}) uses hidden "
+                "global state; use numpy.random.default_rng(seed)"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR002 — float equality on score/probability expressions
+# ----------------------------------------------------------------------
+
+#: Identifier tokens that mark a value as a score / probability /
+#: statistic in this codebase's naming conventions.
+_FLOAT_LEXICON = frozenset(
+    {
+        "expectation", "mass", "phi", "prob", "probabilities",
+        "probability", "score", "scores", "statistic", "weight",
+    }
+)
+
+#: Float literals that are exactly representable and conventionally
+#: used as degenerate-case sentinels (certain / impossible / empty).
+_EXEMPT_LITERALS = frozenset({0.0, 1.0, -1.0})
+
+
+def _lexicon_match(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        identifier = node.attr
+    elif isinstance(node, ast.Name):
+        identifier = node.id
+    else:
+        return False
+    lowered = identifier.lower()
+    return any(
+        token in _FLOAT_LEXICON for token in lowered.split("_")
+    ) or "score" in lowered or "prob" in lowered
+
+
+def _sentinel_constant(node: ast.AST) -> bool:
+    """Constants that make a comparison exempt (or non-float)."""
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if value is None or isinstance(value, (bool, str, bytes)):
+        return True
+    if isinstance(value, int):
+        return value in (0, 1, -1)
+    if isinstance(value, float):
+        return value in _EXEMPT_LITERALS
+    return False
+
+
+class FloatEquality(Rule):
+    code = "RPR002"
+    name = "float-equality"
+    summary = "== / != on score or probability expressions"
+    rationale = (
+        "The paper's value-invariance postulate means answers depend "
+        "on score *order*, not magnitudes — and the capture layer "
+        "digests statistics rounded to 9 significant digits so ulp "
+        "noise never flips a digest.  An exact float comparison on a "
+        "computed score or probability reintroduces that noise as a "
+        "branch, flipping answers (and digests) across platforms.  "
+        "Comparisons against the exact sentinels 0.0/±1.0 and inside "
+        "__eq__/__ne__/__hash__ are exempt."
+    )
+    node_types = (ast.Compare,)
+
+    def check(self, node: ast.Compare, ctx: ModuleContext) -> Violation:
+        if ctx.enclosing_function(node) in (
+            "__eq__", "__ne__", "__hash__"
+        ):
+            return
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            lhs, rhs = operands[index], operands[index + 1]
+            if _sentinel_constant(lhs) or _sentinel_constant(rhs):
+                continue
+            literal = next(
+                (
+                    side
+                    for side in (lhs, rhs)
+                    if isinstance(side, ast.Constant)
+                    and isinstance(side.value, float)
+                ),
+                None,
+            )
+            if literal is not None:
+                yield node, (
+                    "equality against a non-sentinel float literal "
+                    "is platform-brittle; compare with math.isclose "
+                    "or an explicit tolerance"
+                )
+            elif _lexicon_match(lhs) or _lexicon_match(rhs):
+                yield node, (
+                    "exact float equality on score/probability "
+                    "values violates value invariance; compare with "
+                    "math.isclose or an explicit tolerance"
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR003 — relation iteration bypassing the AccessCounter
+# ----------------------------------------------------------------------
+
+_ITER_WRAPPERS = frozenset(
+    {"enumerate", "iter", "list", "reversed", "sorted", "tuple"}
+)
+_ORDERED_ACCESSORS = frozenset(
+    {"order_by_expected_score", "order_by_score"}
+)
+
+
+def _unwrap_iterable(node: ast.AST) -> ast.AST:
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _ITER_WRAPPERS
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+def _relation_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "relation" in node.id.lower()
+    if isinstance(node, ast.Call) and isinstance(
+        node.func, ast.Attribute
+    ):
+        return node.func.attr in _ORDERED_ACCESSORS
+    return False
+
+
+class UncountedRelationIteration(Rule):
+    code = "RPR003"
+    name = "uncounted-relation-iteration"
+    summary = (
+        "engine code iterating relation rows without the "
+        "AccessCounter"
+    )
+    rationale = (
+        "tuples_accessed is the paper's cost metric (Sections "
+        "5.2/6.2) and the number EXPLAIN, capture/replay, and the "
+        "perf-smoke gate all consume.  Engine-layer code that "
+        "iterates relation rows directly — instead of through "
+        "SortedAccessCursor / ResilientCursor or an explicit "
+        "counter.charge() — silently under-counts, making pruning "
+        "look better than it is and replay cost diffs meaningless."
+    )
+    node_types = (ast.For, ast.comprehension)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.engine")
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Violation:
+        assert isinstance(node, (ast.For, ast.comprehension))
+        iterable = _unwrap_iterable(node.iter)
+        if _relation_like(iterable):
+            yield node.iter, (
+                "iterates relation rows directly, bypassing "
+                "AccessCounter/ResilientCursor accounting; use "
+                "score_cursor()/expected_score_cursor() or charge "
+                "the counter explicitly"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR004 — wall-clock reads
+# ----------------------------------------------------------------------
+
+_WALL_CLOCKS = frozenset(
+    {
+        "datetime.date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "time.time",
+    }
+)
+
+
+class WallClockRead(Rule):
+    code = "RPR004"
+    name = "wall-clock-read"
+    summary = "time.time()/datetime.now() where monotonic time belongs"
+    rationale = (
+        "Span durations, retry deadlines, and capture wall_seconds "
+        "are all measured with time.monotonic()/perf_counter() so "
+        "that NTP steps and DST never produce negative or wild "
+        "durations — and replay verdicts never depend on the clock "
+        "of the machine that happens to run them.  Wall-clock reads "
+        "belong only in human-facing report headers, captured once "
+        "and passed as data."
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Violation:
+        target = ctx.resolve_call(node)
+        if target in _WALL_CLOCKS:
+            yield node, (
+                f"{target}() reads the wall clock; timing and digest "
+                "inputs need time.monotonic()/perf_counter() or a "
+                "timestamp captured once and passed as data"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR005 — broad exception handlers
+# ----------------------------------------------------------------------
+
+_BROAD = frozenset({"BaseException", "Exception"})
+
+
+def _is_broad(expression: ast.expr | None) -> bool:
+    if expression is None:
+        return True
+    if isinstance(expression, ast.Name):
+        return expression.id in _BROAD
+    if isinstance(expression, ast.Tuple):
+        return any(_is_broad(item) for item in expression.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(inner, ast.Raise) and inner.exc is None
+        for statement in handler.body
+        for inner in ast.walk(statement)
+    )
+
+
+class BroadExcept(Rule):
+    code = "RPR005"
+    name = "broad-except"
+    summary = "bare/broad except outside the robust/ degradation ladder"
+    rationale = (
+        "Fault injection only proves resilience if injected faults "
+        "reach the retry policy and the degradation ladder.  A bare "
+        "or Exception-wide handler on any other path swallows the "
+        "injected TransientAccessError (and real bugs with it), so "
+        "the chaos suite passes without exercising anything.  "
+        "Handlers that re-raise are exempt, as is repro.robust — "
+        "absorbing failures is that package's declared job."
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.module.startswith("repro.robust")
+
+    def check(
+        self, node: ast.ExceptHandler, ctx: ModuleContext
+    ) -> Violation:
+        if _is_broad(node.type) and not _reraises(node):
+            yield node, (
+                "bare/broad except can swallow injected faults and "
+                "real bugs; catch the specific repro.exceptions "
+                "families or re-raise"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR006 — unordered set iteration
+# ----------------------------------------------------------------------
+
+_ORDER_INSENSITIVE = frozenset(
+    {"all", "any", "frozenset", "len", "max", "min", "set", "sorted",
+     "sum"}
+)
+
+
+def _set_like(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        # ``seen | extra`` style set algebra — only when one side is
+        # itself syntactically a set.
+        return _set_like(node.left) or _set_like(node.right)
+    return False
+
+
+class UnorderedSetIteration(Rule):
+    code = "RPR006"
+    name = "unordered-set-iteration"
+    summary = "iterating a set without sorted() on an output path"
+    rationale = (
+        "Set iteration order varies with PYTHONHASHSEED, so anything "
+        "a set feeds — JSONL records, report sections, digest "
+        "payloads, ranked output — silently differs between two "
+        "runs of the same query on the same data.  The capture "
+        "digest is built to be floating-point-stable; an unsorted "
+        "set upstream defeats it with plain string ordering.  "
+        "(Dicts keep insertion order and are not flagged; "
+        "iteration inside order-insensitive reducers like sorted(), "
+        "min(), sum() is exempt.)"
+    )
+    node_types = (ast.For, ast.comprehension, ast.Call)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Violation:
+        if isinstance(node, ast.Call):
+            # list(set(...)) / tuple(set(...)) materialise the
+            # arbitrary order instead of iterating it.
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and node.args
+                and _set_like(node.args[0])
+                and not ctx.inside_call_to(node, _ORDER_INSENSITIVE)
+            ):
+                yield node, (
+                    f"{node.func.id}() over a set materialises "
+                    "PYTHONHASHSEED-dependent order; use sorted()"
+                )
+            return
+        assert isinstance(node, (ast.For, ast.comprehension))
+        iterable = node.iter
+        if _set_like(iterable) and not ctx.inside_call_to(
+            iterable, _ORDER_INSENSITIVE
+        ):
+            yield iterable, (
+                "iterating a set yields PYTHONHASHSEED-dependent "
+                "order; wrap it in sorted() before it feeds output, "
+                "digests, or ranked answers"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR007 — metrics instruments constructed outside the registry
+# ----------------------------------------------------------------------
+
+_INSTRUMENTS = frozenset(
+    {
+        f"repro.obs{infix}.{name}"
+        for infix in ("", ".metrics")
+        for name in ("Counter", "Gauge", "Histogram")
+    }
+)
+
+
+class InstrumentOutsideRegistry(Rule):
+    code = "RPR007"
+    name = "instrument-outside-registry"
+    summary = "Counter/Gauge/Histogram built outside MetricsRegistry"
+    rationale = (
+        "The registry is the single collection point: snapshots, "
+        "the --metrics-out JSONL tail, and Prometheus export all "
+        "read it.  An instrument constructed directly is invisible "
+        "to every one of those consumers and dodges the "
+        "disabled-means-free contract the hot kernels rely on.  Use "
+        "get_registry().counter()/gauge()/histogram() — or suppress "
+        "deliberately where the bucket math is reused as plain "
+        "arithmetic."
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module != "repro.obs.metrics"
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Violation:
+        target = ctx.resolve_call(node)
+        if target in _INSTRUMENTS:
+            instrument = target.rpartition(".")[2]
+            yield node, (
+                f"{instrument} constructed outside the registry is "
+                "invisible to snapshots and Prometheus export; use "
+                f"get_registry().{instrument.lower()}(name)"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR008 — mutable default arguments
+# ----------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset(
+    {
+        "bytearray", "collections.Counter", "collections.OrderedDict",
+        "collections.defaultdict", "collections.deque", "dict", "list",
+        "set",
+    }
+)
+
+
+def _mutable_default(node: ast.AST, ctx: ModuleContext) -> bool:
+    if isinstance(
+        node,
+        (ast.Dict, ast.DictComp, ast.List, ast.ListComp, ast.Set,
+         ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        target = ctx.resolve_call(node)
+        return target in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultArgument(Rule):
+    code = "RPR008"
+    name = "mutable-default-argument"
+    summary = "list/dict/set default argument shared across calls"
+    rationale = (
+        "A mutable default is evaluated once and shared by every "
+        "call, so one caller's appended rows or cached options leak "
+        "into the next query — exactly the cross-query contamination "
+        "the capture/replay machinery rebuilds fresh executors to "
+        "rule out.  Default to None and construct inside the "
+        "function."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Violation:
+        assert isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        arguments = node.args
+        defaults = list(arguments.defaults) + [
+            default
+            for default in arguments.kw_defaults
+            if default is not None
+        ]
+        for default in defaults:
+            if _mutable_default(default, ctx):
+                yield default, (
+                    "mutable default argument is evaluated once and "
+                    "shared across calls; default to None and build "
+                    "it inside the function"
+                )
+
+
+RULES: tuple[Rule, ...] = (
+    UnseededRandomness(),
+    FloatEquality(),
+    UncountedRelationIteration(),
+    WallClockRead(),
+    BroadExcept(),
+    UnorderedSetIteration(),
+    InstrumentOutsideRegistry(),
+    MutableDefaultArgument(),
+)
+
+
+def rules_by_code() -> dict[str, Rule]:
+    """The registry keyed by ``RPRxxx`` code."""
+    return {rule.code: rule for rule in RULES}

@@ -11,12 +11,14 @@ as the quadratic/brute-force comparison point.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from repro.core.rank_distribution import RankDistribution
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.possible_worlds import (
+    AttributeWorld,
     TieRule,
+    TupleWorld,
     enumerate_attribute_worlds,
     enumerate_tuple_worlds,
 )
@@ -33,7 +35,9 @@ __all__ = [
 Relation = AttributeLevelRelation | TupleLevelRelation
 
 
-def _worlds(relation: Relation, max_worlds: int):
+def _worlds(
+    relation: Relation, max_worlds: int
+) -> Iterator[AttributeWorld] | Iterator[TupleWorld]:
     if isinstance(relation, AttributeLevelRelation):
         return enumerate_attribute_worlds(relation, max_worlds=max_worlds)
     return enumerate_tuple_worlds(relation, max_worlds=max_worlds)

@@ -1,5 +1,7 @@
 """Benchmark harness: timing, tables, workloads, and the perf gate."""
 
+from typing import Any
+
 from repro.bench.harness import (
     Table,
     geometric_sweep,
@@ -37,7 +39,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     if name in _LAZY:
         import importlib
 

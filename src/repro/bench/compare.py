@@ -187,6 +187,7 @@ def append_history(
     entry = {
         "commit": commit if commit is not None else _git_commit(),
         "timestamp": (
+            # wall-clock stamp, not a duration  # repro: noqa RPR004
             timestamp if timestamp is not None else time.time()
         ),
         "suite": document.get("suite"),

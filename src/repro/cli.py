@@ -18,7 +18,10 @@ Python:
   (slowest queries, per-method latency percentiles, pruning
   efficacy, degradation rates);
 * ``chrome-trace`` — convert a span JSONL trace into Chrome
-  trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+  trace-event JSON loadable in Perfetto / ``chrome://tracing``;
+* ``lint`` — run the :mod:`repro.analysis` invariant linter (exit 0
+  clean, 1 findings, 13 internal analyzer error; see
+  ``docs/static_analysis.md``).
 
 Relation files are the CSV/JSON formats of :mod:`repro.engine.io`;
 CSVs are sniffed by header (a ``value`` column means attribute-level,
@@ -57,6 +60,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
 
+from repro.analysis import cli as analysis_cli
 from repro.core import rank
 from repro.core.semantics import available_methods
 from repro.engine.io import (
@@ -543,6 +547,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="output file (default: <trace>.chrome.json)",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help=(
+            "run the repro.analysis invariant linter over the "
+            "codebase (see docs/static_analysis.md)"
+        ),
+    )
+    analysis_cli.add_arguments(lint)
 
     generate = commands.add_parser(
         "generate", help="write a synthetic workload"
@@ -1074,8 +1087,13 @@ def _command_chrome_trace(args) -> int:
     return EXIT_PARTIAL_INPUT if problems else 0
 
 
+def _command_lint(args) -> int:
+    return analysis_cli.run(args)
+
+
 _COMMANDS = {
     "topk": _command_topk,
+    "lint": _command_lint,
     "describe": _command_describe,
     "distribution": _command_distribution,
     "explain": _command_explain,

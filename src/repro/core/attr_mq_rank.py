@@ -120,6 +120,7 @@ def _select_top_k(
 
 
 def _method_name(phi: float) -> str:
+    # phi=0.5 is the caller's exact literal.  # repro: noqa RPR002
     return "median_rank" if phi == 0.5 else f"quantile_rank[{phi:g}]"
 
 

@@ -72,6 +72,7 @@ def rank_contributions(
                 continue
             beats = other.score > target.score or (
                 ties == "by_index"
+                # exact input-score tie  # repro: noqa RPR002
                 and other.score == target.score
                 and position < target_position
             )

@@ -50,6 +50,7 @@ def _beats(
     """Whether ``challenger`` ranks above ``target`` when both appear."""
     if challenger.score > target.score:
         return True
+    # Ties are exact equality of input scores.  # repro: noqa RPR002
     if ties == "by_index" and challenger.score == target.score:
         return positions[challenger.tid] < positions[target.tid]
     return False
@@ -122,6 +123,7 @@ def tuple_expected_ranks(
     while index < len(ordered):
         group_end = index
         score = ordered[index].score
+        # Tie groups: exact input-score runs.  # repro: noqa RPR002
         while group_end < len(ordered) and ordered[group_end].score == score:
             group_end += 1
         group_running = running
@@ -383,6 +385,7 @@ def t_erank_prune(
     previous_score: float | None = None
 
     for row in ordered:
+        # previous_score is a copied input score.  # repro: noqa RPR002
         if previous_score is None or row.score != previous_score:
             strict_before_group = running
             group_running = running

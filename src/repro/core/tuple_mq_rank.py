@@ -62,6 +62,7 @@ def _beats(
 ) -> bool:
     if challenger.score > target.score:
         return True
+    # Ties are exact equality of input scores.  # repro: noqa RPR002
     if ties == "by_index" and challenger.score == target.score:
         return positions[challenger.tid] < positions[target.tid]
     return False
@@ -170,6 +171,7 @@ def _select_top_k(
 
 
 def _method_name(phi: float) -> str:
+    # phi=0.5 is the caller's exact literal.  # repro: noqa RPR002
     return "median_rank" if phi == 0.5 else f"quantile_rank[{phi:g}]"
 
 

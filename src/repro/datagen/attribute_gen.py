@@ -96,8 +96,11 @@ def generate_attribute_relation(
         rows.append(
             AttributeTuple(
                 f"{tid_prefix}{index}",
-                DiscretePDF(values.tolist(), weights.tolist(),
-                            normalize=True),
+                DiscretePDF(
+                    values.tolist(),
+                    weights.tolist(),
+                    normalize=True,
+                ),
             )
         )
     return AttributeLevelRelation(rows)

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.result import TopKResult
 
 from repro.exceptions import EngineError, InvalidRuleError
 from repro.models.pdf import PROBABILITY_TOLERANCE
@@ -192,7 +195,9 @@ class MaintainedTupleStore:
         ]
         return TupleLevelRelation(ordered, rules=rules)
 
-    def topk(self, k: int, method: str = "expected_rank", **options):
+    def topk(
+        self, k: int, method: str = "expected_rank", **options
+    ) -> TopKResult:
         """Query the current snapshot through the semantics registry."""
         from repro.core.semantics import rank
 

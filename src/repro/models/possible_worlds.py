@@ -88,6 +88,7 @@ class AttributeWorld:
                 rank += 1
             elif (
                 ties == "by_index"
+                # exact input-score tie  # repro: noqa RPR002
                 and score == own_score
                 and self._positions[other] < own_position
             ):
@@ -163,6 +164,7 @@ class TupleWorld:
                 rank += 1
             elif (
                 ties == "by_index"
+                # exact input-score tie  # repro: noqa RPR002
                 and score == own_score
                 and self._positions[other] < own_position
             ):

@@ -56,6 +56,7 @@ def _attribute_world_ranks(
     while index < len(ordered):
         tie_end = index
         score = scores[ordered[index]]
+        # Tie groups: exact input-score runs.  # repro: noqa RPR002
         while tie_end < len(ordered) and scores[ordered[tie_end]] == score:
             ranks[ordered[tie_end]] = higher
             tie_end += 1

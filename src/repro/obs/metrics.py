@@ -121,8 +121,15 @@ class Histogram:
     estimates are off by at most one bucket width.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets",
-                 "_bucket_counts")
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "buckets",
+        "_bucket_counts",
+    )
 
     def __init__(
         self, name: str, buckets: Sequence[float] | None = None

@@ -297,6 +297,7 @@ def _replay_one(
             )
         else:
             result = rank(relation, k, method=method, **options)
+    # Quarantine boundary; see comment below.  # repro: noqa RPR005
     except Exception as error:  # noqa: BLE001 - replay must not crash
         # Quarantine philosophy: a query that cannot replay (engine
         # error, alien options from an old capture, ...) is a finding

@@ -38,6 +38,9 @@ _FRACTION_BUCKETS = tuple(index / 20.0 for index in range(1, 21))
 
 def _percentiles(values: Iterable[float]) -> dict[str, float]:
     """p50/p95/p99 via the registry's bucketed histogram type."""
+    # Standalone aggregation over already-recorded capture data, not
+    # a live metric — deliberately outside the ambient registry.
+    # repro: noqa RPR007
     histogram = Histogram("report")
     for value in values:
         histogram.observe(value)
@@ -133,9 +136,11 @@ class SessionReport:
 
 def _method_stats(queries: Sequence[Mapping]) -> dict:
     methods: dict[str, dict] = {}
-    for group in {
-        str(record.get("method")) for record in queries
-    }:
+    # Sorted so the per-method section order (and the report JSON)
+    # never depends on set iteration order / PYTHONHASHSEED.
+    for group in sorted(
+        {str(record.get("method")) for record in queries}
+    ):
         walls = [
             float(record["wall_seconds"])
             for record in queries
@@ -180,6 +185,7 @@ def _pruning_stats(queries: Sequence[Mapping]) -> dict:
             "full_scans": 0,
             "distribution": [],
         }
+    # Offline bucket math over replayed records.  # repro: noqa RPR007
     histogram = Histogram("fraction", buckets=_FRACTION_BUCKETS)
     for fraction in fractions:
         histogram.observe(fraction)
@@ -253,6 +259,7 @@ def _span_stats(trace_records: Sequence[Mapping]) -> dict:
         name = str(record.get("name"))
         histogram = spans.get(name)
         if histogram is None:
+            # Offline span-trace aggregation.  # repro: noqa RPR007
             histogram = spans[name] = Histogram(name)
         histogram.observe(float(duration))
     return {

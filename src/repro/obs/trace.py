@@ -250,9 +250,17 @@ def emit_event(name: str, **attributes: object) -> None:
 class _SpanHandle:
     """Live span: times the block, then emits and records it."""
 
-    __slots__ = ("name", "attributes", "span_id", "parent_id",
-                 "trace_id", "_start", "_token", "_trace_token",
-                 "error")
+    __slots__ = (
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "_start",
+        "_token",
+        "_trace_token",
+        "error",
+    )
 
     def __init__(self, name: str, attributes: dict) -> None:
         self.name = name

@@ -25,7 +25,7 @@ import json
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Mapping
+from typing import IO, Iterator, Mapping
 
 from repro.exceptions import EngineError, QuarantineError
 from repro.obs import count
@@ -97,7 +97,7 @@ class QuarantineLog:
     def __len__(self) -> int:
         return len(self.rows)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[QuarantinedRow]:
         return iter(self.rows)
 
     def add(

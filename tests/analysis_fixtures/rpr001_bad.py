@@ -1,0 +1,12 @@
+"""RPR001 fixture: every unseeded-randomness shape is caught."""
+
+import random
+
+import numpy.random as npr
+from random import Random
+
+value = random.random()
+rng = Random()
+legacy = npr.rand(3)
+generator = npr.default_rng()
+system = random.SystemRandom()

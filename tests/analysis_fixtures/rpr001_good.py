@@ -1,0 +1,9 @@
+"""RPR001 fixture: explicitly seeded randomness passes."""
+
+import numpy.random as npr
+from random import Random
+
+rng = Random(1234)
+generator = npr.default_rng(7)
+keyword_seeded = npr.default_rng(seed=7)
+machinery = npr.Generator(npr.PCG64(7))

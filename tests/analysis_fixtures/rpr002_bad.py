@@ -1,0 +1,13 @@
+"""RPR002 fixture: exact float equality on ranking quantities."""
+
+
+def ties(row, other):
+    return row.score == other.score
+
+
+def check(probability):
+    return probability != 0.25
+
+
+def literal(value):
+    return value == 0.3

@@ -1,0 +1,20 @@
+"""RPR002 fixture: sentinel and dunder comparisons are exempt."""
+
+
+def certain(probability):
+    return probability == 1.0
+
+
+def empty(mass):
+    return mass == 0.0
+
+
+def unit(score):
+    return score == 1
+
+
+class Model:
+    score = 0.0
+
+    def __eq__(self, other):
+        return self.score == other.score

@@ -1,0 +1,17 @@
+# repro: module repro.engine.fixture
+"""RPR003 fixture: engine code iterating a relation directly."""
+
+
+def drain(relation):
+    total = 0.0
+    for row in relation:
+        total += row.probability
+    return total
+
+
+def tids(relation):
+    return [row.tid for row in sorted(relation)]
+
+
+def ordered(relation):
+    return [row for row in relation.order_by_score()]

@@ -1,0 +1,14 @@
+# repro: module repro.engine.fixture
+"""RPR003 fixture: cursor-mediated access passes."""
+
+
+def drain(cursor):
+    total = 0.0
+    for row in cursor:
+        total += row.probability
+    return total
+
+
+def charged(relation, counter):
+    counter.charge(len(relation))
+    return [row.tid for row in relation.rows]

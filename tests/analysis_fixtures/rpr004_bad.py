@@ -1,0 +1,8 @@
+"""RPR004 fixture: wall-clock reads on timing paths."""
+
+import time
+from datetime import datetime
+
+start = time.time()
+stamp = datetime.now()
+legacy = datetime.utcnow()

@@ -1,0 +1,7 @@
+"""RPR004 fixture: monotonic clocks pass."""
+
+import time
+
+start = time.monotonic()
+tick = time.perf_counter()
+nanos = time.monotonic_ns()

@@ -1,0 +1,22 @@
+"""RPR005 fixture: broad handlers that swallow injected faults."""
+
+
+def swallow(action):
+    try:
+        return action()
+    except Exception:
+        return None
+
+
+def bare(action):
+    try:
+        return action()
+    except:  # noqa: E722
+        return None
+
+
+def tupled(action):
+    try:
+        return action()
+    except (ValueError, Exception):
+        return None

@@ -1,0 +1,15 @@
+"""RPR005 fixture: specific catches and re-raises pass."""
+
+
+def specific(action):
+    try:
+        return action()
+    except ValueError:
+        return None
+
+
+def reraise(action):
+    try:
+        return action()
+    except Exception:
+        raise

@@ -1,0 +1,16 @@
+"""RPR006 fixture: unsorted set iteration feeding output."""
+
+
+def emit(tids):
+    return [tid for tid in {tid.lower() for tid in tids}]
+
+
+def materialise(tids):
+    return list(set(tids))
+
+
+def loop(rows):
+    out = []
+    for tid in {row.tid for row in rows}:
+        out.append(tid)
+    return out

@@ -1,0 +1,13 @@
+"""RPR006 fixture: sorted or reduced set consumption passes."""
+
+
+def emit(tids):
+    return [tid for tid in sorted({tid.lower() for tid in tids})]
+
+
+def reduce(values):
+    return sum(value for value in set(values))
+
+
+def count(tids):
+    return len(set(tids))

@@ -1,0 +1,6 @@
+"""RPR007 fixture: instruments constructed outside the registry."""
+
+from repro.obs.metrics import Counter, Histogram
+
+calls = Counter("fixture.calls")
+latency = Histogram("fixture.latency")

@@ -1,0 +1,8 @@
+"""RPR007 fixture: registry-mediated instruments pass."""
+
+from collections import Counter
+
+from repro.obs import get_registry
+
+calls = get_registry().counter("fixture.calls")
+words = Counter(["a", "b"])

@@ -1,0 +1,10 @@
+"""RPR008 fixture: mutable default arguments."""
+
+
+def append(row, rows=[]):
+    rows.append(row)
+    return rows
+
+
+def tally(counts={}, *, seen=set()):
+    return counts, seen

@@ -1,0 +1,11 @@
+"""RPR008 fixture: None (or immutable) defaults pass."""
+
+
+def append(row, rows=None):
+    rows = [] if rows is None else rows
+    rows.append(row)
+    return rows
+
+
+def label(name, suffix=""):
+    return name + suffix

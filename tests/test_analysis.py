@@ -1,0 +1,286 @@
+"""Tests for the :mod:`repro.analysis` invariant linter.
+
+Three layers of defence:
+
+* fixture pairs — every rule has a ``*_bad.py`` file whose planted
+  violations are asserted *exactly* (line and code), and a
+  ``*_good.py`` twin proving the rule's exemptions hold;
+* machinery — suppression directives, module scoping, alias
+  resolution, the baseline round-trip, and the CLI exit codes;
+* the self-check — the repo's own ``src`` tree must be clean under
+  the checked-in ``analysis_baseline.json``, and every baseline
+  entry must carry a written reason.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    load_baseline,
+    rules_by_code,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Exact planted violations per bad fixture: the lines that must
+#: fire, in order.  A drifting rule fails loudly here.
+EXPECTED_LINES = {
+    "RPR001": (8, 9, 10, 11, 12),
+    "RPR002": (5, 9, 13),
+    "RPR003": (7, 13, 17),
+    "RPR004": (6, 7, 8),
+    "RPR005": (7, 14, 21),
+    "RPR006": (5, 9, 14),
+    "RPR007": (5, 6),
+    "RPR008": (4, 9, 9),
+}
+
+
+def findings_for(name: str):
+    return analyze_file(FIXTURES / name)
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("code", sorted(EXPECTED_LINES))
+    def test_bad_fixture_fires_exactly(self, code):
+        findings = findings_for(f"{code.lower()}_bad.py")
+        assert [(f.line, f.code) for f in findings] == [
+            (line, code) for line in EXPECTED_LINES[code]
+        ]
+
+    @pytest.mark.parametrize("code", sorted(EXPECTED_LINES))
+    def test_good_fixture_is_clean(self, code):
+        assert findings_for(f"{code.lower()}_good.py") == []
+
+    def test_every_rule_has_a_fixture_pair(self):
+        assert set(EXPECTED_LINES) == set(rules_by_code())
+
+    def test_messages_name_the_remedy(self):
+        by_code = {
+            code: " | ".join(
+                finding.message
+                for finding in findings_for(f"{code.lower()}_bad.py")
+            )
+            for code in EXPECTED_LINES
+        }
+        assert "seed" in by_code["RPR001"]
+        assert "math.isclose" in by_code["RPR002"]
+        assert "AccessCounter" in by_code["RPR003"]
+        assert "monotonic" in by_code["RPR004"]
+        assert "repro.exceptions" in by_code["RPR005"]
+        assert "sorted()" in by_code["RPR006"]
+        assert "get_registry()" in by_code["RPR007"]
+        assert "None" in by_code["RPR008"]
+
+
+class TestEngine:
+    def test_syntax_error_is_rpr000_not_a_crash(self):
+        findings = analyze_source("def broken(:\n", "bad.py")
+        assert [f.code for f in findings] == ["RPR000"]
+        assert "does not parse" in findings[0].message
+
+    def test_finding_format_is_grep_friendly(self):
+        finding = analyze_source(
+            "import random\nrandom.random()\n", "pkg/mod.py"
+        )[0]
+        assert finding.format().startswith("pkg/mod.py:2:1: RPR001 ")
+
+    def test_alias_import_cannot_dodge_rpr001(self):
+        findings = analyze_source(
+            "import random as rnd\nrnd.shuffle([1])\n", "mod.py"
+        )
+        assert [f.code for f in findings] == ["RPR001"]
+
+    def test_select_subset_of_rules(self):
+        source = "import random\nrandom.random()\nx = [i for i in {1}]\n"
+        only_006 = analyze_source(
+            source, "mod.py", rules=[rules_by_code()["RPR006"]]
+        )
+        assert [f.code for f in only_006] == ["RPR006"]
+
+    def test_analyze_paths_rejects_missing_path(self):
+        with pytest.raises(FileNotFoundError):
+            analyze_paths(["no/such/tree"])
+
+
+class TestScoping:
+    def test_rpr003_only_applies_to_engine_modules(self):
+        source = "def f(relation):\n    return [r for r in relation]\n"
+        outside = analyze_source(source, "src/repro/models/x.py")
+        inside = analyze_source(source, "src/repro/engine/x.py")
+        assert [f.code for f in outside] == []
+        assert [f.code for f in inside] == ["RPR003"]
+
+    def test_module_directive_pins_identity(self):
+        source = (
+            "# repro: module repro.engine.pinned\n"
+            "def f(relation):\n"
+            "    return [r for r in relation]\n"
+        )
+        findings = analyze_source(source, "anywhere/at/all.py")
+        assert [f.code for f in findings] == ["RPR003"]
+
+    def test_rpr005_exempts_the_robust_package(self):
+        source = (
+            "def f(action):\n"
+            "    try:\n"
+            "        return action()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        robust = analyze_source(source, "src/repro/robust/retry.py")
+        other = analyze_source(source, "src/repro/engine/query.py")
+        assert [f.code for f in robust] == []
+        assert [f.code for f in other] == ["RPR005"]
+
+    def test_rpr007_exempts_the_metrics_module_itself(self):
+        source = (
+            "from repro.obs.metrics import Counter\n"
+            "c = Counter('x')\n"
+        )
+        home = analyze_source(source, "src/repro/obs/metrics.py")
+        away = analyze_source(source, "src/repro/obs/report.py")
+        assert [f.code for f in home] == []
+        assert [f.code for f in away] == ["RPR007"]
+
+
+class TestSuppression:
+    def test_same_line_noqa(self):
+        source = (
+            "import random\n"
+            "random.random()  # repro: noqa RPR001\n"
+        )
+        assert analyze_source(source, "mod.py") == []
+
+    def test_comment_line_above(self):
+        source = (
+            "import random\n"
+            "# seeded upstream  # repro: noqa RPR001\n"
+            "random.random()\n"
+        )
+        assert analyze_source(source, "mod.py") == []
+
+    def test_code_list_and_blanket_forms(self):
+        listed = (
+            "import random\n"
+            "random.random()  # repro: noqa RPR001, RPR004\n"
+        )
+        blanket = "import random\nrandom.random()  # repro: noqa\n"
+        assert analyze_source(listed, "mod.py") == []
+        assert analyze_source(blanket, "mod.py") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = (
+            "import random\n"
+            "random.random()  # repro: noqa RPR004\n"
+        )
+        findings = analyze_source(source, "mod.py")
+        assert [f.code for f in findings] == ["RPR001"]
+
+    def test_code_two_lines_up_does_not_suppress(self):
+        source = (
+            "# repro: noqa RPR001\n"
+            "import random\n"
+            "random.random()\n"
+        )
+        findings = analyze_source(source, "mod.py")
+        assert [f.code for f in findings] == ["RPR001"]
+
+
+class TestBaseline:
+    def test_round_trip_absorbs_current_findings(self, tmp_path):
+        findings = findings_for("rpr001_bad.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        baseline = load_baseline(baseline_path)
+        new, accepted, stale = baseline.partition(findings)
+        assert new == []
+        assert len(accepted) == len(findings)
+        assert stale == []
+
+    def test_excess_occurrences_are_new(self, tmp_path):
+        findings = findings_for("rpr001_bad.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings[:1], baseline_path)
+        baseline = load_baseline(baseline_path)
+        new, accepted, _ = baseline.partition(findings)
+        assert len(accepted) == 1
+        assert len(new) == len(findings) - 1
+
+    def test_fixed_findings_go_stale(self, tmp_path):
+        findings = findings_for("rpr001_bad.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        baseline = load_baseline(baseline_path)
+        _, _, stale = baseline.partition([])
+        assert {entry.code for entry in stale} == {"RPR001"}
+
+    def test_rewrite_preserves_reasons(self, tmp_path):
+        findings = findings_for("rpr001_bad.py")
+        baseline_path = tmp_path / "baseline.json"
+        first = write_baseline(findings, baseline_path)
+        entry = first.entries[0]
+        import json
+
+        document = json.loads(baseline_path.read_text())
+        for raw in document["entries"]:
+            if raw["message"] == entry.message:
+                raw["reason"] = "deliberate: fixture"
+        baseline_path.write_text(json.dumps(document))
+        rewritten = write_baseline(
+            findings,
+            baseline_path,
+            previous=load_baseline(baseline_path),
+        )
+        kept = [
+            e for e in rewritten.entries if e.key == entry.key
+        ]
+        assert kept[0].reason == "deliberate: fixture"
+
+    def test_version_mismatch_is_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean_under_checked_in_baseline(self):
+        baseline = load_baseline(
+            REPO_ROOT / "analysis_baseline.json"
+        )
+        findings = analyze_paths([REPO_ROOT / "src"])
+        relative = [
+            finding.__class__(
+                path=Path(finding.path)
+                .relative_to(REPO_ROOT)
+                .as_posix(),
+                line=finding.line,
+                column=finding.column,
+                code=finding.code,
+                message=finding.message,
+            )
+            for finding in findings
+        ]
+        new, _, stale = baseline.partition(relative)
+        assert new == [], "\n".join(f.format() for f in new)
+        assert stale == []
+
+    def test_every_baseline_entry_has_a_reason(self):
+        baseline = load_baseline(
+            REPO_ROOT / "analysis_baseline.json"
+        )
+        reasonless = [
+            entry.key
+            for entry in baseline.entries
+            if not entry.reason.strip()
+        ]
+        assert reasonless == []

@@ -530,3 +530,54 @@ class TestVersionFlag:
         output = capsys.readouterr().out
         assert output.startswith("repro ")
         assert repro.__version__ in output
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        assert main(["lint", str(target)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import random\nrandom.random()\n")
+        assert main(["lint", str(target)]) == 1
+        output = capsys.readouterr().out
+        assert "RPR001" in output
+
+    def test_repo_is_clean_under_baseline(self, capsys):
+        code = main(
+            ["lint", "src", "--baseline", "analysis_baseline.json"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_internal_error_exits_thirteen(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.analysis.cli as analysis_cli
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("rule crashed")
+
+        monkeypatch.setattr(analysis_cli, "analyze_paths", boom)
+        target = tmp_path / "any.py"
+        target.write_text("VALUE = 1\n")
+        assert main(["lint", str(target)]) == 13
+        assert "internal analyzer error" in capsys.readouterr().err
+
+    def test_list_rules_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        for code in (
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+            "RPR007",
+            "RPR008",
+        ):
+            assert code in output

@@ -4,10 +4,15 @@ Section 7's stated complexity for attribute-level median/quantile
 ranks is cubic in N (for constant pdf size): each of the N tuples
 mixes s Poisson-binomial convolutions of quadratic cost.  The fitted
 growth exponent should sit clearly above the quasi-linear expected-
-rank algorithms and approach three.
+rank algorithms and approach three.  The shape tests pin
+``engine="dp"`` — the default dispatch is now the quadratic
+generating-function sweep, whose speedup and parity the smoke test
+gates.
 """
 
 from __future__ import annotations
+
+import pytest
 
 from repro.bench import (
     Table,
@@ -19,6 +24,40 @@ from repro.core import attribute_rank_distributions
 
 SIZES = (40, 80, 160, 320)
 
+#: Smoke sizes: the legacy DP is measured at the small size and
+#: extrapolated cubically; the GF engine is measured at the large one.
+SMOKE_DP_N = 256
+SMOKE_GF_N = 1024
+
+
+@pytest.mark.smoke
+def test_smoke_gf_speedup_and_parity():
+    """CI perf-smoke slice: the generating-function engine's gate.
+
+    Two load-bearing claims: (a) the GF sweep matches the Section 7
+    DP exactly (1e-9) where the DP is still affordable, and (b) at
+    N >= 1000 it is at least 50x faster than the DP's cubic cost,
+    extrapolated from a small measured size so the smoke job never
+    pays the cubic bill.  Ratios are machine-relative, so the gate is
+    stable across runner speeds.
+    """
+    relation = attribute_workload("uu", SMOKE_DP_N, pdf_size=3)
+    dp_seconds = measure_seconds(
+        lambda: attribute_rank_distributions(relation, engine="dp"),
+        repeats=1,
+    )
+    gf = attribute_rank_distributions(relation, engine="gf")
+    dp = attribute_rank_distributions(relation, engine="dp")
+    assert all(gf[tid].allclose(dp[tid], atol=1e-9) for tid in dp)
+
+    large = attribute_workload("uu", SMOKE_GF_N, pdf_size=3)
+    gf_seconds = measure_seconds(
+        lambda: attribute_rank_distributions(large, engine="gf"),
+        repeats=2,
+    )
+    dp_estimate = dp_seconds * (SMOKE_GF_N / SMOKE_DP_N) ** 3
+    assert dp_estimate / gf_seconds >= 50.0
+
 
 def test_a_mqrank_is_cubic_shaped(benchmark, record):
     times = {}
@@ -26,7 +65,7 @@ def test_a_mqrank_is_cubic_shaped(benchmark, record):
         relation = attribute_workload("uu", size, pdf_size=3)
         times[size] = measure_seconds(
             lambda relation=relation: attribute_rank_distributions(
-                relation
+                relation, engine="dp"
             ),
             repeats=1,
         )
@@ -52,6 +91,7 @@ def test_a_mqrank_is_cubic_shaped(benchmark, record):
     benchmark.pedantic(
         attribute_rank_distributions,
         args=(relation,),
+        kwargs={"engine": "dp"},
         rounds=1,
         iterations=1,
     )

@@ -6,9 +6,15 @@ one Poisson-binomial over the M rules.  Two sweeps:
 * N sweep with proportional M — expect roughly cubic growth overall;
 * M sweep at fixed N (rule size up, M = N/size down) — expect the
   time to *fall* as rules get larger, the signature of the M^2 factor.
+
+The shape tests pin ``engine="dp"`` — the default dispatch is now the
+``O(N M)`` generating-function sweep, whose speedup and parity the
+smoke test gates.
 """
 
 from __future__ import annotations
+
+import pytest
 
 from repro.bench import (
     Table,
@@ -22,13 +28,49 @@ SIZES = (100, 200, 400)
 RULE_SIZES = (2, 4, 8)
 FIXED_N = 400
 
+#: Smoke sizes: the legacy DP is measured at the small size and
+#: extrapolated cubically (M grows with N here); the GF engine is
+#: measured at the large one.
+SMOKE_DP_N = 256
+SMOKE_GF_N = 1024
+
+
+@pytest.mark.smoke
+def test_smoke_gf_speedup_and_parity():
+    """CI perf-smoke slice: the generating-function engine's gate.
+
+    Mirrors E9's gate in the tuple-level model: exact (1e-9) parity
+    with the Section 7 DP at a size where the DP is affordable, and a
+    >= 50x speedup at N >= 1000 against the DP's cubically
+    extrapolated cost.  Ratios are machine-relative, so the gate is
+    stable across runner speeds.
+    """
+    relation = tuple_workload("uu", SMOKE_DP_N)
+    dp_seconds = measure_seconds(
+        lambda: tuple_rank_distributions(relation, engine="dp"),
+        repeats=1,
+    )
+    gf = tuple_rank_distributions(relation, engine="gf")
+    dp = tuple_rank_distributions(relation, engine="dp")
+    assert all(gf[tid].allclose(dp[tid], atol=1e-9) for tid in dp)
+
+    large = tuple_workload("uu", SMOKE_GF_N)
+    gf_seconds = measure_seconds(
+        lambda: tuple_rank_distributions(large, engine="gf"),
+        repeats=2,
+    )
+    dp_estimate = dp_seconds * (SMOKE_GF_N / SMOKE_DP_N) ** 3
+    assert dp_estimate / gf_seconds >= 50.0
+
 
 def test_time_vs_n(benchmark, record):
     times = {}
     for size in SIZES:
         relation = tuple_workload("uu", size)
         times[size] = measure_seconds(
-            lambda relation=relation: tuple_rank_distributions(relation),
+            lambda relation=relation: tuple_rank_distributions(
+                relation, engine="dp"
+            ),
             repeats=1,
         )
     table = Table(
@@ -51,6 +93,7 @@ def test_time_vs_n(benchmark, record):
     benchmark.pedantic(
         tuple_rank_distributions,
         args=(relation,),
+        kwargs={"engine": "dp"},
         rounds=1,
         iterations=1,
     )
@@ -72,7 +115,9 @@ def test_time_vs_rule_count(record, benchmark):
             probability_high=1.0 / rule_size,
         )
         seconds = measure_seconds(
-            lambda relation=relation: tuple_rank_distributions(relation),
+            lambda relation=relation: tuple_rank_distributions(
+                relation, engine="dp"
+            ),
             repeats=1,
         )
         times.append(seconds)
@@ -92,6 +137,7 @@ def test_time_vs_rule_count(record, benchmark):
     benchmark.pedantic(
         tuple_rank_distributions,
         args=(relation,),
+        kwargs={"engine": "dp"},
         rounds=1,
         iterations=1,
     )

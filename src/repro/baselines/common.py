@@ -3,19 +3,18 @@
 U-kRanks, PT-k and Global-Topk all rank by functionals of the same
 table: ``Pr[tuple t occupies position j of a random world's ranking]``
 (positional, index tie-break; in the tuple-level model the tuple must
-appear to occupy a position).  This module computes that table
-efficiently in both models by reusing the Poisson-binomial machinery
-of the rank-distribution framework — one of the observations this
-reproduction makes explicit: the baselines are marginals of the same
-conditional rank pmfs the paper's Section 7 dynamic programs build.
+appear to occupy a position).  This module reads that table off the
+columnar generating-function sweep (:mod:`repro.core.columnar`) — one
+of the observations this reproduction makes explicit: the baselines
+are marginals of the same conditional rank pmfs the paper's Section 7
+dynamic programs build, so one sweep serves them all.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.attr_mq_rank import attribute_rank_distribution
-from repro.core.tuple_mq_rank import tuple_present_rank_pmf
+from repro.core.columnar import rank_position_probability_matrix
 from repro.exceptions import UnsupportedModelError
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.tuple_level import TupleLevelRelation
@@ -45,23 +44,11 @@ def rank_position_probabilities(
     sum to ``p(t)``.
     """
     _require_known_model(relation)
-    size = relation.size
-    table: dict[str, np.ndarray] = {}
-    if isinstance(relation, AttributeLevelRelation):
-        for row in relation:
-            pmf = attribute_rank_distribution(
-                relation, row.tid, ties="by_index"
-            ).pmf
-            padded = np.zeros(size)
-            padded[: pmf.size] = pmf
-            table[row.tid] = padded
-        return table
-    for row in relation:
-        pmf = tuple_present_rank_pmf(relation, row.tid, ties="by_index")
-        padded = np.zeros(size)
-        padded[: min(pmf.size, size)] = pmf[:size]
-        table[row.tid] = row.probability * padded
-    return table
+    matrix = rank_position_probability_matrix(relation)
+    return {
+        tid: matrix[position]
+        for position, tid in enumerate(relation.tids())
+    }
 
 
 def topk_probabilities(relation: Relation, k: int) -> dict[str, float]:

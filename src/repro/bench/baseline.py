@@ -139,6 +139,28 @@ SUITE: tuple[Case, ...] = (
         ),
     ),
     Case(
+        "a_mqrank_gf/uu/n=1000/seconds",
+        "seconds",
+        _timing(
+            lambda scale: attribute_workload(
+                "uu", _scaled(1000, scale), pdf_size=3
+            ),
+            lambda relation: attribute_rank_distributions(
+                relation, engine="gf"
+            ),
+        ),
+    ),
+    Case(
+        "t_mqrank_gf/uu/n=1000/seconds",
+        "seconds",
+        _timing(
+            lambda scale: tuple_workload("uu", _scaled(1000, scale)),
+            lambda relation: tuple_rank_distributions(
+                relation, engine="gf"
+            ),
+        ),
+    ),
+    Case(
         "a_erank_prune/zipf/n=2000/k=10/tuples_accessed",
         "count",
         _access_count(

@@ -17,6 +17,16 @@ from repro.core.attr_mq_rank import (
     a_mqrank_prune,
     attribute_rank_distribution,
     attribute_rank_distributions,
+    attribute_rank_distributions_dp,
+)
+from repro.core.columnar import (
+    AttributeColumns,
+    TupleColumns,
+    attribute_rank_pmf_matrix,
+    rank_position_probability_matrix,
+    rank_quantiles,
+    tuple_present_rank_pmf_matrix,
+    tuple_rank_pmf_matrix,
 )
 from repro.core.properties import (
     PROPERTY_NAMES,
@@ -72,14 +82,17 @@ from repro.core.tuple_mq_rank import (
     tuple_present_rank_pmf,
     tuple_rank_distribution,
     tuple_rank_distributions,
+    tuple_rank_distributions_dp,
 )
 
 __all__ = [
+    "AttributeColumns",
     "PROPERTY_NAMES",
     "PropertyCheck",
     "RankDistribution",
     "RankedItem",
     "TopKResult",
+    "TupleColumns",
     "a_erank",
     "a_erank_prune",
     "a_erank_prune_lazy",
@@ -90,6 +103,8 @@ __all__ = [
     "attribute_expected_ranks_vectorized",
     "attribute_rank_distribution",
     "attribute_rank_distributions",
+    "attribute_rank_distributions_dp",
+    "attribute_rank_pmf_matrix",
     "audit_method",
     "available_methods",
     "ChurnReport",
@@ -113,6 +128,8 @@ __all__ = [
     "property_matrix",
     "rank",
     "rank_contributions",
+    "rank_position_probability_matrix",
+    "rank_quantiles",
     "register_method",
     "stability_profile",
     "step_weights",
@@ -125,6 +142,9 @@ __all__ = [
     "tuple_expected_ranks_quadratic",
     "tuple_expected_ranks_vectorized",
     "tuple_present_rank_pmf",
+    "tuple_present_rank_pmf_matrix",
     "tuple_rank_distribution",
     "tuple_rank_distributions",
+    "tuple_rank_distributions_dp",
+    "tuple_rank_pmf_matrix",
 ]

@@ -24,9 +24,10 @@ absence is charged (the paper ranks missing tuples at ``|W|``); the
 tests pin both the attribute-level equivalence and the tuple-level
 divergence.
 
-The implementation reuses :func:`rank_position_probabilities`, so any
-weight function costs one ``O(N)`` dot product per tuple on top of the
-shared conditional-pmf table.
+The implementation reuses the columnar positional table
+(:func:`repro.core.columnar.rank_position_probability_matrix`), so any
+weight function costs one matrix-vector product on top of the shared
+generating-function sweep.
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.baselines.common import rank_position_probabilities
+from repro.core.columnar import rank_position_probability_matrix
 from repro.core.result import RankedItem, TopKResult
 from repro.exceptions import RankingError
 from repro.models.attribute import AttributeLevelRelation
@@ -121,10 +122,12 @@ def prf_scores(
     ``weights`` is either a length-``N`` vector or a callable
     ``w(position)``.  Higher is better.
     """
-    table = rank_position_probabilities(relation)
+    table = rank_position_probability_matrix(relation)
     resolved = _resolve_weights(weights, relation.size)
+    scores = table @ resolved
     return {
-        tid: float(np.dot(resolved, row)) for tid, row in table.items()
+        tid: float(scores[position])
+        for position, tid in enumerate(relation.tids())
     }
 
 

@@ -1,4 +1,4 @@
-"""The rule catalogue: eight project-specific invariant checks.
+"""The rule catalogue: nine project-specific invariant checks.
 
 Each rule is a small class with a stable ``RPRxxx`` code, a one-line
 summary, a written rationale (also rendered by ``--list-rules`` and
@@ -566,6 +566,89 @@ class MutableDefaultArgument(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# RPR009 — blocking calls on the serving core's event-loop paths
+# ----------------------------------------------------------------------
+
+_BLOCKING_CALLS = frozenset(
+    {
+        "select.select",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.run",
+        "time.sleep",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Method names that are synchronous I/O on this codebase's common
+#: receiver types (pathlib paths, sockets, file objects).
+_BLOCKING_METHODS = frozenset(
+    {
+        "accept", "connect", "read_bytes", "read_text", "recv",
+        "recvfrom", "sendall", "write_bytes", "write_text",
+    }
+)
+
+
+class BlockingCallInAsyncServe(Rule):
+    code = "RPR009"
+    name = "blocking-call-in-async-serve"
+    summary = (
+        "synchronous sleep/file/socket call on a repro.serve "
+        "event-loop path"
+    )
+    rationale = (
+        "The serving core multiplexes every tenant on one asyncio "
+        "event loop; a single time.sleep() or synchronous "
+        "file/socket call inside a coroutine stalls admission, "
+        "coalescing, and every other in-flight request at once — "
+        "tail latencies blow past their deadlines with no fault "
+        "injected at all.  Blocking work belongs behind await: "
+        "asyncio primitives, or loop.run_in_executor() into the "
+        "kernel worker pool (which is how queries are dispatched).  "
+        "Plain synchronous functions in repro.serve are exempt — "
+        "they run on worker threads, not the loop."
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.serve")
+
+    @staticmethod
+    def _on_event_loop(node: ast.AST, ctx: ModuleContext) -> bool:
+        """Whether the nearest enclosing def is ``async def``."""
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.AsyncFunctionDef):
+                return True
+            if isinstance(ancestor, ast.FunctionDef):
+                return False
+        return False
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Violation:
+        if not self._on_event_loop(node, ctx):
+            return
+        target = ctx.resolve_call(node)
+        if target in _BLOCKING_CALLS or target == "open":
+            yield node, (
+                f"{target}() blocks the event loop and stalls every "
+                "in-flight request; await an asyncio primitive or "
+                "dispatch via loop.run_in_executor()"
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_METHODS
+        ):
+            yield node, (
+                f".{node.func.attr}() is synchronous I/O on the "
+                "event loop; await an asyncio stream or dispatch "
+                "via loop.run_in_executor()"
+            )
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     FloatEquality(),
@@ -575,6 +658,7 @@ RULES: tuple[Rule, ...] = (
     UnorderedSetIteration(),
     InstrumentOutsideRegistry(),
     MutableDefaultArgument(),
+    BlockingCallInAsyncServe(),
 )
 
 

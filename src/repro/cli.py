@@ -21,7 +21,12 @@ Python:
   trace-event JSON loadable in Perfetto / ``chrome://tracing``;
 * ``lint`` — run the :mod:`repro.analysis` invariant linter (exit 0
   clean, 1 findings, 13 internal analyzer error; see
-  ``docs/static_analysis.md``).
+  ``docs/static_analysis.md``);
+* ``serve`` — the multi-tenant serving core (:mod:`repro.serve`) over
+  one or more relation files: line-JSON requests in, typed responses
+  out, either as a concurrent batch (``--workload`` / stdin) or a TCP
+  server (``--port``); exit 11 when any request was shed (see
+  ``docs/serving.md``).
 
 Relation files are the CSV/JSON formats of :mod:`repro.engine.io`;
 CSVs are sniffed by header (a ``value`` column means attribute-level,
@@ -75,6 +80,7 @@ from repro.exceptions import (
     DeadlineExceededError,
     EngineError,
     ModelError,
+    OverloadedError,
     RankingError,
     ReproError,
     SchemaError,
@@ -107,6 +113,7 @@ __all__ = [
 #: dataset mismatches) without finding a regression.
 EXIT_CODES: tuple[tuple[type[BaseException], int], ...] = (
     (DeadlineExceededError, 7),
+    (OverloadedError, 11),  # admission control shed the request
     (SchemaError, 3),  # includes QuarantineError
     (ModelError, 4),
     (RankingError, 5),  # includes UnknownMethodError etc.
@@ -557,6 +564,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analysis_cli.add_arguments(lint)
 
+    serve = commands.add_parser(
+        "serve",
+        parents=[ingest, resilience, capture_flags],
+        help=(
+            "serve line-JSON ranking queries through the "
+            "multi-tenant serving core: a concurrent batch from "
+            "--workload/stdin, or a TCP server with --port (see "
+            "docs/serving.md)"
+        ),
+    )
+    serve.add_argument(
+        "files",
+        type=Path,
+        nargs="+",
+        help=(
+            "relation files; each is registered under its file stem "
+            'so requests address it as {"relation": "<stem>"}'
+        ),
+    )
+    serve.add_argument(
+        "--workload",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSONL request file for batch mode (default: read "
+            "request lines from stdin)"
+        ),
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=(
+            "run as a TCP server on PORT instead of batch mode "
+            "(0 picks a free port; the bound address is printed on "
+            "stderr)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help=(
+            "requests allowed in the system before admission sheds "
+            "(default 64)"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=50.0,
+        help="per-tenant sustained requests/second (default 50)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=20.0,
+        help="per-tenant burst allowance in requests (default 20)",
+    )
+    serve.add_argument(
+        "--drain-deadline-ms",
+        type=float,
+        default=2000.0,
+        metavar="MS",
+        help=(
+            "graceful-drain budget before in-flight work is "
+            "abandoned (default 2000)"
+        ),
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable in-flight request coalescing",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        help="kernel worker threads (default 4)",
+    )
+
     generate = commands.add_parser(
         "generate", help="write a synthetic workload"
     )
@@ -651,11 +745,17 @@ def _build_executor(args):
         base_delay=0.01,
         max_delay=0.1,
     )
+    from repro.robust import BreakerBoard
+
     executor = ResilientExecutor(
         retry=retry,
         deadline_ms=args.deadline_ms,
         injector=injector,
         seed=seed,
+        # One-shot queries never accumulate enough outcomes to trip a
+        # breaker; wiring the board anyway puts per-rung states into
+        # the EXPLAIN resilience envelope and capture records.
+        breakers=BreakerBoard(),
     )
     return executor, injector, retry
 
@@ -1091,6 +1191,112 @@ def _command_lint(args) -> int:
     return analysis_cli.run(args)
 
 
+def _serve_settings(args, seed: int):
+    """``ServeSettings`` from the serve + resilience flags."""
+    from repro.serve import ServeSettings
+
+    return ServeSettings(
+        queue_limit=args.queue_limit,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        default_deadline_ms=(
+            args.deadline_ms
+            if args.deadline_ms is not None
+            else 5_000.0
+        ),
+        drain_deadline_ms=args.drain_deadline_ms,
+        coalesce=not args.no_coalesce,
+        max_workers=args.max_workers,
+        max_retries=(
+            args.max_retries if args.max_retries is not None else 3
+        ),
+        seed=seed,
+    )
+
+
+def _serve_forever(core, args) -> int:
+    """TCP mode: serve until interrupted, then drain gracefully."""
+    import asyncio
+
+    from repro.serve import serve_tcp
+
+    async def _run() -> None:
+        server = await serve_tcp(core, args.host, args.port)
+        bound = server.sockets[0].getsockname()
+        print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr)
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await core.drain()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; drained", file=sys.stderr)
+    return 0
+
+
+def _command_serve(args) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.engine.database import ProbabilisticDatabase
+    from repro.serve import ServingCore, run_batch
+
+    seed = (
+        args.fault_seed
+        if args.fault_seed is not None
+        else fault_seed_from_env()
+    )
+    injector = None
+    if args.inject_faults is not None or args.fault_latency_ms > 0:
+        injector = FaultInjector(
+            error_rate=args.inject_faults or 0.0,
+            latency_rate=1.0 if args.fault_latency_ms > 0 else 0.0,
+            latency_seconds=args.fault_latency_ms / 1000.0,
+            seed=seed,
+        )
+    settings = _serve_settings(args, seed)
+    database = ProbabilisticDatabase()
+    with _capture_for(args):
+        for path in args.files:
+            args.file = path
+            database.create_relation(path.stem, _load_for(args))
+        core = ServingCore(
+            database, settings=settings, injector=injector
+        )
+        if args.port is not None:
+            return _serve_forever(core, args)
+        if args.workload is not None:
+            lines = args.workload.read_text(
+                encoding="utf-8"
+            ).splitlines()
+        else:
+            lines = sys.stdin.read().splitlines()
+        responses = asyncio.run(run_batch(core, lines))
+    shed = sum(
+        1
+        for record in responses
+        if record.get("status") == "shed"
+    )
+    errors = sum(
+        1
+        for record in responses
+        if record.get("status") == "error"
+    )
+    for record in responses:
+        print(json_module.dumps(record))
+    print(
+        f"served {len(responses)} requests: "
+        f"{len(responses) - shed - errors} ok, "
+        f"{shed} shed, {errors} errors",
+        file=sys.stderr,
+    )
+    return 11 if shed else 0
+
+
 _COMMANDS = {
     "topk": _command_topk,
     "lint": _command_lint,
@@ -1104,6 +1310,7 @@ _COMMANDS = {
     "replay": _command_replay,
     "report": _command_report,
     "chrome-trace": _command_chrome_trace,
+    "serve": _command_serve,
 }
 
 

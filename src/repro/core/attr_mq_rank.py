@@ -46,8 +46,8 @@ import numpy as np
 
 from repro.core.beats import value_beat_probability
 from repro.core.columnar import (
-    attribute_rank_distributions_gf,
     attribute_rank_pmf_matrix,
+    mass_violation,
     rank_quantiles,
 )
 from repro.core.rank_distribution import RankDistribution
@@ -55,7 +55,7 @@ from repro.core.result import RankedItem, TopKResult
 from repro.exceptions import PruningBoundError, RankingError
 from repro.models.attribute import AttributeLevelRelation
 from repro.models.possible_worlds import TieRule, _check_ties
-from repro.obs import count, profiled
+from repro.obs import count, emit_event, profiled
 from repro.stats.poisson_binomial import (
     binomial_pmf,
     mixture_pmf,
@@ -116,6 +116,14 @@ def attribute_rank_distributions_dp(
     }
 
 
+def _gf_distress(kernel: str, deviation: float) -> None:
+    """Account for one GF → DP numerical-distress fallback."""
+    count("kernel.gf_fallback")
+    emit_event(
+        "kernel.gf_fallback", kernel=kernel, deviation=deviation
+    )
+
+
 def attribute_rank_distributions(
     relation: AttributeLevelRelation,
     *,
@@ -127,10 +135,21 @@ def attribute_rank_distributions(
     Dispatches to the columnar generating-function sweep
     (:mod:`repro.core.columnar`, ``O(N * S)``) by default;
     ``engine="dp"`` selects the paper's cubic dynamic program.  Both
-    engines produce the same distributions to within ``1e-9``.
+    engines produce the same distributions to within ``1e-9``.  A
+    sweep result that loses probability mass beyond the
+    :data:`~repro.core.columnar.MASS_TOLERANCE` guard is discarded and
+    recomputed with the DP (``kernel.gf_fallback`` counts how often).
     """
     if engine == "gf":
-        return attribute_rank_distributions_gf(relation, ties=ties)
+        matrix = attribute_rank_pmf_matrix(relation, ties=ties)
+        deviation = mass_violation(matrix)
+        if deviation is not None:
+            _gf_distress("attribute_rank_distributions", deviation)
+            return attribute_rank_distributions_dp(relation, ties=ties)
+        return {
+            tid: RankDistribution(matrix[position])
+            for position, tid in enumerate(relation.tids())
+        }
     if engine == "dp":
         return attribute_rank_distributions_dp(relation, ties=ties)
     raise RankingError(
@@ -173,11 +192,22 @@ def a_mqrank(
         raise RankingError(f"phi must be in (0, 1], got {phi!r}")
     count("a_mqrank.tuples_accessed", relation.size)
     matrix = attribute_rank_pmf_matrix(relation, ties=ties)
-    quantiles = rank_quantiles(matrix, phi)
-    statistics = {
-        tid: float(quantiles[position])
-        for position, tid in enumerate(relation.tids())
-    }
+    deviation = mass_violation(matrix)
+    if deviation is None:
+        quantiles = rank_quantiles(matrix, phi)
+        statistics = {
+            tid: float(quantiles[position])
+            for position, tid in enumerate(relation.tids())
+        }
+    else:
+        _gf_distress("a_mqrank", deviation)
+        distributions = attribute_rank_distributions_dp(
+            relation, ties=ties
+        )
+        statistics = {
+            tid: float(dist.quantile(phi))
+            for tid, dist in distributions.items()
+        }
     winners = _select_top_k(relation.tids(), statistics, k)
     items = tuple(
         RankedItem(tid=tid, position=position, statistic=value)
@@ -193,6 +223,7 @@ def a_mqrank(
             "exact": True,
             "phi": phi,
             "ties": ties,
+            "gf_fallback": deviation is not None,
         },
     )
 

@@ -56,8 +56,10 @@ except ImportError:  # pragma: no cover - exercised via monkeypatch
 __all__ = [
     "AttributeColumns",
     "TupleColumns",
+    "MASS_TOLERANCE",
     "convolve_bernoulli",
     "deconvolve_bernoulli",
+    "mass_violation",
     "product_polynomial",
     "rank_quantiles",
     "attribute_rank_pmf_matrix",
@@ -74,6 +76,10 @@ _EDGE_TOL = 1e-12
 
 #: Rank-cdf comparisons share ``RankDistribution.quantile``'s slack.
 _QUANTILE_TOL = 1e-9
+
+#: Each pmf row of a sweep result must carry unit mass to within this —
+#: the same tolerance :class:`RankDistribution` enforces on construction.
+MASS_TOLERANCE = 1e-6
 
 #: Chunk width of the numpy fallback scan in :func:`_first_order`.
 _SCAN_BLOCK = 64
@@ -376,6 +382,26 @@ def product_polynomial(probabilities: np.ndarray) -> np.ndarray:
             merged[half:, :width] = level[-1]
         level = merged
     return level[0][: probs.size + 1].copy()
+
+
+def mass_violation(
+    matrix: np.ndarray, *, tol: float = MASS_TOLERANCE
+) -> float | None:
+    """Worst per-row mass-conservation breach of a pmf matrix, if any.
+
+    The generating-function sweeps promise every row of their output
+    sums to one; chained polynomial divisions can break that promise on
+    adversarial inputs despite the direction-stable recurrences and
+    periodic rebuilds.  Returns the largest ``|sum(row) - 1|`` when it
+    exceeds ``tol`` (numerical distress: the caller should fall back to
+    the legacy DP), else ``None``.  :func:`rank_quantiles` silently
+    renormalizes rows, so callers must run this check *before* reading
+    quantiles off a sweep result.
+    """
+    if matrix.shape[0] == 0:
+        return None
+    deviation = float(np.abs(matrix.sum(axis=1) - 1.0).max())
+    return deviation if deviation > tol else None
 
 
 def rank_quantiles(matrix: np.ndarray, phi: float) -> np.ndarray:

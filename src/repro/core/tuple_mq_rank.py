@@ -32,8 +32,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.columnar import (
+    mass_violation,
     rank_quantiles,
-    tuple_rank_distributions_gf,
     tuple_rank_pmf_matrix,
 )
 from repro.core.rank_distribution import RankDistribution
@@ -43,7 +43,7 @@ from repro.exceptions import RankingError
 from repro.models.possible_worlds import TieRule, _check_ties
 from repro.models.rules import ExclusionRule
 from repro.models.tuple_level import TupleLevelRelation, TupleLevelTuple
-from repro.obs import count, profiled
+from repro.obs import count, emit_event, profiled
 from repro.stats.poisson_binomial import (
     mixture_pmf,
     poisson_binomial_pmf,
@@ -168,6 +168,14 @@ def tuple_rank_distributions_dp(
     }
 
 
+def _gf_distress(kernel: str, deviation: float) -> None:
+    """Account for one GF → DP numerical-distress fallback."""
+    count("kernel.gf_fallback")
+    emit_event(
+        "kernel.gf_fallback", kernel=kernel, deviation=deviation
+    )
+
+
 def tuple_rank_distributions(
     relation: TupleLevelRelation,
     *,
@@ -179,10 +187,21 @@ def tuple_rank_distributions(
     Dispatches to the columnar generating-function sweep
     (:mod:`repro.core.columnar`, ``O(N M)``) by default;
     ``engine="dp"`` selects the paper's ``O(N M^2)`` dynamic program.
-    Both engines produce the same distributions to within ``1e-9``.
+    Both engines produce the same distributions to within ``1e-9``.  A
+    sweep result that loses probability mass beyond the
+    :data:`~repro.core.columnar.MASS_TOLERANCE` guard is discarded and
+    recomputed with the DP (``kernel.gf_fallback`` counts how often).
     """
     if engine == "gf":
-        return tuple_rank_distributions_gf(relation, ties=ties)
+        matrix = tuple_rank_pmf_matrix(relation, ties=ties)
+        deviation = mass_violation(matrix)
+        if deviation is not None:
+            _gf_distress("tuple_rank_distributions", deviation)
+            return tuple_rank_distributions_dp(relation, ties=ties)
+        return {
+            tid: RankDistribution(matrix[position])
+            for position, tid in enumerate(relation.tids())
+        }
     if engine == "dp":
         return tuple_rank_distributions_dp(relation, ties=ties)
     raise RankingError(
@@ -221,11 +240,22 @@ def t_mqrank(
         raise RankingError(f"phi must be in (0, 1], got {phi!r}")
     count("t_mqrank.tuples_accessed", relation.size)
     matrix = tuple_rank_pmf_matrix(relation, ties=ties)
-    quantiles = rank_quantiles(matrix, phi)
-    statistics = {
-        tid: float(quantiles[position])
-        for position, tid in enumerate(relation.tids())
-    }
+    deviation = mass_violation(matrix)
+    if deviation is None:
+        quantiles = rank_quantiles(matrix, phi)
+        statistics = {
+            tid: float(quantiles[position])
+            for position, tid in enumerate(relation.tids())
+        }
+    else:
+        _gf_distress("t_mqrank", deviation)
+        distributions = tuple_rank_distributions_dp(
+            relation, ties=ties
+        )
+        statistics = {
+            tid: float(dist.quantile(phi))
+            for tid, dist in distributions.items()
+        }
     winners = _select_top_k(relation.tids(), statistics, k)
     items = tuple(
         RankedItem(tid=tid, position=position, statistic=value)
@@ -241,6 +271,7 @@ def t_mqrank(
             "exact": True,
             "phi": phi,
             "ties": ties,
+            "gf_fallback": deviation is not None,
         },
     )
 

@@ -74,6 +74,7 @@ class ProbabilisticDatabase:
     def __init__(self) -> None:
         self._relations: dict[str, Relation] = {}
         self._query_log: list[QueryLogEntry] = []
+        self._digests: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Catalog operations
@@ -97,12 +98,14 @@ class ProbabilisticDatabase:
         if name not in self._relations:
             raise RelationNotFoundError(f"no relation named {name!r}")
         self._relations[name] = relation
+        self._digests.pop(name, None)
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation from the catalog."""
         if name not in self._relations:
             raise RelationNotFoundError(f"no relation named {name!r}")
         del self._relations[name]
+        self._digests.pop(name, None)
 
     def relation(self, name: str) -> Relation:
         """Fetch a relation by name."""
@@ -116,6 +119,23 @@ class ProbabilisticDatabase:
     def relation_names(self) -> tuple[str, ...]:
         """All registered names, in registration order."""
         return tuple(self._relations)
+
+    def relation_digest(self, name: str) -> str:
+        """Stable content digest of a stored relation, cached.
+
+        Relations in the catalog are immutable between
+        :meth:`replace_relation` calls, so the digest is computed once
+        per (name, contents) and reused — the serving layer keys
+        request coalescing on it per query, which must not cost a
+        canonical-JSON serialisation every time.
+        """
+        from repro.obs.capture import relation_digest
+
+        digest = self._digests.get(name)
+        if digest is None:
+            digest = relation_digest(self.relation(name))
+            self._digests[name] = digest
+        return digest
 
     def __contains__(self, name: object) -> bool:
         return name in self._relations

@@ -26,6 +26,7 @@ from typing import Callable
 from repro.core.result import TopKResult
 from repro.core.semantics import available_methods, rank
 from repro.exceptions import (
+    CircuitOpenError,
     DeadlineExceededError,
     EngineError,
     PruningBoundError,
@@ -37,6 +38,7 @@ from repro.models.tuple_level import TupleLevelRelation
 from repro.obs import count, emit_event, trace
 from repro.obs.capture import query_capture
 from repro.robust import (
+    BreakerBoard,
     Deadline,
     FaultInjector,
     RetryPolicy,
@@ -229,6 +231,13 @@ class ResilientExecutor:
     seed:
         Seeds backoff jitter and the Monte-Carlo rung, making a
         degraded answer reproducible.
+    breakers:
+        Optional shared :class:`~repro.robust.BreakerBoard`.  When
+        set, each non-last-resort rung is gated by a circuit breaker:
+        a rung whose breaker is open is skipped straight to the next
+        degradation level without spending retries or deadline on it.
+        Share one board across executors (the serving core does) so
+        the breakers learn from fleet-wide outcomes.
     clock, sleep:
         Injectable time sources so tests can run deadline and backoff
         logic instantly.
@@ -244,6 +253,7 @@ class ResilientExecutor:
         mc_batch: int = 250,
         mc_max_samples: int = 4_000,
         seed: int = 0,
+        breakers: BreakerBoard | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -267,6 +277,7 @@ class ResilientExecutor:
         self.mc_batch = mc_batch
         self.mc_max_samples = mc_max_samples
         self.seed = seed
+        self.breakers = breakers
         self._clock = clock
         self._sleep = sleep
 
@@ -393,7 +404,17 @@ class ResilientExecutor:
                             rung.options, deadline
                         ),
                     )
+                # The last-resort rung is never breaker-gated: it must
+                # answer, and it runs fault-free in-memory anyway.
+                breaker = (
+                    self.breakers.breaker(rung.name)
+                    if self.breakers is not None
+                    and not rung.last_resort
+                    else None
+                )
                 try:
+                    if breaker is not None:
+                        breaker.allow()
                     with trace(
                         "robust.rung",
                         rung=rung.name,
@@ -413,7 +434,27 @@ class ResilientExecutor:
                             rng=rng,
                             sleep=self._sleep,
                         )
+                except CircuitOpenError as error:
+                    count(f"robust.breaker.skip.{rung.name}")
+                    emit_event(
+                        "robust.breaker_skip",
+                        rung=rung.name,
+                        method=rung.method,
+                        error=str(error),
+                    )
+                    outcomes.append(
+                        {
+                            "rung": rung.name,
+                            "method": rung.method,
+                            "outcome": (
+                                f"{type(error).__name__}: {error}"
+                            ),
+                        }
+                    )
+                    continue
                 except _RUNG_FAILURES as error:
+                    if breaker is not None:
+                        breaker.record_failure()
                     count(f"robust.degrade.from_{rung.name}")
                     emit_event(
                         "robust.degrade",
@@ -431,6 +472,8 @@ class ResilientExecutor:
                         }
                     )
                     continue
+                if breaker is not None:
+                    breaker.record_success()
                 attempts += stats.attempts
                 faults_survived += stats.faults_survived
                 backoff_seconds += stats.backoff_seconds

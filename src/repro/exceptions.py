@@ -22,6 +22,8 @@ __all__ = [
     "QuarantineError",
     "TransientAccessError",
     "DeadlineExceededError",
+    "CircuitOpenError",
+    "OverloadedError",
     "WorkloadError",
 ]
 
@@ -111,6 +113,40 @@ class DeadlineExceededError(EngineError):
     per-attempt timeouts in the retry layer.  The resilient executor
     catches it to step down the degradation ladder.
     """
+
+
+class CircuitOpenError(EngineError):
+    """A circuit breaker refused the call without attempting it.
+
+    Raised by :meth:`repro.robust.CircuitBreaker.allow` while the
+    breaker is open (or half-open with its probe budget spent).  The
+    resilient executor treats it like any other rung failure: the
+    query steps straight down the degradation ladder instead of
+    burning its deadline on attempts that are known to be failing.
+    """
+
+
+class OverloadedError(EngineError):
+    """Admission control shed a request instead of queueing it.
+
+    Carries a machine-readable ``reason`` (``"queue_full"``,
+    ``"quota"``, ``"draining"``, or ``"drained"``) and the tenant it
+    applies to, so callers — and the chaos soak — can assert exactly
+    why load was shed.  Mapped to its own CLI exit code (see
+    :data:`repro.cli.EXIT_CODES`): shedding is a deliberate, bounded
+    outcome, not a generic engine failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "overloaded",
+        tenant: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
 
 
 class WorkloadError(ReproError):

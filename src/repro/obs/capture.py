@@ -186,8 +186,15 @@ class CaptureLog:
         relation_name: str | None = None,
         executor: "ResilientExecutor | None" = None,
         trace_id: str | None = None,
+        annotations: Mapping[str, object] | None = None,
     ) -> dict:
-        """Append one executed query; returns the written record."""
+        """Append one executed query; returns the written record.
+
+        ``annotations`` is a free-form extension point for layers
+        above the engine: the serving core marks coalesced requests
+        here (tenant, shared leader trace id), keeping the core record
+        layout stable.
+        """
         from repro.models.attribute import AttributeLevelRelation
 
         options = dict(options or {})
@@ -245,8 +252,11 @@ class CaptureLog:
             "attempts": metadata.get("attempts"),
             "faults_survived": metadata.get("faults_survived"),
             "faults_injected": metadata.get("faults_injected"),
+            "gf_fallback": bool(metadata.get("gf_fallback", False)),
             "resilience": resilience,
         }
+        if annotations:
+            record["annotations"] = _json_safe(dict(annotations))
         self._next_seq += 1
         self._sink.write(record)
         count("obs.capture.records")

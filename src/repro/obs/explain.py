@@ -9,7 +9,10 @@ folds everything observable about that single query into one
 * the paper's cost metric — tuples accessed versus relation size —
   plus the pruning-bound trajectory when a pruned scan ran;
 * per-stage wall times with p50/p95/p99 from the bucketed histograms;
-* retry / degradation events, linked by the query's ``trace_id``.
+* retry / degradation events, linked by the query's ``trace_id``;
+* the resilience envelope the query ran under — deadline, retry
+  policy, fault injection, circuit-breaker states — whenever an
+  executor was supplied (``null`` for plain engine runs).
 
 The report is plain data (``to_dict`` / ``to_json``) with a published
 :data:`EXPLAIN_SCHEMA`; :func:`validate_report` checks a report
@@ -103,6 +106,7 @@ EXPLAIN_SCHEMA: dict = {
             },
         },
         "pruning": {"type": ["object", "null"]},
+        "resilience": {"type": ["object", "null"]},
         "stages": {"type": "object"},
         "events": {
             "type": "array",
@@ -213,6 +217,9 @@ class ExplainReport:
     stages: dict
     events: list
     counters: dict
+    #: The resilience configuration the query ran under (deadline,
+    #: retries, injector, breaker states); ``None`` without executor.
+    resilience: dict | None = None
     schema_version: int = 1
     #: Raw span/event records, for tooling that reconstructs the tree.
     trace: list = field(default_factory=list)
@@ -227,6 +234,7 @@ class ExplainReport:
             "plan": self.plan,
             "execution": self.execution,
             "pruning": self.pruning,
+            "resilience": self.resilience,
             "stages": self.stages,
             "events": self.events,
             "counters": self.counters,
@@ -278,6 +286,20 @@ class ExplainReport:
                 "degraded  answered by fallback "
                 f"{execution.get('fallback_method')!r}"
             )
+        if self.resilience is not None:
+            deadline = self.resilience.get("deadline_ms")
+            parts = [
+                "deadline_ms="
+                + ("none" if deadline is None else f"{deadline:g}"),
+                f"max_retries={self.resilience.get('max_retries')}",
+            ]
+            if self.resilience.get("injector") is not None:
+                rate = self.resilience["injector"].get("error_rate")
+                parts.append(f"inject_faults={rate:g}")
+            breakers = self.resilience.get("breakers") or {}
+            for name, state in sorted(breakers.items()):
+                parts.append(f"breaker.{name}={state}")
+            lines.append("resilience " + " ".join(parts))
         if self.pruning is not None:
             points = self.pruning.get("trajectory") or []
             if points:
@@ -424,6 +446,15 @@ def explain(
         if trajectory is not None
         else None
     )
+    from repro.obs.capture import resilience_config
+
+    resilience = resilience_config(executor)
+    if resilience is not None:
+        # Post-run breaker states: a rung that tripped during this
+        # query shows up as open/half_open right here in the report.
+        if executor is not None and executor.breakers is not None:
+            resilience["breakers"] = executor.breakers.states()
+        resilience = _json_safe(resilience)
     events = [
         {
             "name": record["name"],
@@ -447,6 +478,7 @@ def explain(
         },
         execution=execution,
         pruning=pruning,
+        resilience=resilience,
         stages=_stage_timings(registry),
         events=events,
         counters=dict(registry.snapshot()["counters"]),

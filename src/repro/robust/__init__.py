@@ -9,13 +9,16 @@ together into resilient query execution:
 * :mod:`repro.robust.retry` — bounded stubbornness (exponential
   backoff with jitter, per-attempt timeouts, shared deadlines);
 * :mod:`repro.robust.quarantine` — lenient ingest's structured reject
-  log.
+  log;
+* :mod:`repro.robust.breaker` — circuit breakers that stop calling a
+  persistently failing rung instead of burning the deadline on it.
 
 The consumer tying them together is
 :class:`repro.engine.query.ResilientExecutor`, which degrades
 exact → pruned → Monte-Carlo as faults and deadlines bite.
 """
 
+from repro.robust.breaker import BreakerBoard, CircuitBreaker
 from repro.robust.faults import (
     CORRUPTION_TOKEN,
     FaultInjector,
@@ -32,7 +35,9 @@ from repro.robust.retry import (
 )
 
 __all__ = [
+    "BreakerBoard",
     "CORRUPTION_TOKEN",
+    "CircuitBreaker",
     "Deadline",
     "FaultInjector",
     "FaultyCursor",

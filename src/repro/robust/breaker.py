@@ -1,0 +1,271 @@
+"""Circuit breakers: stop calling what is persistently failing.
+
+A retry policy spends its deadline re-attempting a failing dependency;
+that is the right reflex for *transient* faults and exactly the wrong
+one for *persistent* ones, where every query pays the full retry
+budget before degrading.  A :class:`CircuitBreaker` watches the recent
+outcome window of one protected operation (a degradation-ladder rung,
+in this repo) and, once the failure rate crosses a threshold, fails
+subsequent calls instantly with
+:class:`~repro.exceptions.CircuitOpenError` — the resilient executor
+then steps straight to the next rung, preserving the deadline for work
+that can still succeed.
+
+The state machine is the classic three-state one:
+
+* **closed** — calls flow; outcomes land in a fixed-size ring.  When
+  the ring holds at least ``min_calls`` outcomes and the failure
+  fraction reaches ``failure_threshold``, the breaker opens.
+* **open** — :meth:`CircuitBreaker.allow` raises without calling.
+  After ``reset_seconds`` of cool-down the breaker moves to
+  half-open.
+* **half-open** — up to ``probes`` trial calls are let through; a
+  success closes the breaker (window cleared), a failure re-opens it
+  and restarts the cool-down.
+
+The clock is injectable (RPR004: tests drive the cool-down without
+waiting) and every transition is observable: ``robust.breaker.*``
+counters, a per-breaker state gauge (0 closed / 1 half-open / 2 open,
+visible in the Prometheus export), and ``breaker.open`` /
+``breaker.half_open`` / ``breaker.close`` events carrying the ambient
+trace id.
+
+:class:`BreakerBoard` is the executor-facing container: one breaker
+per ladder rung, created lazily, all sharing one configuration and
+clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+from repro.exceptions import CircuitOpenError, EngineError
+from repro.obs import count, emit_event, get_registry
+
+__all__ = ["BreakerBoard", "CircuitBreaker"]
+
+#: Gauge encoding of the breaker states, chosen so "bigger is worse"
+#: reads naturally on a dashboard.
+_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker over a sliding outcome window.
+
+    Parameters
+    ----------
+    name:
+        Instrument suffix; metrics land under
+        ``robust.breaker.<name>.*``.
+    window:
+        How many recent outcomes the failure rate is computed over.
+    failure_threshold:
+        Failure fraction (0, 1] that opens the breaker.
+    min_calls:
+        Outcomes required in the window before the rate is trusted —
+        one early failure must not open a cold breaker.
+    reset_seconds:
+        Cool-down before an open breaker lets probes through.
+    probes:
+        Trial calls admitted while half-open.
+    clock:
+        Injectable monotonic time source (tests run the cool-down
+        instantly).
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        *,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_calls: int = 4,
+        reset_seconds: float = 30.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window < 1:
+            raise EngineError(f"window must be >= 1, got {window!r}")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise EngineError(
+                "failure_threshold must be in (0, 1], got "
+                f"{failure_threshold!r}"
+            )
+        if min_calls < 1 or min_calls > window:
+            raise EngineError(
+                "need 1 <= min_calls <= window, got "
+                f"{min_calls!r}, {window!r}"
+            )
+        if reset_seconds < 0.0:
+            raise EngineError(
+                f"reset_seconds must be >= 0, got {reset_seconds!r}"
+            )
+        if probes < 1:
+            raise EngineError(f"probes must be >= 1, got {probes!r}")
+        self.name = name
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.reset_seconds = reset_seconds
+        self.probes = probes
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._publish_state()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (cool-down applied)."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._transition("half_open")
+            self._probes_in_flight = 0
+        return self._state
+
+    def failure_rate(self) -> float:
+        """Failure fraction of the current window (0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        failed = sum(1 for ok in self._outcomes if not ok)
+        return failed / len(self._outcomes)
+
+    def _publish_state(self) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge(f"robust.breaker.{self.name}.state").set(
+                _STATE_VALUES[self._state]
+            )
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        count(f"robust.breaker.{self.name}.{state}")
+        emit_event(
+            f"breaker.{state}",
+            breaker=self.name,
+            failure_rate=self.failure_rate(),
+        )
+        self._publish_state()
+
+    # ------------------------------------------------------------------
+    # Protocol: allow -> call -> record_success / record_failure
+    # ------------------------------------------------------------------
+    def allow(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` when open.
+
+        In the half-open state, up to :attr:`probes` concurrent trial
+        calls pass; the rest are rejected like an open breaker.
+        """
+        state = self.state
+        if state == "closed":
+            return
+        if state == "half_open":
+            if self._probes_in_flight < self.probes:
+                self._probes_in_flight += 1
+                return
+            count(f"robust.breaker.{self.name}.rejected")
+            raise CircuitOpenError(
+                f"breaker {self.name!r} is half-open and its "
+                f"{self.probes} probe(s) are already in flight"
+            )
+        count(f"robust.breaker.{self.name}.rejected")
+        remaining = self.reset_seconds - (
+            self._clock() - self._opened_at
+        )
+        raise CircuitOpenError(
+            f"breaker {self.name!r} is open "
+            f"(failure rate {self.failure_rate():.0%} over the last "
+            f"{len(self._outcomes)} calls; retry in {remaining:.1f} s)"
+        )
+
+    def record_success(self) -> None:
+        """Report that an allowed call succeeded."""
+        if self._state == "half_open":
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._outcomes.clear()
+            self._transition("closed")
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Report that an allowed call failed."""
+        if self._state == "half_open":
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._opened_at = self._clock()
+            self._transition("open")
+            return
+        self._outcomes.append(False)
+        if (
+            self._state == "closed"
+            and len(self._outcomes) >= self.min_calls
+            and self.failure_rate() >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._transition("open")
+
+    def reset(self) -> None:
+        """Force the breaker closed and forget the window."""
+        self._outcomes.clear()
+        self._probes_in_flight = 0
+        self._transition("closed")
+
+
+class BreakerBoard:
+    """Lazily created per-operation breakers sharing one config.
+
+    The resilient executor asks the board for a breaker per ladder
+    rung name; the serving core shares one board across requests so a
+    rung that keeps failing is skipped fleet-wide, not per-request.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_calls: int = 4,
+        reset_seconds: float = 30.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = dict(
+            window=window,
+            failure_threshold=failure_threshold,
+            min_calls=min_calls,
+            reset_seconds=reset_seconds,
+            probes=probes,
+        )
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The breaker guarding ``name``, created on first use."""
+        existing = self._breakers.get(name)
+        if existing is None:
+            existing = CircuitBreaker(
+                name, clock=self._clock, **self._config
+            )
+            self._breakers[name] = existing
+        return existing
+
+    def states(self) -> dict[str, str]:
+        """Current state per known breaker (insertion order)."""
+        return {
+            name: breaker.state
+            for name, breaker in self._breakers.items()
+        }
+
+    def reset(self) -> None:
+        """Force every known breaker closed."""
+        for breaker in self._breakers.values():
+            breaker.reset()

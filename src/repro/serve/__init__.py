@@ -1,0 +1,47 @@
+"""Multi-tenant asyncio serving core for ranking queries.
+
+The ROADMAP's north star is serving the paper's top-k semantics to
+many concurrent callers; this package is the load-bearing layer in
+front of :class:`repro.engine.database.ProbabilisticDatabase` that
+keeps those queries correct and responsive under overload and partial
+failure, using only stdlib asyncio:
+
+* :mod:`repro.serve.admission` — a bounded in-system limit plus
+  per-tenant token-bucket quotas; excess load is shed synchronously
+  with a typed :class:`~repro.exceptions.OverloadedError` reason, not
+  queued without bound;
+* :mod:`repro.serve.coalesce` — identical in-flight queries (same
+  dataset digest, ``k``, method, options) share one kernel execution
+  and one answer digest;
+* :mod:`repro.serve.core` — :class:`ServingCore` ties admission,
+  coalescing, deadline propagation, the circuit-breaker board, and
+  graceful drain together; every request resolves to exactly one
+  typed :class:`ServeResponse`;
+* :mod:`repro.serve.transport` — a line-JSON batch driver and TCP
+  server behind the ``repro serve`` CLI.
+
+Everything is observable through :mod:`repro.obs`: a queue-depth
+gauge, shed/coalesced counters, per-tenant latency histograms, and
+trace ids spanning admission through kernel execution.  See
+``docs/serving.md`` for the architecture and the overload contract.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.coalesce import RequestCoalescer, coalesce_key
+from repro.serve.core import ServeRequest, ServeResponse, ServingCore
+from repro.serve.settings import ServeSettings
+from repro.serve.transport import handle_line, run_batch, serve_tcp
+
+__all__ = [
+    "AdmissionController",
+    "RequestCoalescer",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeSettings",
+    "ServingCore",
+    "TokenBucket",
+    "coalesce_key",
+    "handle_line",
+    "run_batch",
+    "serve_tcp",
+]

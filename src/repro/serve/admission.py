@@ -1,0 +1,162 @@
+"""Admission control: bounded occupancy and per-tenant quotas.
+
+The first gate a request meets.  Two independent limits apply, both
+checked synchronously — a request is either admitted immediately or
+shed immediately with a typed reason; nothing ever *waits* here, so
+overload cannot build an invisible queue:
+
+* the **system bound**: at most ``queue_limit`` admitted-but-
+  unresolved requests, shed reason ``queue_full``;
+* the **tenant quota**: a token bucket per tenant (sustained ``rate``
+  requests/second, ``burst`` capacity), shed reason ``quota``.
+
+Both use an injectable monotonic clock (RPR004) so quota refill and
+the tests that drive it are wall-clock-free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.exceptions import OverloadedError
+from repro.obs import count, get_registry
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    Starts full.  :meth:`take` refills lazily from the elapsed clock
+    time, then spends one token if one is available.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._refilled_at = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after a lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0.0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+        self._refilled_at = now
+
+    def take(self) -> bool:
+        """Spend one token; ``False`` means the quota is exhausted."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Synchronous admit-or-shed decisions for the serving core.
+
+    Usage is strictly paired: every successful :meth:`admit` must be
+    followed by exactly one :meth:`release` when the request resolves
+    (the serving core does this in a ``finally``).  ``serve.queue_depth``
+    gauges the in-system count; ``serve.shed.<reason>`` counts every
+    shed decision.
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_limit: int,
+        quota_for: Callable[[str], tuple[float, float]],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.queue_limit = queue_limit
+        self._quota_for = quota_for
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._in_system = 0
+        self._draining = False
+
+    @property
+    def in_system(self) -> int:
+        """Requests admitted and not yet released."""
+        return self._in_system
+
+    @property
+    def draining(self) -> bool:
+        """Whether new admissions are refused (shutdown in progress)."""
+        return self._draining
+
+    def start_draining(self) -> None:
+        """Refuse all further admissions (shed reason ``draining``)."""
+        self._draining = True
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's quota bucket, created on first sight."""
+        existing = self._buckets.get(tenant)
+        if existing is None:
+            rate, burst = self._quota_for(tenant)
+            existing = TokenBucket(rate, burst, clock=self._clock)
+            self._buckets[tenant] = existing
+        return existing
+
+    def _shed(self, reason: str, tenant: str, message: str) -> None:
+        count(f"serve.shed.{reason}")
+        count("serve.shed")
+        raise OverloadedError(message, reason=reason, tenant=tenant)
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request or raise a typed ``OverloadedError``.
+
+        Checks run cheapest-first: the drain flag, then the system
+        bound, then the tenant's bucket — a drained or full system
+        never spends tenant tokens.
+        """
+        if self._draining:
+            self._shed(
+                "draining",
+                tenant,
+                "the serving core is draining; not admitting requests",
+            )
+        if self._in_system >= self.queue_limit:
+            self._shed(
+                "queue_full",
+                tenant,
+                f"{self._in_system} requests in the system "
+                f"(limit {self.queue_limit})",
+            )
+        if not self.bucket(tenant).take():
+            self._shed(
+                "quota",
+                tenant,
+                f"tenant {tenant!r} exhausted its request quota",
+            )
+        self._in_system += 1
+        count("serve.admitted")
+        self._publish_depth()
+
+    def release(self) -> None:
+        """Mark one admitted request as resolved."""
+        self._in_system = max(0, self._in_system - 1)
+        self._publish_depth()
+
+    def _publish_depth(self) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("serve.queue_depth").set(self._in_system)

@@ -1,0 +1,117 @@
+"""Serving-core configuration.
+
+One frozen dataclass holds every knob of the serving layer so a test,
+the CLI, and the chaos soak configure it the same way.  All limits are
+validated eagerly — a serving core must not discover a nonsensical
+quota at request time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import EngineError
+
+__all__ = ["ServeSettings"]
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Knobs of :class:`repro.serve.core.ServingCore`.
+
+    Parameters
+    ----------
+    queue_limit:
+        Maximum requests in the system at once (admitted but not yet
+        resolved).  Admission sheds with reason ``queue_full`` beyond
+        it — the bounded queue that keeps overload from turning into
+        unbounded memory and latency.
+    tenant_rate, tenant_burst:
+        Default token-bucket quota per tenant: sustained requests per
+        second and the burst capacity.  ``quotas`` overrides both for
+        named tenants.
+    quotas:
+        Per-tenant ``{tenant: (rate, burst)}`` overrides.
+    default_deadline_ms:
+        Deadline applied to requests that do not carry their own;
+        ``None`` leaves such requests unbounded.
+    drain_deadline_ms:
+        How long :meth:`ServingCore.drain` waits for in-flight
+        requests before abandoning the stragglers.
+    coalesce:
+        Whether identical in-flight queries share one execution.
+    max_workers:
+        Kernel threads.  Query execution is synchronous numpy work;
+        the event loop dispatches it to this pool.
+    max_retries:
+        Retry budget of each degradation-ladder rung.
+    seed:
+        Seeds backoff jitter and Monte-Carlo sampling per request, so
+        degraded answers stay reproducible.
+    breaker_window, breaker_threshold, breaker_min_calls,
+    breaker_reset_seconds:
+        Shared circuit-breaker configuration (see
+        :class:`repro.robust.CircuitBreaker`).
+    """
+
+    queue_limit: int = 64
+    tenant_rate: float = 50.0
+    tenant_burst: float = 20.0
+    quotas: Mapping[str, tuple[float, float]] = field(
+        default_factory=dict
+    )
+    default_deadline_ms: float | None = 5_000.0
+    drain_deadline_ms: float = 2_000.0
+    coalesce: bool = True
+    max_workers: int = 4
+    max_retries: int = 3
+    seed: int = 0
+    breaker_window: int = 16
+    breaker_threshold: float = 0.5
+    breaker_min_calls: int = 4
+    breaker_reset_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise EngineError(
+                f"queue_limit must be >= 1, got {self.queue_limit!r}"
+            )
+        if self.tenant_rate <= 0.0 or self.tenant_burst < 1.0:
+            raise EngineError(
+                "need tenant_rate > 0 and tenant_burst >= 1, got "
+                f"{self.tenant_rate!r}, {self.tenant_burst!r}"
+            )
+        for tenant, (rate, burst) in self.quotas.items():
+            if rate <= 0.0 or burst < 1.0:
+                raise EngineError(
+                    f"quota for tenant {tenant!r} needs rate > 0 and "
+                    f"burst >= 1, got {rate!r}, {burst!r}"
+                )
+        if (
+            self.default_deadline_ms is not None
+            and self.default_deadline_ms < 0
+        ):
+            raise EngineError(
+                "default_deadline_ms must be >= 0, got "
+                f"{self.default_deadline_ms!r}"
+            )
+        if self.drain_deadline_ms < 0:
+            raise EngineError(
+                "drain_deadline_ms must be >= 0, got "
+                f"{self.drain_deadline_ms!r}"
+            )
+        if self.max_workers < 1:
+            raise EngineError(
+                f"max_workers must be >= 1, got {self.max_workers!r}"
+            )
+        if self.max_retries < 0:
+            raise EngineError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+
+    def quota_for(self, tenant: str) -> tuple[float, float]:
+        """The ``(rate, burst)`` pair governing ``tenant``."""
+        return self.quotas.get(
+            tenant, (self.tenant_rate, self.tenant_burst)
+        )

@@ -1,0 +1,129 @@
+"""Line-JSON transports over the serving core.
+
+Two thin adapters around :class:`~repro.serve.core.ServingCore`, both
+speaking the same wire format — one JSON object per line, request in,
+response out:
+
+* :func:`run_batch` — submit a workload of request lines
+  concurrently and collect the responses (the ``repro serve`` CLI's
+  default mode, and the chaos soak's driver);
+* :func:`serve_tcp` — an asyncio TCP server; each connection
+  pipelines request lines, responses stream back as they resolve,
+  correlated by an optional client-chosen ``id`` echoed verbatim.
+
+Malformed lines become ``status="error"`` responses for that line
+only — a bad request never takes down the connection or the batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.exceptions import SchemaError
+from repro.serve.core import ServingCore, ServeRequest
+
+__all__ = ["handle_line", "run_batch", "serve_tcp"]
+
+
+async def handle_line(core: ServingCore, line: str) -> dict:
+    """Resolve one request line to one response object.
+
+    An optional ``id`` field is stripped before validation and echoed
+    in the response, so pipelined clients can correlate out-of-order
+    completions.
+    """
+    request_id: object = None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        return {
+            "status": "error",
+            "id": None,
+            "error_type": "SchemaError",
+            "error": f"invalid JSON: {error.msg}",
+        }
+    if isinstance(payload, dict):
+        request_id = payload.pop("id", None)
+    try:
+        request = ServeRequest.from_json(payload)
+    except SchemaError as error:
+        return {
+            "status": "error",
+            "id": request_id,
+            "error_type": "SchemaError",
+            "error": str(error),
+        }
+    response = await core.submit(request)
+    record = response.to_json()
+    record["id"] = request_id
+    return record
+
+
+async def run_batch(
+    core: ServingCore,
+    lines: list[str],
+    *,
+    drain: bool = True,
+) -> list[dict]:
+    """Submit every line concurrently; responses in input order.
+
+    Blank lines are skipped.  With ``drain`` (the default) the core is
+    drained afterwards, so a batch run exercises the full lifecycle.
+    """
+    tasks = [
+        asyncio.create_task(handle_line(core, line))
+        for line in lines
+        if line.strip()
+    ]
+    responses = [await task for task in tasks]
+    if drain:
+        await core.drain()
+    return responses
+
+
+async def serve_tcp(
+    core: ServingCore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Start the line-JSON TCP server; the caller owns its lifecycle.
+
+    Each connection pipelines: every received line spawns a request
+    task and responses are written back as they complete (use ``id``
+    to correlate).  The caller typically runs
+    ``server.serve_forever()`` and, on shutdown, closes the server and
+    drains the core.
+    """
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(line: str) -> None:
+            record = await handle_line(core, line)
+            async with write_lock:
+                writer.write(
+                    (json.dumps(record) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                task = asyncio.create_task(
+                    respond(raw.decode("utf-8"))
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending)
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    return await asyncio.start_server(handler, host, port)

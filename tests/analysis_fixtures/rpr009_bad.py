@@ -1,0 +1,13 @@
+# repro: module repro.serve.fixture
+"""RPR009 fixture: blocking calls on the event-loop path."""
+
+import time
+from pathlib import Path
+
+
+async def handle(path: Path) -> str:
+    time.sleep(0.1)
+    text = path.read_text()
+    with open(path) as stream:
+        text += stream.name
+    return text

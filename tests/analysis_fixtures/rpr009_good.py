@@ -1,0 +1,15 @@
+# repro: module repro.serve.fixture
+"""RPR009 fixture: awaited primitives and worker-thread dispatch."""
+
+import asyncio
+import time
+
+
+async def handle(loop, pool, path) -> str:
+    await asyncio.sleep(0.1)
+    return await loop.run_in_executor(pool, path.read_text)
+
+
+def sync_worker(path) -> str:
+    time.sleep(0.001)
+    return path.read_text()

@@ -41,6 +41,7 @@ EXPECTED_LINES = {
     "RPR006": (5, 9, 14),
     "RPR007": (5, 6),
     "RPR008": (4, 9, 9),
+    "RPR009": (9, 10, 11),
 }
 
 
@@ -79,6 +80,7 @@ class TestFixturePairs:
         assert "sorted()" in by_code["RPR006"]
         assert "get_registry()" in by_code["RPR007"]
         assert "None" in by_code["RPR008"]
+        assert "run_in_executor" in by_code["RPR009"]
 
 
 class TestEngine:

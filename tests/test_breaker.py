@@ -1,0 +1,209 @@
+"""Tests for the circuit breaker and its board.
+
+All wall-clock-free: a fake monotonic clock drives the cool-down, so
+the open → half-open → closed cycle runs instantly and
+deterministically (RPR004).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CircuitOpenError, EngineError
+from repro.obs import MetricsRegistry, set_registry
+from repro.robust import BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def breaker(**overrides) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    config = dict(
+        window=8,
+        failure_threshold=0.5,
+        min_calls=4,
+        reset_seconds=10.0,
+        probes=1,
+        clock=clock,
+    )
+    config.update(overrides)
+    return CircuitBreaker("rung", **config), clock
+
+
+def trip(cb: CircuitBreaker, failures: int = 4) -> None:
+    for _ in range(failures):
+        cb.allow()
+        cb.record_failure()
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        cb, _ = breaker()
+        assert cb.state == "closed"
+        cb.allow()  # must not raise
+
+    def test_failures_below_min_calls_never_trip(self):
+        cb, _ = breaker(min_calls=4)
+        trip(cb, failures=3)
+        assert cb.state == "closed"
+
+    def test_trips_open_at_threshold(self):
+        cb, _ = breaker()
+        trip(cb, failures=4)
+        assert cb.state == "open"
+
+    def test_successes_dilute_the_failure_rate(self):
+        cb, _ = breaker(window=8, min_calls=4)
+        for _ in range(5):
+            cb.allow()
+            cb.record_success()
+        trip(cb, failures=3)  # 3/8 < 0.5: stays closed
+        assert cb.state == "closed"
+
+    def test_window_forgets_old_outcomes(self):
+        cb, _ = breaker(window=4, min_calls=4)
+        for _ in range(4):
+            cb.allow()
+            cb.record_failure()
+        assert cb.state == "open"
+        cb.reset()
+        for _ in range(4):
+            cb.allow()
+            cb.record_success()
+        # The four successes fill the window; older failures are gone.
+        assert cb.failure_rate() == 0.0
+
+
+class TestOpenState:
+    def test_allow_raises_typed_error_with_retry_hint(self):
+        cb, clock = breaker(reset_seconds=10.0)
+        trip(cb)
+        clock.advance(1.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            cb.allow()
+        message = str(excinfo.value)
+        assert "open" in message
+        assert "retry in" in message
+
+    def test_cooldown_moves_to_half_open(self):
+        cb, clock = breaker(reset_seconds=10.0)
+        trip(cb)
+        clock.advance(9.9)
+        assert cb.state == "open"
+        clock.advance(0.2)
+        assert cb.state == "half_open"
+
+
+class TestHalfOpenState:
+    def test_probe_budget_is_enforced(self):
+        cb, clock = breaker(probes=1)
+        trip(cb)
+        clock.advance(10.0)
+        cb.allow()  # the single probe
+        with pytest.raises(CircuitOpenError) as excinfo:
+            cb.allow()
+        assert "half-open" in str(excinfo.value)
+
+    def test_probe_success_closes_and_clears_the_window(self):
+        cb, clock = breaker()
+        trip(cb)
+        clock.advance(10.0)
+        cb.allow()
+        cb.record_success()
+        assert cb.state == "closed"
+        assert cb.failure_rate() == 0.0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        cb, clock = breaker(reset_seconds=10.0)
+        trip(cb)
+        clock.advance(10.0)
+        cb.allow()
+        cb.record_failure()
+        assert cb.state == "open"
+        clock.advance(9.0)
+        assert cb.state == "open"  # cool-down restarted at reopen
+        clock.advance(1.0)
+        assert cb.state == "half_open"
+
+    def test_reset_forces_closed(self):
+        cb, _ = breaker()
+        trip(cb)
+        cb.reset()
+        assert cb.state == "closed"
+        cb.allow()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"window": 0},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"min_calls": 0},
+            {"min_calls": 9},  # > window of 8
+            {"reset_seconds": -1.0},
+            {"probes": 0},
+        ],
+    )
+    def test_bad_config_is_rejected_eagerly(self, overrides):
+        with pytest.raises(EngineError):
+            breaker(**overrides)
+
+
+class TestBreakerBoard:
+    def test_same_name_same_instance(self):
+        board = BreakerBoard(clock=FakeClock())
+        assert board.breaker("exact") is board.breaker("exact")
+        assert board.breaker("exact") is not board.breaker("pruned")
+
+    def test_states_and_reset(self):
+        clock = FakeClock()
+        board = BreakerBoard(min_calls=2, window=4, clock=clock)
+        trip(board.breaker("exact"), failures=2)
+        assert board.states() == {"exact": "open"}
+        board.reset()
+        assert board.states() == {"exact": "closed"}
+
+
+class TestObservability:
+    def test_transitions_hit_gauge_counters_and_events(self):
+        registry = MetricsRegistry(enabled=True)
+        previous = set_registry(registry)
+        try:
+            cb, clock = breaker()
+            trip(cb)
+            clock.advance(10.0)
+            cb.allow()
+            cb.record_success()
+        finally:
+            set_registry(previous)
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["robust.breaker.rung.open"] == 1
+        assert counters["robust.breaker.rung.half_open"] == 1
+        assert counters["robust.breaker.rung.closed"] == 1
+        # Final state is closed -> gauge encodes 0.
+        assert snapshot["gauges"]["robust.breaker.rung.state"] == 0
+
+    def test_open_breaker_counts_rejections(self):
+        registry = MetricsRegistry(enabled=True)
+        previous = set_registry(registry)
+        try:
+            cb, _ = breaker()
+            trip(cb)
+            with pytest.raises(CircuitOpenError):
+                cb.allow()
+        finally:
+            set_registry(previous)
+        counters = registry.snapshot()["counters"]
+        assert counters["robust.breaker.rung.rejected"] == 1

@@ -153,6 +153,52 @@ class TestExplainReport:
         assert report.plan["method"] == "expected_rank"
 
 
+class TestResilienceEnvelope:
+    def test_plain_runs_report_null(self, ambient, workload):
+        report = explain(workload, 5)
+        assert report.resilience is None
+        assert report.to_dict()["resilience"] is None
+        assert "resilience" not in report.describe()
+
+    def test_executor_config_lands_in_the_envelope(
+        self, ambient, workload
+    ):
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=2, base_delay=0.0),
+            deadline_ms=500.0,
+            injector=FaultInjector(error_rate=0.25, seed=9),
+            sleep=lambda _seconds: None,
+        )
+        report = explain(workload, 5, executor=executor)
+        envelope = report.resilience
+        assert envelope["deadline_ms"] == 500.0
+        assert envelope["max_retries"] == 2
+        assert envelope["injector"]["error_rate"] == 0.25
+        validate_report(report.to_dict())
+        rendered = report.describe()
+        assert "deadline_ms=500" in rendered
+        assert "max_retries=2" in rendered
+        assert "inject_faults=0.25" in rendered
+
+    def test_breaker_states_surface_post_run(
+        self, ambient, workload
+    ):
+        from repro.robust import BreakerBoard
+
+        board = BreakerBoard(min_calls=1, window=4)
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=0, base_delay=0.0),
+            injector=FaultInjector(error_rate=1.0, seed=1),
+            breakers=board,
+            sleep=lambda _seconds: None,
+        )
+        report = explain(workload, 5, executor=executor)
+        breakers = report.resilience["breakers"]
+        assert breakers.get("exact") == "open"
+        assert "breaker.exact=open" in report.describe()
+        validate_report(report.to_dict())
+
+
 class TestValidateReport:
     def test_missing_required_key_is_named(self, ambient, workload):
         report = explain(workload, 3).to_dict()

@@ -1,0 +1,161 @@
+"""Tests for the GF engine's mass-conservation guard.
+
+The columnar generating-function sweep must conserve probability mass
+per tuple (|sum pmf - 1| <= MASS_TOLERANCE).  When it does not — a
+numerically distressed instance — the kernels must detect it, fall
+back to the legacy dynamic program, count ``kernel.gf_fallback``, and
+flag the result's metadata so the capture log records the fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import attr_mq_rank, tuple_mq_rank
+from repro.core.columnar import MASS_TOLERANCE, mass_violation
+from repro.obs import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def corrupt(matrix: np.ndarray) -> np.ndarray:
+    """Leak mass from the first tuple's pmf, beyond the tolerance."""
+    damaged = np.array(matrix, copy=True)
+    damaged[0] *= 1.0 - 1e-3
+    return damaged
+
+
+class TestMassViolation:
+    def test_clean_matrix_passes(self):
+        matrix = np.array([[0.25, 0.75], [1.0, 0.0]])
+        assert mass_violation(matrix) is None
+
+    def test_empty_matrix_passes(self):
+        assert mass_violation(np.zeros((0, 3))) is None
+
+    def test_deviation_is_reported(self):
+        matrix = np.array([[0.5, 0.5 - 2e-6]])
+        deviation = mass_violation(matrix)
+        assert deviation == pytest.approx(2e-6)
+
+    def test_tolerance_boundary(self):
+        matrix = np.array([[1.0 - MASS_TOLERANCE / 2.0]])
+        assert mass_violation(matrix) is None
+
+
+class TestAttributeFallback:
+    def test_distressed_sweep_falls_back_to_dp(
+        self, fig2, registry, monkeypatch
+    ):
+        honest = attr_mq_rank.attribute_rank_pmf_matrix
+        monkeypatch.setattr(
+            attr_mq_rank,
+            "attribute_rank_pmf_matrix",
+            lambda relation, **kw: corrupt(honest(relation, **kw)),
+        )
+        result = attr_mq_rank.a_mqrank(fig2, 2)
+        assert result.metadata["gf_fallback"] is True
+        # The DP answer is the reference answer.
+        reference = attr_mq_rank.a_mqrank(fig2, 2)
+        monkeypatch.undo()
+        clean = attr_mq_rank.a_mqrank(fig2, 2)
+        assert result.tids() == clean.tids()
+        assert reference.statistics == clean.statistics
+        counters = registry.snapshot()["counters"]
+        assert counters["kernel.gf_fallback"] == 2
+
+    def test_distributions_fall_back_and_stay_exact(
+        self, fig2, registry, monkeypatch
+    ):
+        honest = attr_mq_rank.attribute_rank_pmf_matrix
+        monkeypatch.setattr(
+            attr_mq_rank,
+            "attribute_rank_pmf_matrix",
+            lambda relation, **kw: corrupt(honest(relation, **kw)),
+        )
+        guarded = attr_mq_rank.attribute_rank_distributions(fig2)
+        reference = attr_mq_rank.attribute_rank_distributions_dp(fig2)
+        for tid, dist in reference.items():
+            np.testing.assert_allclose(
+                guarded[tid].pmf, dist.pmf, atol=1e-12
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["kernel.gf_fallback"] == 1
+
+    def test_clean_sweep_never_counts_a_fallback(self, fig2, registry):
+        result = attr_mq_rank.a_mqrank(fig2, 2)
+        assert result.metadata["gf_fallback"] is False
+        counters = registry.snapshot()["counters"]
+        assert "kernel.gf_fallback" not in counters
+
+
+class TestTupleFallback:
+    def test_distressed_sweep_falls_back_to_dp(
+        self, fig4, registry, monkeypatch
+    ):
+        honest = tuple_mq_rank.tuple_rank_pmf_matrix
+        monkeypatch.setattr(
+            tuple_mq_rank,
+            "tuple_rank_pmf_matrix",
+            lambda relation, **kw: corrupt(honest(relation, **kw)),
+        )
+        result = tuple_mq_rank.t_mqrank(fig4, 2)
+        assert result.metadata["gf_fallback"] is True
+        monkeypatch.undo()
+        clean = tuple_mq_rank.t_mqrank(fig4, 2)
+        assert result.tids() == clean.tids()
+        assert result.statistics == clean.statistics
+        counters = registry.snapshot()["counters"]
+        assert counters["kernel.gf_fallback"] == 1
+
+    def test_distributions_fall_back_and_stay_exact(
+        self, fig4, monkeypatch
+    ):
+        honest = tuple_mq_rank.tuple_rank_pmf_matrix
+        monkeypatch.setattr(
+            tuple_mq_rank,
+            "tuple_rank_pmf_matrix",
+            lambda relation, **kw: corrupt(honest(relation, **kw)),
+        )
+        guarded = tuple_mq_rank.tuple_rank_distributions(fig4)
+        reference = tuple_mq_rank.tuple_rank_distributions_dp(fig4)
+        for tid, dist in reference.items():
+            np.testing.assert_allclose(
+                guarded[tid].pmf, dist.pmf, atol=1e-12
+            )
+
+
+class TestCaptureAnnotation:
+    def test_capture_record_carries_the_fallback_flag(
+        self, fig2, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.obs.capture import CaptureLog, set_capture
+
+        honest = attr_mq_rank.attribute_rank_pmf_matrix
+        monkeypatch.setattr(
+            attr_mq_rank,
+            "attribute_rank_pmf_matrix",
+            lambda relation, **kw: corrupt(honest(relation, **kw)),
+        )
+        path = tmp_path / "capture.jsonl"
+        log = CaptureLog(path)
+        previous = set_capture(log)
+        try:
+            result = attr_mq_rank.a_mqrank(fig2, 2)
+            log.record_query(
+                fig2, result, k=2, method="median_rank", options={}
+            )
+        finally:
+            set_capture(previous)
+            log.close()
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["gf_fallback"] is True

@@ -649,6 +649,56 @@ class BlockingCallInAsyncServe(Rule):
             )
 
 
+# ----------------------------------------------------------------------
+# RPR010 — unstructured output on the serving and resilience layers
+# ----------------------------------------------------------------------
+
+
+class UnstructuredLogging(Rule):
+    code = "RPR010"
+    name = "unstructured-logging-in-serve"
+    summary = (
+        "print() or stdlib logging call inside repro.serve / "
+        "repro.robust"
+    )
+    rationale = (
+        "The serving and resilience layers are operated live: their "
+        "output is grepped by trace id, joined with spans, and "
+        "ingested by pipelines, which only works if every record is "
+        "one JSON object with ambient trace-id/tenant correlation.  "
+        "A print() or stdlib logging call emits an uncorrelated "
+        "free-text line that fractures that stream — and print() "
+        "additionally pollutes the line-JSON wire protocol when "
+        "stdout is the transport.  Use "
+        "repro.obs.logging.get_logger(...) instead; it is free "
+        "while unconfigured, so library code may log "
+        "unconditionally."
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith(
+            ("repro.serve", "repro.robust")
+        )
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Violation:
+        target = ctx.resolve_call(node)
+        if target is None:
+            return
+        if target == "print":
+            yield node, (
+                "print() emits an uncorrelated free-text line from "
+                "library code; use repro.obs.logging.get_logger() "
+                "so records carry trace ids and tenants"
+            )
+        elif target == "logging" or target.startswith("logging."):
+            yield node, (
+                "stdlib logging bypasses the structured JSON "
+                "stream; use repro.obs.logging.get_logger() so "
+                "records carry trace ids and tenants"
+            )
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     FloatEquality(),
@@ -659,6 +709,7 @@ RULES: tuple[Rule, ...] = (
     InstrumentOutsideRegistry(),
     MutableDefaultArgument(),
     BlockingCallInAsyncServe(),
+    UnstructuredLogging(),
 )
 
 

@@ -650,6 +650,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="kernel worker threads (default 4)",
     )
+    serve.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "start the admin plane (/metrics /healthz /readyz /slo "
+            "/debug/flight) on PORT next to the TCP server (0 picks "
+            "a free port; requires --port; see docs/observability.md)"
+        ),
+    )
+    serve.add_argument(
+        "--admin-host",
+        default="127.0.0.1",
+        help="admin plane bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--slo",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON file of per-tenant SLO specs; burn-rate states "
+            "export as slo.* gauges and the /slo endpoint"
+        ),
+    )
+    serve.add_argument(
+        "--flight-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "arm the flight recorder: recent spans/events are ring-"
+            "buffered and anomalies dump JSONL + Chrome traces here"
+        ),
+    )
+    serve.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write structured JSON logs to PATH ('-' for stderr); "
+            "records carry trace ids and tenants"
+        ),
+    )
 
     generate = commands.add_parser(
         "generate", help="write a synthetic workload"
@@ -1218,18 +1263,33 @@ def _serve_forever(core, args) -> int:
     """TCP mode: serve until interrupted, then drain gracefully."""
     import asyncio
 
-    from repro.serve import serve_tcp
+    from repro.serve import serve_admin, serve_tcp
 
     async def _run() -> None:
         server = await serve_tcp(core, args.host, args.port)
         bound = server.sockets[0].getsockname()
         print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr)
+        admin = None
+        if args.admin_port is not None:
+            admin = await serve_admin(
+                core, args.admin_host, args.admin_port, slo=core.slo
+            )
+            admin_bound = admin.sockets[0].getsockname()
+            print(
+                f"admin on {admin_bound[0]}:{admin_bound[1]}",
+                file=sys.stderr,
+            )
         try:
             await server.serve_forever()
         finally:
             server.close()
             await server.wait_closed()
             await core.drain()
+            # Admin outlives the drain so /readyz reports "draining"
+            # to probes for the whole graceful-shutdown window.
+            if admin is not None:
+                admin.close()
+                await admin.wait_closed()
 
     try:
         asyncio.run(_run())
@@ -1241,10 +1301,37 @@ def _serve_forever(core, args) -> int:
 def _command_serve(args) -> int:
     import asyncio
     import json as json_module
+    import time as time_module
 
     from repro.engine.database import ProbabilisticDatabase
+    from repro.obs import (
+        FlightRecorder,
+        SLOEngine,
+        configure_logging,
+        parse_slo_specs,
+        set_flight_recorder,
+    )
     from repro.serve import ServingCore, run_batch
 
+    if args.admin_port is not None and args.port is None:
+        print(
+            "error: --admin-port requires --port (the admin plane "
+            "accompanies the TCP server)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.admin_port is not None:
+        # An admin plane with an empty /metrics is useless; scraping
+        # implies the operator wants the instruments live.
+        from repro.obs import get_registry
+
+        get_registry().enable()
+    if args.log is not None:
+        configure_logging(
+            sys.stderr
+            if args.log == "-"
+            else open(args.log, "a", encoding="utf-8")
+        )
     seed = (
         args.fault_seed
         if args.fault_seed is not None
@@ -1259,13 +1346,23 @@ def _command_serve(args) -> int:
             seed=seed,
         )
     settings = _serve_settings(args, seed)
+    slo = None
+    if args.slo is not None:
+        slo = SLOEngine(
+            parse_slo_specs(args.slo), clock=time_module.monotonic
+        )
+    recorder = None
+    if args.flight_dir is not None:
+        recorder = FlightRecorder(dump_dir=args.flight_dir)
+        recorder.arm()
+        set_flight_recorder(recorder)
     database = ProbabilisticDatabase()
     with _capture_for(args):
         for path in args.files:
             args.file = path
             database.create_relation(path.stem, _load_for(args))
         core = ServingCore(
-            database, settings=settings, injector=injector
+            database, settings=settings, injector=injector, slo=slo
         )
         if args.port is not None:
             return _serve_forever(core, args)

@@ -37,6 +37,7 @@ from repro.models.attribute import AttributeLevelRelation
 from repro.models.tuple_level import TupleLevelRelation
 from repro.obs import count, emit_event, trace
 from repro.obs.capture import query_capture
+from repro.obs.logging import get_logger
 from repro.robust import (
     BreakerBoard,
     Deadline,
@@ -46,6 +47,8 @@ from repro.robust import (
 )
 
 __all__ = ["ResilientExecutor", "TopKPlan", "TopKPlanner"]
+
+_log = get_logger("repro.engine.query")
 
 Relation = AttributeLevelRelation | TupleLevelRelation
 
@@ -462,6 +465,12 @@ class ResilientExecutor:
                         method=rung.method,
                         error=f"{type(error).__name__}: {error}",
                     )
+                    _log.warning(
+                        "robust.degrade",
+                        rung=rung.name,
+                        method=rung.method,
+                        error=f"{type(error).__name__}: {error}",
+                    )
                     outcomes.append(
                         {
                             "rung": rung.name,
@@ -487,6 +496,11 @@ class ResilientExecutor:
                 if degraded:
                     count(f"robust.fallback.{rung.name}")
                     emit_event(
+                        "robust.fallback",
+                        rung=rung.name,
+                        method=rung.method,
+                    )
+                    _log.warning(
                         "robust.fallback",
                         rung=rung.name,
                         method=rung.method,

@@ -67,7 +67,34 @@ from repro.obs.replay import (
     replay_capture,
 )
 from repro.obs.report import SessionReport, build_report
-from repro.obs.export import parse_prometheus, to_prometheus
+from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    escape_help,
+    escape_label_value,
+    parse_prometheus,
+    to_openmetrics,
+    to_prometheus,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    notify_anomaly,
+    set_flight_recorder,
+)
+from repro.obs.logging import (
+    StructuredLogger,
+    bind_tenant,
+    configure_logging,
+    current_tenant,
+    get_logger,
+    logging_configured,
+)
+from repro.obs.slo import (
+    SLOEngine,
+    SLOSpec,
+    SLOStatus,
+    parse_slo_specs,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -94,9 +121,11 @@ from repro.obs.trace import (
 
 __all__ = [
     "EXPLAIN_SCHEMA",
+    "OPENMETRICS_CONTENT_TYPE",
     "CaptureLog",
     "Counter",
     "ExplainReport",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -105,31 +134,47 @@ __all__ = [
     "NullSink",
     "QueryReplay",
     "ReplayReport",
+    "SLOEngine",
+    "SLOSpec",
+    "SLOStatus",
     "SessionReport",
     "Sink",
+    "StructuredLogger",
     "answer_digest",
+    "bind_tenant",
     "build_report",
     "build_span_tree",
     "configure",
+    "configure_logging",
     "count",
     "current_span_id",
+    "current_tenant",
     "current_trace_id",
     "emit_event",
+    "escape_help",
+    "escape_label_value",
     "explain",
     "get_capture",
+    "get_flight_recorder",
+    "get_logger",
     "get_registry",
     "get_sink",
+    "logging_configured",
     "metrics_enabled",
+    "notify_anomaly",
     "parse_prometheus",
+    "parse_slo_specs",
     "profiled",
     "query_capture",
     "read_jsonl",
     "relation_digest",
     "replay_capture",
     "set_capture",
+    "set_flight_recorder",
     "set_registry",
     "set_sink",
     "to_chrome_trace",
+    "to_openmetrics",
     "to_prometheus",
     "trace",
     "validate_report",

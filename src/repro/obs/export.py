@@ -1,4 +1,4 @@
-"""Prometheus text-exposition export for :class:`MetricsRegistry`.
+"""Prometheus / OpenMetrics text export for :class:`MetricsRegistry`.
 
 Serialises every instrument of a registry into the Prometheus text
 format (version 0.0.4) so the library's metrics plug into standard
@@ -8,7 +8,12 @@ new dependency:
 * counters become ``<name>_total`` samples with ``# TYPE ... counter``;
 * gauges become plain samples (unset gauges are skipped);
 * histograms emit cumulative ``_bucket{le="..."}`` lines straight from
-  the fixed log-spaced buckets, plus ``_sum`` and ``_count``.
+  the fixed log-spaced buckets, plus ``_sum`` and ``_count``;
+* labelled instruments (``registry.counter("x", {"tenant": "a"})``)
+  render as one family with per-sample label sets, values escaped per
+  the exposition format (backslash, double quote, newline);
+* help strings registered via :meth:`MetricsRegistry.describe` emit
+  as escaped ``# HELP`` lines.
 
 Metric names are sanitised to the Prometheus grammar
 (``[a-zA-Z_:][a-zA-Z0-9_:]*``): the library's dotted names have their
@@ -16,36 +21,57 @@ dots mapped to underscores and gain a ``repro_`` prefix, so
 ``t_erank.tuples_accessed`` exports as
 ``repro_t_erank_tuples_accessed_total``.
 
+:func:`to_openmetrics` is the OpenMetrics 1.0 sibling the admin
+plane's ``/metrics`` endpoint serves: same families, plus per-bucket
+**exemplars** (``... # {trace_id="9f2c..."} 0.0031``) linking latency
+buckets to recent trace ids, terminated by the mandatory ``# EOF``.
+
 :func:`parse_prometheus` is the matching minimal parser — enough to
-round-trip this module's own output (CI does exactly that) and to
-sanity-check any exposition snapshot in tests; it is *not* a general
-Prometheus client.
+round-trip both of this module's own outputs (CI does exactly that,
+exemplars included) and to sanity-check any exposition snapshot in
+tests; it is *not* a general Prometheus client.
 """
 
 from __future__ import annotations
 
 import math
 import re
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "escape_help",
+    "escape_label_value",
     "metric_name",
     "parse_prometheus",
+    "to_openmetrics",
     "to_prometheus",
 ]
 
 PREFIX = "repro_"
 
+#: The content type OpenMetrics scrapers negotiate for.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+#: One quoted label pair: ``name="value"`` with escape-aware value.
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+#: A full label block body — only escape-aware quoted pairs, so a
+#: ``}`` *inside* a quoted value cannot end the block early.
+_LABEL_BLOCK = r'(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?\s*)*'
 _SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)$"
+    rf"(?:\{{(?P<labels>{_LABEL_BLOCK})\}})?"
+    r"\s+(?P<value>\S+)"
+    rf"(?:\s+#\s+\{{(?P<exemplar>{_LABEL_BLOCK})\}}"
+    r"\s+(?P<exemplar_value>\S+))?"
+    r"\s*$"
 )
-_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
 def metric_name(name: str, *, prefix: str = PREFIX) -> str:
@@ -54,6 +80,65 @@ def metric_name(name: str, *, prefix: str = PREFIX) -> str:
     if sanitized and sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return prefix + sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format.
+
+    Backslash, double quote, and line feed are the three characters
+    the format reserves; everything else passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep it verbatim
+                out.append(char)
+                out.append(nxt)
+            index += 2
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string (backslash and line feed only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_help(text: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            nxt = text[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt == "\\":
+                out.append("\\")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
 
 
 def _format_value(value: float) -> str:
@@ -76,36 +161,135 @@ def _parse_value(text: str) -> float:
     return float(text)
 
 
+def _render_labels(
+    pairs: Iterable[tuple[str, str]], *, extra: str | None = None
+) -> str:
+    """``{k="v",...}`` with escaped values; empty string when bare."""
+    rendered = [
+        f'{key}="{escape_label_value(value)}"' for key, value in pairs
+    ]
+    if extra is not None:
+        rendered.append(extra)
+    if not rendered:
+        return ""
+    return "{" + ",".join(rendered) + "}"
+
+
+def _grouped(instruments: Iterable) -> dict[str, list]:
+    """Instruments grouped into families by base metric name."""
+    families: dict[str, list] = {}
+    for instrument in instruments:
+        families.setdefault(instrument.name, []).append(instrument)
+    return families
+
+
+def _help_line(
+    name: str, exported: str, help_texts: dict[str, str]
+) -> list[str]:
+    text = help_texts.get(name)
+    if text is None:
+        return []
+    return [f"# HELP {exported} {escape_help(text)}"]
+
+
+def _histogram_lines(
+    exported: str,
+    histogram: "Histogram",
+    *,
+    exemplars: bool,
+) -> list[str]:
+    lines: list[str] = []
+    bucket_exemplars = histogram.exemplars() if exemplars else {}
+    for index, (bound, cumulative) in enumerate(
+        histogram.cumulative_buckets()
+    ):
+        le = "+Inf" if math.isinf(bound) else _format_value(bound)
+        labels = _render_labels(histogram.labels, extra=f'le="{le}"')
+        line = f"{exported}_bucket{labels} {cumulative}"
+        exemplar = bucket_exemplars.get(index)
+        if exemplar is not None:
+            ex_labels, ex_value = exemplar
+            line += (
+                f" # {_render_labels(ex_labels) or '{}'}"
+                f" {_format_value(ex_value)}"
+            )
+        lines.append(line)
+    plain = _render_labels(histogram.labels)
+    lines.append(
+        f"{exported}_sum{plain} {_format_value(histogram.total)}"
+    )
+    lines.append(f"{exported}_count{plain} {histogram.count}")
+    return lines
+
+
+def _exposition(
+    registry: "MetricsRegistry", *, exemplars: bool
+) -> list[str]:
+    help_texts = registry.help_texts()
+    lines: list[str] = []
+    counters = _grouped(registry._counters.values())
+    for name in sorted(counters):
+        exported = metric_name(name) + "_total"
+        lines.extend(
+            _help_line(name, exported, help_texts)
+        )
+        lines.append(f"# TYPE {exported} counter")
+        for counter in counters[name]:
+            labels = _render_labels(counter.labels)
+            lines.append(
+                f"{exported}{labels} {_format_value(counter.value)}"
+            )
+    gauges = _grouped(registry._gauges.values())
+    for name in sorted(gauges):
+        live = [g for g in gauges[name] if g.value is not None]
+        if not live:
+            continue
+        exported = metric_name(name)
+        lines.extend(_help_line(name, exported, help_texts))
+        lines.append(f"# TYPE {exported} gauge")
+        for gauge in live:
+            labels = _render_labels(gauge.labels)
+            lines.append(
+                f"{exported}{labels} {_format_value(gauge.value)}"
+            )
+    histograms = _grouped(registry._histograms.values())
+    for name in sorted(histograms):
+        exported = metric_name(name)
+        lines.extend(_help_line(name, exported, help_texts))
+        lines.append(f"# TYPE {exported} histogram")
+        for histogram in histograms[name]:
+            lines.extend(
+                _histogram_lines(
+                    exported, histogram, exemplars=exemplars
+                )
+            )
+    return lines
+
+
 def to_prometheus(registry: "MetricsRegistry") -> str:
-    """Serialise ``registry`` to the Prometheus text format.
+    """Serialise ``registry`` to the Prometheus text format (0.0.4).
 
     Families are emitted in sorted-name order; the output always ends
     with a newline (scrapers require it).  An empty registry yields an
-    empty string.
+    empty string.  Exemplars are an OpenMetrics feature and are *not*
+    rendered here — classic 0.0.4 consumers reject them.
     """
-    lines: list[str] = []
-    for name, counter in sorted(registry._counters.items()):
-        exported = metric_name(name) + "_total"
-        lines.append(f"# TYPE {exported} counter")
-        lines.append(f"{exported} {_format_value(counter.value)}")
-    for name, gauge in sorted(registry._gauges.items()):
-        if gauge.value is None:
-            continue
-        exported = metric_name(name)
-        lines.append(f"# TYPE {exported} gauge")
-        lines.append(f"{exported} {_format_value(gauge.value)}")
-    for name, histogram in sorted(registry._histograms.items()):
-        exported = metric_name(name)
-        lines.append(f"# TYPE {exported} histogram")
-        for bound, cumulative in histogram.cumulative_buckets():
-            le = "+Inf" if math.isinf(bound) else _format_value(bound)
-            lines.append(
-                f'{exported}_bucket{{le="{le}"}} {cumulative}'
-            )
-        lines.append(f"{exported}_sum {_format_value(histogram.total)}")
-        lines.append(f"{exported}_count {histogram.count}")
+    lines = _exposition(registry, exemplars=False)
     if not lines:
         return ""
+    return "\n".join(lines) + "\n"
+
+
+def to_openmetrics(registry: "MetricsRegistry") -> str:
+    """Serialise ``registry`` to OpenMetrics 1.0 text, with exemplars.
+
+    Identical family layout to :func:`to_prometheus`, plus per-bucket
+    exemplars recorded by :meth:`Histogram.observe` and the mandatory
+    trailing ``# EOF``.  Serve it under
+    :data:`OPENMETRICS_CONTENT_TYPE`.
+    """
+    lines = _exposition(registry, exemplars=True)
+    lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
@@ -113,7 +297,10 @@ def parse_prometheus(text: str) -> dict[str, dict]:
     """Parse an exposition snapshot back into plain data.
 
     Returns ``{family_name: {"type": ..., "samples": [...]}}`` where
-    each sample is ``{"name": ..., "labels": {...}, "value": float}``.
+    each sample is ``{"name": ..., "labels": {...}, "value": float}``
+    plus, when present, ``"exemplar": {"labels": {...}, "value":
+    float}``.  ``# HELP`` strings land under the family's ``"help"``
+    key (unescaped); the OpenMetrics ``# EOF`` terminator is accepted.
     Raises :class:`ValueError` on a malformed sample line, so a failed
     round-trip is loud.
     """
@@ -123,10 +310,17 @@ def parse_prometheus(text: str) -> dict[str, dict]:
         if not line:
             continue
         if line.startswith("#"):
-            parts = line.split()
+            parts = line.split(None, 3)
             if len(parts) >= 4 and parts[1] == "TYPE":
                 families.setdefault(
                     parts[2], {"type": parts[3], "samples": []}
+                )
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                family = families.setdefault(
+                    parts[2], {"type": "untyped", "samples": []}
+                )
+                family["help"] = _unescape_help(
+                    parts[3] if len(parts) > 3 else ""
                 )
             continue
         match = _SAMPLE_LINE.match(line)
@@ -134,16 +328,28 @@ def parse_prometheus(text: str) -> dict[str, dict]:
             raise ValueError(f"malformed exposition line: {line!r}")
         name = match.group("name")
         labels = {
-            key: value.replace('\\"', '"')
+            key: _unescape_label_value(value)
             for key, value in _LABEL.findall(
                 match.group("labels") or ""
             )
         }
-        sample = {
+        sample: dict = {
             "name": name,
             "labels": labels,
             "value": _parse_value(match.group("value")),
         }
+        if match.group("exemplar_value") is not None:
+            sample["exemplar"] = {
+                "labels": {
+                    key: _unescape_label_value(value)
+                    for key, value in _LABEL.findall(
+                        match.group("exemplar") or ""
+                    )
+                },
+                "value": _parse_value(
+                    match.group("exemplar_value")
+                ),
+            }
         # Histogram series (_bucket/_sum/_count) belong to their base
         # family when one was declared.
         family = name

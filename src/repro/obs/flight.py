@@ -1,0 +1,436 @@
+"""The flight recorder: recent telemetry, dumped the moment it matters.
+
+Post-hoc observability (capture files, session reports, Chrome
+traces) answers "what happened last run"; an *operable* service also
+needs "what just happened" — the spans, events, and metric deltas of
+the last few seconds, snapshotted at the instant something went
+wrong.  :class:`FlightRecorder` is that black box:
+
+* it **tees** the live span sink (:func:`FlightRecorder.arm` wraps
+  the installed sink, forwarding every record untouched), keeping the
+  most recent ``capacity`` records in a bounded ring — O(1) append,
+  O(1) amortised eviction, constant memory;
+* it maintains a **per-trace index** so the complete span/event tree
+  of any still-buffered trace id is retrievable in one lookup;
+  eviction is per-trace too — once a trace's last buffered record
+  falls off the ring, the trace id vanishes from the index;
+* **anomalies trigger a dump**: watched event names flowing through
+  the sink (``breaker.open``, ``kernel.gf_fallback``,
+  ``capture.digest_mismatch`` by default) and typed exception hooks
+  from the serving layer (:func:`notify_anomaly` with an
+  :class:`~repro.exceptions.OverloadedError`,
+  :class:`~repro.exceptions.CircuitOpenError`, or
+  :class:`~repro.exceptions.DeadlineExceededError`) both snapshot the
+  ring to a deterministic JSONL file plus a Perfetto-loadable Chrome
+  trace (via :mod:`repro.obs.chrome_trace`), rate-limited so an
+  anomaly storm cannot turn the recorder into the outage.
+
+The module-level :func:`get_flight_recorder` / :func:`set_flight_-
+recorder` pair mirrors the registry and sink globals: library code
+calls :func:`notify_anomaly` unconditionally and pays one global load
+plus a ``None`` check while no recorder is armed — the observability-
+off hot path stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+)
+from repro.obs.chrome_trace import to_chrome_trace
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Sink, get_sink, set_sink
+
+__all__ = [
+    "DEFAULT_TRIGGERS",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "notify_anomaly",
+    "set_flight_recorder",
+]
+
+#: Event names that trigger a dump while flowing through the sink.
+#: Each marks a moment the ISSUE calls out: a circuit opening, a
+#: generating-function sweep falling back to the DP on a mass
+#: violation, a replayed answer digest disagreeing with its capture.
+DEFAULT_TRIGGERS = frozenset(
+    {
+        "breaker.open",
+        "kernel.gf_fallback",
+        "capture.digest_mismatch",
+    }
+)
+
+#: Typed anomaly reasons for the serving layer's exception hooks.
+_ANOMALY_REASONS: tuple[tuple[type[BaseException], str], ...] = (
+    (OverloadedError, "overloaded"),
+    (CircuitOpenError, "circuit_open"),
+    (DeadlineExceededError, "deadline_exceeded"),
+)
+
+_SAFE_REASON = re.compile(r"[^a-zA-Z0-9_.-]+")
+
+
+def _reason_for(error: BaseException) -> str | None:
+    """The dump reason for a typed anomaly, ``None`` if untyped."""
+    for kind, reason in _ANOMALY_REASONS:
+        if isinstance(error, kind):
+            suffix = getattr(error, "reason", None)
+            if isinstance(suffix, str) and suffix:
+                return f"{reason}.{suffix}"
+            return reason
+    return None
+
+
+class FlightRecorder(Sink):
+    """Bounded ring of recent span-sink records with anomaly dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Records retained; the 2048 default holds several hundred
+        queries' span trees at the serving core's span fan-out.
+    dump_dir:
+        Where anomaly dumps land.  ``None`` keeps dumps in memory
+        only (:attr:`last_dump`) — tests and the ``/debug/flight``
+        endpoint still see them.
+    triggers:
+        Event names that fire a dump when they flow through the sink.
+    max_dumps:
+        Hard cap on dumps per recorder lifetime; later anomalies are
+        counted (``obs.flight.suppressed``) but not written.
+    min_interval_seconds:
+        Cool-down between dumps, on the injectable ``clock`` —
+        a breaker flapping every 10 ms must not write 100 files/s.
+    clock:
+        Monotonic time source for the cool-down (RPR004: injectable).
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 2048,
+        dump_dir: Path | str | None = None,
+        triggers: frozenset[str] | set[str] = DEFAULT_TRIGGERS,
+        max_dumps: int = 16,
+        min_interval_seconds: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(
+                f"capacity must be >= 1, got {capacity!r}"
+            )
+        if max_dumps < 1:
+            raise ValueError(
+                f"max_dumps must be >= 1, got {max_dumps!r}"
+            )
+        self.capacity = capacity
+        self.dump_dir = None if dump_dir is None else Path(dump_dir)
+        self.triggers = frozenset(triggers)
+        self.max_dumps = max_dumps
+        self.min_interval_seconds = min_interval_seconds
+        self._clock = clock
+        self._ring: deque[dict] = deque()
+        self._by_trace: dict[str, deque[dict]] = {}
+        self._inner: Sink | None = None
+        self._armed = False
+        # Spans finish on worker threads too; the lock keeps ring and
+        # index consistent (appends are tiny, contention negligible).
+        self._lock = threading.Lock()
+        self._dump_seq = 0
+        self._suppressed = 0
+        self._last_dump_at: float | None = None
+        # Trigger events fire *inside* their span stack, before the
+        # enclosing spans have closed and reached the ring; dumping
+        # immediately would miss the triggering trace's own tree.  A
+        # matched trace id is parked here and dumped when its root
+        # span (parent_id None) lands.
+        self._pending: dict[str, str] = {}
+        #: The most recent dump document (kept even with a dump_dir).
+        self.last_dump: dict | None = None
+        #: Paths written so far, in dump order.
+        self.dump_paths: list[Path] = []
+
+    # ------------------------------------------------------------------
+    # Sink protocol + ring maintenance
+    # ------------------------------------------------------------------
+    def arm(self) -> "FlightRecorder":
+        """Install the recorder as a tee over the current sink."""
+        if not self._armed:
+            self._inner = set_sink(self)
+            self._armed = True
+        return self
+
+    def disarm(self) -> None:
+        """Restore the wrapped sink (idempotent)."""
+        if self._armed:
+            assert self._inner is not None
+            set_sink(self._inner)
+            self._inner = None
+            self._armed = False
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.arm()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.disarm()
+
+    def emit(self, record: dict) -> None:
+        """Tee one record: forward it, buffer it, check triggers.
+
+        A trigger event belonging to a live trace does not dump on
+        the spot — its enclosing spans have not closed yet, so the
+        ring lacks the very tree the dump is for.  The trace id is
+        parked instead and the dump fires when the trace's root span
+        arrives, at which point the complete span tree is buffered.
+        """
+        inner = self._inner
+        if inner is not None:
+            inner.emit(record)
+        due: str | None = None
+        trace_id = record.get("trace_id")
+        with self._lock:
+            self._append(record)
+            kind = record.get("type")
+            if (
+                kind == "event"
+                and record.get("name") in self.triggers
+            ):
+                if trace_id is None:
+                    due = str(record.get("name"))
+                else:
+                    self._pending.setdefault(
+                        str(trace_id), str(record.get("name"))
+                    )
+            elif (
+                kind == "span"
+                and record.get("parent_id") is None
+                and trace_id in self._pending
+            ):
+                due = self._pending.pop(str(trace_id))
+        if due is not None:
+            self.trigger(due, trace_id=trace_id)
+
+    def _append(self, record: dict) -> None:
+        self._ring.append(record)
+        trace_id = record.get("trace_id")
+        if trace_id is not None:
+            per_trace = self._by_trace.get(trace_id)
+            if per_trace is None:
+                per_trace = self._by_trace.setdefault(
+                    trace_id, deque()
+                )
+            per_trace.append(record)
+        if len(self._ring) > self.capacity:
+            evicted = self._ring.popleft()
+            evicted_trace = evicted.get("trace_id")
+            if evicted_trace is not None:
+                per_trace = self._by_trace.get(evicted_trace)
+                if per_trace is not None:
+                    # Ring order is append order, so the evicted
+                    # record is this trace's oldest buffered one.
+                    per_trace.popleft()
+                    if not per_trace:
+                        del self._by_trace[evicted_trace]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def traces(self) -> tuple[str, ...]:
+        """Trace ids with at least one buffered record (oldest first)."""
+        return tuple(self._by_trace)
+
+    def records_for(self, trace_id: str) -> list[dict]:
+        """Every buffered record of ``trace_id``, in append order."""
+        with self._lock:
+            return list(self._by_trace.get(trace_id, ()))
+
+    def last_records(self) -> list[dict]:
+        """The whole ring, oldest first (what a dump would contain)."""
+        with self._lock:
+            return list(self._ring)
+
+    def snapshot(self) -> dict:
+        """Recorder status as plain data (the ``/debug/flight`` body)."""
+        with self._lock:
+            return {
+                "armed": self._armed,
+                "capacity": self.capacity,
+                "records": len(self._ring),
+                "traces": len(self._by_trace),
+                "dumps_written": self._dump_seq,
+                "dumps_suppressed": self._suppressed,
+                "dump_paths": [str(path) for path in self.dump_paths],
+                "triggers": sorted(self.triggers),
+            }
+
+    # ------------------------------------------------------------------
+    # Anomaly hooks + dumping
+    # ------------------------------------------------------------------
+    def notify(
+        self,
+        anomaly: BaseException | str,
+        *,
+        trace_id: str | None = None,
+        **attributes: object,
+    ) -> Path | None:
+        """Typed anomaly hook: record it, then dump.
+
+        Accepts either a reason string or one of the typed serving
+        exceptions (:class:`OverloadedError`, :class:`CircuitOpenError`,
+        :class:`DeadlineExceededError`); any other exception type is
+        ignored — the recorder documents *expected* operational
+        anomalies, it is not an error handler.
+        """
+        if isinstance(anomaly, BaseException):
+            reason = _reason_for(anomaly)
+            if reason is None:
+                return None
+            attributes.setdefault("error", str(anomaly))
+            attributes.setdefault(
+                "error_type", type(anomaly).__name__
+            )
+        else:
+            reason = anomaly
+        with self._lock:
+            self._append(
+                {
+                    "type": "anomaly",
+                    "name": reason,
+                    "trace_id": trace_id,
+                    "attributes": attributes,
+                }
+            )
+        return self.trigger(reason, trace_id=trace_id)
+
+    def trigger(
+        self,
+        reason: str,
+        *,
+        trace_id: str | None = None,
+        force: bool = False,
+    ) -> Path | None:
+        """Snapshot the ring to a dump, subject to rate limits.
+
+        ``force`` (the ``/debug/flight`` on-demand path) bypasses the
+        cool-down but still honours ``max_dumps``.  Returns the path
+        written, or ``None`` when the dump was suppressed or
+        ``dump_dir`` is unset (the document still lands in
+        :attr:`last_dump`).
+        """
+        registry = get_registry()
+        with self._lock:
+            now = self._clock()
+            if self._dump_seq >= self.max_dumps or (
+                not force
+                and self._last_dump_at is not None
+                and now - self._last_dump_at
+                < self.min_interval_seconds
+            ):
+                self._suppressed += 1
+                if registry.enabled:
+                    registry.counter("obs.flight.suppressed").inc()
+                return None
+            self._last_dump_at = now
+            self._dump_seq += 1
+            sequence = self._dump_seq
+            records = list(self._ring)
+            trace_records = (
+                list(self._by_trace.get(trace_id, ()))
+                if trace_id is not None
+                else []
+            )
+        document = {
+            "type": "flight_dump",
+            "sequence": sequence,
+            "reason": reason,
+            "trace_id": trace_id,
+            "trace_records": len(trace_records),
+            "records": len(records),
+            "metrics": (
+                registry.snapshot() if registry.enabled else None
+            ),
+        }
+        self.last_dump = {"header": document, "records": records}
+        if registry.enabled:
+            registry.counter("obs.flight.dumps").inc()
+            registry.counter(f"obs.flight.trigger.{reason}").inc()
+        if self.dump_dir is None:
+            return None
+        self.dump_dir.mkdir(parents=True, exist_ok=True)
+        safe_reason = _SAFE_REASON.sub("_", reason) or "anomaly"
+        stem = f"flight-{sequence:04d}-{safe_reason}"
+        path = self.dump_dir / f"{stem}.jsonl"
+        with path.open("w") as stream:
+            stream.write(
+                json.dumps(document, sort_keys=True) + "\n"
+            )
+            for record in records:
+                stream.write(
+                    json.dumps(record, sort_keys=True, default=str)
+                    + "\n"
+                )
+        chrome_path = self.dump_dir / f"{stem}.chrome.json"
+        chrome_path.write_text(
+            json.dumps(
+                to_chrome_trace(records), sort_keys=True, default=str
+            )
+        )
+        self.dump_paths.append(path)
+        return path
+
+
+_recorder: FlightRecorder | None = None
+
+
+def get_flight_recorder() -> FlightRecorder | None:
+    """The armed process-wide recorder, if any."""
+    return _recorder
+
+
+def set_flight_recorder(
+    recorder: FlightRecorder | None,
+) -> FlightRecorder | None:
+    """Swap the process-wide recorder; returns the previous one.
+
+    Arming/disarming the sink tee is the caller's business
+    (:meth:`FlightRecorder.arm` / :meth:`FlightRecorder.disarm` or
+    the ``with`` form); this only publishes the instance that
+    :func:`notify_anomaly` reaches.
+    """
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+def notify_anomaly(
+    anomaly: BaseException | str,
+    *,
+    trace_id: str | None = None,
+    **attributes: object,
+) -> None:
+    """Forward a typed anomaly to the armed recorder, if any.
+
+    One global load and a ``None`` check when no recorder is
+    installed — safe to call on every error path of the serving
+    layer.
+    """
+    recorder = _recorder
+    if recorder is None:
+        return
+    recorder.notify(anomaly, trace_id=trace_id, **attributes)

@@ -1,0 +1,190 @@
+"""Structured JSON logging with trace-id and tenant correlation.
+
+The serving layer needs *operational* logs — one machine-parseable
+line per noteworthy moment (a shed, a breaker transition, a
+degradation, a drain) that an operator can grep and a pipeline can
+ingest — without dragging in a logging framework or perturbing the
+bit-identical fault-free path.  This module is the repo's answer, in
+the structured-logging idiom of orchestrator-core's ``structlog``
+setup but on a zero-dependency budget:
+
+* every record is **one JSON object per line** with deterministic key
+  order (``sort_keys=True``), so dump files diff cleanly and
+  PYTHONHASHSEED never reorders a log;
+* every record automatically carries the ambient **trace id** (minted
+  by the outermost span, see :mod:`repro.obs.trace`) and the ambient
+  **tenant** (bound by the serving core via :func:`bind_tenant`), so
+  a single ``grep trace_id`` stitches logs, spans, and the query log
+  together;
+* logging is **off by default and free while off**: an unconfigured
+  logger costs one module-global load and a ``None`` check per call —
+  the same contract as the metrics registry — so library code can log
+  unconditionally;
+* the timestamp source is **injectable** (:func:`configure_logging`'s
+  ``clock``), so tests assert exact records without touching the wall
+  clock.
+
+Usage::
+
+    from repro.obs.logging import configure_logging, get_logger
+
+    configure_logging(sys.stderr)          # or any text stream
+    log = get_logger("repro.serve")
+    log.warning("serve.shed", tenant="acme", reason="quota")
+
+Library code inside :mod:`repro.serve` and :mod:`repro.robust` must
+use this logger rather than ``print()`` or stdlib ``logging`` — rule
+RPR010 of :mod:`repro.analysis` enforces it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import IO, Callable, Iterator
+
+__all__ = [
+    "StructuredLogger",
+    "bind_tenant",
+    "configure_logging",
+    "current_tenant",
+    "get_logger",
+    "logging_configured",
+]
+
+#: Numeric severities, stdlib-compatible so records sort naturally.
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_stream: IO[str] | None = None
+_threshold: int = _LEVELS["info"]
+# Wall-clock timestamps are the point of an operational log; the
+# source is injectable so tests stay deterministic (RPR004 allows the
+# default only here).
+_clock: Callable[[], float] = time.time
+_write_lock = threading.Lock()
+
+_tenant: ContextVar[str | None] = ContextVar(
+    "repro_log_tenant", default=None
+)
+
+_loggers: dict[str, "StructuredLogger"] = {}
+
+
+def configure_logging(
+    stream: IO[str] | None,
+    *,
+    level: str = "info",
+    clock: Callable[[], float] | None = None,
+) -> None:
+    """Point structured logging at ``stream`` (``None`` disables it).
+
+    ``level`` drops records below the named severity; ``clock``
+    overrides the timestamp source (tests pass a fake).  Configuration
+    is process-global, like the metrics registry and the span sink.
+    """
+    global _stream, _threshold, _clock
+    if level not in _LEVELS:
+        known = ", ".join(sorted(_LEVELS))
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {known}"
+        )
+    _stream = stream
+    _threshold = _LEVELS[level]
+    if clock is not None:
+        _clock = clock
+
+
+def logging_configured() -> bool:
+    """Whether records currently go anywhere."""
+    return _stream is not None
+
+
+def current_tenant() -> str | None:
+    """The tenant bound to the current context, if any."""
+    return _tenant.get()
+
+
+@contextmanager
+def bind_tenant(tenant: str | None) -> Iterator[None]:
+    """Attach ``tenant`` to every record emitted inside the block.
+
+    The serving core wraps each request in this, so kernel-level and
+    resilience-level logs carry the tenant without the engine knowing
+    tenants exist.
+    """
+    token = _tenant.set(tenant)
+    try:
+        yield
+    finally:
+        _tenant.reset(token)
+
+
+class StructuredLogger:
+    """Named emitter of one-line JSON records.
+
+    Records look like::
+
+        {"event": "serve.shed", "level": "warning",
+         "logger": "repro.serve", "tenant": "acme",
+         "trace_id": "9f2c...", "ts": 1700000000.25, "reason": "quota"}
+
+    Free-form fields ride alongside the envelope; collisions with
+    envelope keys are resolved in favour of the envelope (a field
+    cannot spoof the trace id).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        """Emit one record; free when logging is unconfigured."""
+        stream = _stream
+        if stream is None:
+            return
+        severity = _LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown log level {level!r}")
+        if severity < _threshold:
+            return
+        # Imported lazily to keep module import order flexible (trace
+        # imports metrics; logging must not complete the cycle).
+        from repro.obs.trace import current_trace_id
+
+        record: dict[str, object] = dict(fields)
+        record.update(
+            ts=round(_clock(), 6),
+            level=level,
+            logger=self.name,
+            event=event,
+            trace_id=current_trace_id(),
+            tenant=_tenant.get(),
+        )
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with _write_lock:
+            stream.write(line)
+            stream.flush()
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The process-wide logger called ``name`` (created on first use)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers.setdefault(name, StructuredLogger(name))
+    return logger

@@ -29,10 +29,11 @@ import threading
 from bisect import bisect_left
 from time import perf_counter
 from types import TracebackType
-from typing import Sequence
+from typing import Mapping, Sequence
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_LABEL_CARDINALITY",
     "Counter",
     "Gauge",
     "Histogram",
@@ -42,6 +43,32 @@ __all__ = [
     "metrics_enabled",
     "set_registry",
 ]
+
+#: Distinct label sets one metric name may hold before further sets
+#: are dropped (and counted in ``obs.dropped_labels``).  Tenant ids
+#: arrive from the wire; without a cap a hostile workload could mint
+#: one instrument per request and grow the registry without bound.
+DEFAULT_LABEL_CARDINALITY = 64
+
+#: Canonical form of a label mapping: sorted, hashable, immutable.
+Labels = tuple[tuple[str, str], ...]
+
+
+def _canonical_labels(labels: Mapping[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(
+        (str(key), str(value))
+        for key, value in sorted(labels.items())
+    )
+
+
+def _instrument_key(name: str, labels: Labels) -> str:
+    """The registry key: ``name`` alone, or ``name{k="v",...}``."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{rendered}}}"
 
 #: Default histogram bucket upper bounds: doubling steps from 1 µs to
 #: ~67 s (27 finite buckets plus the implicit overflow bucket).  Every
@@ -56,10 +83,11 @@ DEFAULT_BUCKETS: tuple[float, ...] = tuple(
 class Counter:
     """A monotonically adjusted total (use :meth:`reset` to zero it)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -73,10 +101,11 @@ class Counter:
 class Gauge:
     """A last-write-wins instantaneous value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value: float | None = None
 
     def set(self, value: float) -> None:
@@ -119,22 +148,36 @@ class Histogram:
     last bound.  :meth:`quantile` interpolates within the landing
     bucket and clamps to the observed ``[min, max]``, so percentile
     estimates are off by at most one bucket width.
+
+    Via ``observe``'s ``exemplar`` keyword a sample can carry a tiny
+    label set (typically ``{"trace_id": ...}``), remembered per
+    landing bucket, last-write-wins.  The OpenMetrics export renders
+    exemplars after their ``_bucket`` lines — that is how a latency
+    histogram on a dashboard links straight to a recent concrete
+    trace.  Exemplars cost one dict entry per bucket at most, and
+    nothing at all when never provided.
     """
 
     __slots__ = (
         "name",
+        "labels",
         "count",
         "total",
         "min",
         "max",
         "buckets",
         "_bucket_counts",
+        "_exemplars",
     )
 
     def __init__(
-        self, name: str, buckets: Sequence[float] | None = None
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        labels: Labels = (),
     ) -> None:
         self.name = name
+        self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
@@ -145,16 +188,32 @@ class Histogram:
             else tuple(sorted(buckets))
         )
         self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._exemplars: dict[int, tuple[Labels, float]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def observe(
+        self,
+        value: float,
+        *,
+        exemplar: Mapping[str, str] | None = None,
+    ) -> None:
+        """Record one sample, optionally tagged with an exemplar."""
         self.count += 1
         self.total += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
-        self._bucket_counts[bisect_left(self.buckets, value)] += 1
+        index = bisect_left(self.buckets, value)
+        self._bucket_counts[index] += 1
+        if exemplar:
+            self._exemplars[index] = (
+                _canonical_labels(exemplar),
+                value,
+            )
+
+    def exemplars(self) -> dict[int, tuple[Labels, float]]:
+        """Per-bucket-index ``(labels, value)`` exemplars recorded."""
+        return dict(self._exemplars)
 
     def time(self) -> _Timing:
         """``with histogram.time(): ...`` records the block's seconds."""
@@ -226,6 +285,7 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._exemplars.clear()
 
     def summary(self) -> dict[str, float]:
         """The aggregates as a plain dict (empty histogram -> zeros)."""
@@ -257,6 +317,7 @@ class _NullCounter:
 
     __slots__ = ()
     name = "<disabled>"
+    labels: tuple = ()
     value = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -269,6 +330,7 @@ class _NullCounter:
 class _NullGauge:
     __slots__ = ()
     name = "<disabled>"
+    labels: tuple = ()
     value = None
 
     def set(self, value: float) -> None:
@@ -281,6 +343,7 @@ class _NullGauge:
 class _NullHistogram:
     __slots__ = ()
     name = "<disabled>"
+    labels: tuple = ()
     count = 0
     total = 0.0
     min = 0.0
@@ -288,8 +351,16 @@ class _NullHistogram:
     mean = 0.0
     buckets: tuple[float, ...] = ()
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self,
+        value: float,
+        *,
+        exemplar: Mapping[str, str] | None = None,
+    ) -> None:
         return None
+
+    def exemplars(self) -> dict:
+        return {}
 
     def time(self) -> _NullContext:
         return _NULL_CONTEXT
@@ -325,12 +396,26 @@ class MetricsRegistry:
     design, matching its benchmark/diagnostic purpose.
     """
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        label_cardinality: int = DEFAULT_LABEL_CARDINALITY,
+    ) -> None:
+        if label_cardinality < 1:
+            raise ValueError(
+                "label_cardinality must be >= 1, got "
+                f"{label_cardinality!r}"
+            )
         self.enabled = enabled
+        self.label_cardinality = label_cardinality
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: Distinct label sets seen per metric name, across kinds.
+        self._label_sets: dict[str, set[Labels]] = {}
+        self._help: dict[str, str] = {}
 
     def enable(self) -> None:
         self.enabled = True
@@ -338,33 +423,103 @@ class MetricsRegistry:
     def disable(self) -> None:
         self.enabled = False
 
-    def counter(self, name: str) -> Counter:
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` string to the metric called ``name``.
+
+        The export escapes it per the exposition format; describing a
+        metric never creates an instrument.
+        """
+        with self._lock:
+            self._help[name] = help_text
+
+    def help_texts(self) -> dict[str, str]:
+        """All registered help strings, keyed by metric name."""
+        with self._lock:
+            return dict(self._help)
+
+    def _admit_labels(self, name: str, labels: Labels) -> bool:
+        """Whether this ``(name, labels)`` pair may create an instrument.
+
+        Caps distinct label sets per metric name at
+        :attr:`label_cardinality`; beyond it the observation is
+        dropped and tallied in ``obs.dropped_labels`` so the loss is
+        itself observable.  Must be called with the lock held.
+        """
+        seen = self._label_sets.setdefault(name, set())
+        if labels in seen:
+            return True
+        if len(seen) >= self.label_cardinality:
+            dropped = self._counters.get("obs.dropped_labels")
+            if dropped is None:
+                dropped = self._counters.setdefault(
+                    "obs.dropped_labels", Counter("obs.dropped_labels")
+                )
+            dropped.inc()
+            return False
+        seen.add(labels)
+        return True
+
+    def counter(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+    ) -> Counter:
         """The counter called ``name`` (a shared no-op when disabled)."""
         if not self.enabled:
             return _NULL_COUNTER  # type: ignore[return-value]
-        instrument = self._counters.get(name)
+        canonical = _canonical_labels(labels)
+        key = _instrument_key(name, canonical)
+        instrument = self._counters.get(key)
         if instrument is None:
             with self._lock:
-                instrument = self._counters.setdefault(name, Counter(name))
+                if canonical and not self._admit_labels(
+                    name, canonical
+                ):
+                    return _NULL_COUNTER  # type: ignore[return-value]
+                instrument = self._counters.setdefault(
+                    key, Counter(name, canonical)
+                )
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+    ) -> Gauge:
         if not self.enabled:
             return _NULL_GAUGE  # type: ignore[return-value]
-        instrument = self._gauges.get(name)
+        canonical = _canonical_labels(labels)
+        key = _instrument_key(name, canonical)
+        instrument = self._gauges.get(key)
         if instrument is None:
             with self._lock:
-                instrument = self._gauges.setdefault(name, Gauge(name))
+                if canonical and not self._admit_labels(
+                    name, canonical
+                ):
+                    return _NULL_GAUGE  # type: ignore[return-value]
+                instrument = self._gauges.setdefault(
+                    key, Gauge(name, canonical)
+                )
         return instrument
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+    ) -> Histogram:
         if not self.enabled:
             return _NULL_HISTOGRAM  # type: ignore[return-value]
-        instrument = self._histograms.get(name)
+        canonical = _canonical_labels(labels)
+        key = _instrument_key(name, canonical)
+        instrument = self._histograms.get(key)
         if instrument is None:
             with self._lock:
+                if canonical and not self._admit_labels(
+                    name, canonical
+                ):
+                    return _NULL_HISTOGRAM  # type: ignore[return-value]
                 instrument = self._histograms.setdefault(
-                    name, Histogram(name)
+                    key, Histogram(name, labels=canonical)
                 )
         return instrument
 
@@ -438,8 +593,12 @@ def metrics_enabled() -> bool:
     return _registry.enabled
 
 
-def count(name: str, amount: float = 1) -> None:
+def count(
+    name: str,
+    amount: float = 1,
+    labels: Mapping[str, str] | None = None,
+) -> None:
     """Add to a default-registry counter; free when disabled."""
     registry = _registry
     if registry.enabled:
-        registry.counter(name).inc(amount)
+        registry.counter(name, labels).inc(amount)

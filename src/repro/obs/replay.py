@@ -43,6 +43,7 @@ from repro.obs.capture import (
     relation_digest,
 )
 from repro.obs.metrics import count
+from repro.obs.trace import emit_event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.query import ResilientExecutor
@@ -316,6 +317,15 @@ def _replay_one(
         verdict, detail = (
             "answer_regression",
             f"answer changed: {list(result.tids())!r}",
+        )
+        # Anomaly signal: an armed flight recorder dumps on this
+        # (see DEFAULT_TRIGGERS in repro.obs.flight); free otherwise.
+        emit_event(
+            "capture.digest_mismatch",
+            recorded=recorded_digest,
+            replayed=replayed_digest,
+            k=k,
+            method=method,
         )
     elif replayed_tuples != record.get("tuples_accessed"):
         verdict, detail = "cost_change", ""

@@ -1,0 +1,370 @@
+"""Per-tenant SLOs with multi-window burn-rate alerting.
+
+The serving core already emits every signal an SLO needs — request
+outcomes, wall-clock latency, degradation flags — but PRs 1–7 left
+their interpretation to whoever reads the metrics.  This module makes
+the contract explicit: a declarative :class:`SLOSpec` per tenant and
+objective, an :class:`SLOEngine` that folds the live request stream
+into time-bucketed good/bad counts on the **injectable clock**
+(RPR004: no wall-clock reads inside the engine), and the SRE-style
+**multi-window burn-rate** evaluation:
+
+* the *burn rate* is ``bad_fraction / error_budget`` — burning at 1.0
+  exactly exhausts the budget over the SLO period; at 14.4 a 30-day
+  99.9% budget is gone in two hours;
+* one window is never enough — a long window alone alerts hours after
+  the incident started, a short window alone pages on every blip — so
+  each spec carries a **fast** window (default 5 min) and a **slow**
+  window (default 1 h) with their own thresholds;
+* the state machine is deliberately small: ``breach`` when *both*
+  windows exceed their thresholds (the incident is real and current),
+  ``warn`` when only one does (either just started or almost over),
+  ``ok`` otherwise.
+
+Three objectives cover the serving layer's failure modes:
+
+``availability``
+    Fraction of requests that complete without an error outcome
+    (sheds, deadline misses, engine errors are all bad).
+``latency_p99``
+    Fraction of completed requests under ``latency_threshold_ms``.
+    Expressing a percentile target as a good/bad fraction (target
+    0.99 = "99% of requests are fast") keeps burn-rate math exact
+    without streaming quantile sketches.
+``degradation_rate``
+    Fraction of answers produced by the *exact* kernel rather than a
+    pruned/Monte-Carlo fallback of the resilience ladder.
+
+States are exported as labelled gauges (``slo.state{slo=...,
+tenant=...}`` ∈ {0 ok, 1 warn, 2 breach} plus the two burn rates), so
+the admin plane's ``/metrics`` and ``/slo`` endpoints read the same
+numbers an alerting pipeline would.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "OBJECTIVES",
+    "SLOEngine",
+    "SLOSpec",
+    "SLOStatus",
+    "parse_slo_specs",
+]
+
+#: Objectives a spec may target, with the record field each reads.
+OBJECTIVES = ("availability", "latency_p99", "degradation_rate")
+
+_STATE_VALUES = {"ok": 0, "warn": 1, "breach": 2}
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective for one tenant (or ``"*"`` for all).
+
+    ``target`` is the good-fraction objective (0.99 = "99% good");
+    the error budget is ``1 - target``.  ``latency_threshold_ms``
+    is required for (and only meaningful to) ``latency_p99``.
+    """
+
+    name: str
+    objective: str
+    target: float
+    tenant: str = "*"
+    latency_threshold_ms: float | None = None
+    fast_window_seconds: float = 300.0
+    slow_window_seconds: float = 3600.0
+    fast_burn_threshold: float = 14.0
+    slow_burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            known = ", ".join(OBJECTIVES)
+            raise ValueError(
+                f"unknown objective {self.objective!r} for SLO"
+                f" {self.name!r}; expected one of {known}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO {self.name!r} target must be in (0, 1),"
+                f" got {self.target!r}"
+            )
+        if (
+            self.objective == "latency_p99"
+            and self.latency_threshold_ms is None
+        ):
+            raise ValueError(
+                f"SLO {self.name!r}: latency_p99 requires"
+                " latency_threshold_ms"
+            )
+        if not (
+            0 < self.fast_window_seconds < self.slow_window_seconds
+        ):
+            raise ValueError(
+                f"SLO {self.name!r}: windows must satisfy"
+                " 0 < fast < slow, got"
+                f" {self.fast_window_seconds!r} /"
+                f" {self.slow_window_seconds!r}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    def is_bad(
+        self,
+        *,
+        ok: bool,
+        latency_seconds: float | None,
+        degraded: bool,
+    ) -> bool | None:
+        """Classify one request; ``None`` means "not in scope".
+
+        Latency objectives skip failed requests (their latency is the
+        failure's, not the service's) — availability already charges
+        them.
+        """
+        if self.objective == "availability":
+            return not ok
+        if self.objective == "latency_p99":
+            if not ok or latency_seconds is None:
+                return None
+            assert self.latency_threshold_ms is not None
+            return latency_seconds * 1000.0 > self.latency_threshold_ms
+        return degraded
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One spec's evaluation: counts, burn rates, state."""
+
+    spec: SLOSpec
+    state: str
+    fast_burn: float
+    slow_burn: float
+    good: int
+    bad: int
+
+    def to_dict(self) -> dict:
+        """Plain data for the ``/slo`` endpoint (deterministic keys)."""
+        return {
+            "name": self.spec.name,
+            "tenant": self.spec.tenant,
+            "objective": self.spec.objective,
+            "target": self.spec.target,
+            "state": self.state,
+            "fast_burn": round(self.fast_burn, 6),
+            "slow_burn": round(self.slow_burn, 6),
+            "good": self.good,
+            "bad": self.bad,
+        }
+
+
+@dataclass
+class _Buckets:
+    """Time-bucketed good/bad counts for one spec's slow window."""
+
+    entries: deque = field(default_factory=deque)  # (bucket, good, bad)
+
+    def add(self, bucket: int, good: int, bad: int) -> None:
+        if self.entries and self.entries[-1][0] == bucket:
+            last = self.entries[-1]
+            self.entries[-1] = (bucket, last[1] + good, last[2] + bad)
+        else:
+            self.entries.append((bucket, good, bad))
+
+    def evict_before(self, bucket: int) -> None:
+        entries = self.entries
+        while entries and entries[0][0] < bucket:
+            entries.popleft()
+
+    def totals_since(self, bucket: int) -> tuple[int, int]:
+        good = bad = 0
+        for entry_bucket, entry_good, entry_bad in self.entries:
+            if entry_bucket >= bucket:
+                good += entry_good
+                bad += entry_bad
+        return good, bad
+
+
+class SLOEngine:
+    """Folds the live request stream into per-spec burn-rate states.
+
+    Single-threaded by design: the serving core calls
+    :meth:`observe` from its event loop and the admin plane calls
+    :meth:`evaluate` from the same loop, so there is no lock.  All
+    time comes from ``clock`` (monotonic seconds); nothing here reads
+    the wall clock.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SLOSpec],
+        *,
+        clock: Callable[[], float],
+        bucket_seconds: float = 10.0,
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be > 0, got {bucket_seconds!r}"
+            )
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            dupes = sorted(
+                {name for name in names if names.count(name) > 1}
+            )
+            raise ValueError(f"duplicate SLO spec names: {dupes}")
+        self.specs = tuple(specs)
+        self.bucket_seconds = bucket_seconds
+        self._clock = clock
+        self._buckets: dict[str, _Buckets] = {
+            spec.name: _Buckets() for spec in self.specs
+        }
+
+    def _bucket(self, now: float) -> int:
+        return int(now // self.bucket_seconds)
+
+    def observe(
+        self,
+        tenant: str,
+        *,
+        ok: bool,
+        latency_seconds: float | None = None,
+        degraded: bool = False,
+    ) -> None:
+        """Fold one finished request into every matching spec."""
+        now = self._clock()
+        bucket = self._bucket(now)
+        for spec in self.specs:
+            if spec.tenant != "*" and spec.tenant != tenant:
+                continue
+            bad = spec.is_bad(
+                ok=ok, latency_seconds=latency_seconds, degraded=degraded
+            )
+            if bad is None:
+                continue
+            buckets = self._buckets[spec.name]
+            buckets.add(bucket, 0 if bad else 1, 1 if bad else 0)
+            horizon = self._bucket(now - spec.slow_window_seconds)
+            buckets.evict_before(horizon)
+
+    @staticmethod
+    def _burn(good: int, bad: int, budget: float) -> float:
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / budget
+
+    def evaluate(self) -> list[SLOStatus]:
+        """Burn rates and states for every spec, gauges updated.
+
+        A spec with no traffic in its slow window is ``ok`` with zero
+        burn — an idle tenant is not an incident.
+        """
+        now = self._clock()
+        registry = get_registry()
+        statuses: list[SLOStatus] = []
+        for spec in self.specs:
+            buckets = self._buckets[spec.name]
+            slow_good, slow_bad = buckets.totals_since(
+                self._bucket(now - spec.slow_window_seconds)
+            )
+            fast_good, fast_bad = buckets.totals_since(
+                self._bucket(now - spec.fast_window_seconds)
+            )
+            fast_burn = self._burn(
+                fast_good, fast_bad, spec.error_budget
+            )
+            slow_burn = self._burn(
+                slow_good, slow_bad, spec.error_budget
+            )
+            fast_hot = fast_burn >= spec.fast_burn_threshold
+            slow_hot = slow_burn >= spec.slow_burn_threshold
+            if fast_hot and slow_hot:
+                state = "breach"
+            elif fast_hot or slow_hot:
+                state = "warn"
+            else:
+                state = "ok"
+            status = SLOStatus(
+                spec=spec,
+                state=state,
+                fast_burn=fast_burn,
+                slow_burn=slow_burn,
+                good=slow_good,
+                bad=slow_bad,
+            )
+            statuses.append(status)
+            if registry.enabled:
+                labels = {"slo": spec.name, "tenant": spec.tenant}
+                registry.gauge("slo.state", labels).set(
+                    _STATE_VALUES[state]
+                )
+                registry.gauge("slo.fast_burn", labels).set(
+                    round(fast_burn, 6)
+                )
+                registry.gauge("slo.slow_burn", labels).set(
+                    round(slow_burn, 6)
+                )
+        return statuses
+
+
+def parse_slo_specs(source: str | Path | Iterable[Mapping]) -> list[SLOSpec]:
+    """Load specs from JSON text, a JSON file path, or parsed dicts.
+
+    The format is a JSON array of objects mirroring
+    :class:`SLOSpec`'s fields::
+
+        [{"name": "acme-latency", "tenant": "acme",
+          "objective": "latency_p99", "target": 0.99,
+          "latency_threshold_ms": 50}]
+
+    Unknown keys raise (a typo'd threshold silently defaulting is how
+    SLOs lie); so do duplicate names, handled by :class:`SLOEngine`.
+    """
+    if isinstance(source, Path):
+        data = json.loads(source.read_text())
+    elif isinstance(source, str):
+        candidate = source.strip()
+        if candidate.startswith("["):
+            data = json.loads(candidate)
+        else:
+            data = json.loads(Path(source).read_text())
+    else:
+        data = list(source)
+    if not isinstance(data, list):
+        raise ValueError(
+            "SLO specs must be a JSON array of objects,"
+            f" got {type(data).__name__}"
+        )
+    allowed = {
+        "name",
+        "objective",
+        "target",
+        "tenant",
+        "latency_threshold_ms",
+        "fast_window_seconds",
+        "slow_window_seconds",
+        "fast_burn_threshold",
+        "slow_burn_threshold",
+    }
+    specs: list[SLOSpec] = []
+    for index, entry in enumerate(data):
+        if not isinstance(entry, Mapping):
+            raise ValueError(
+                f"SLO spec #{index} is not an object: {entry!r}"
+            )
+        unknown = sorted(set(entry) - allowed)
+        if unknown:
+            raise ValueError(
+                f"SLO spec #{index} has unknown keys: {unknown}"
+            )
+        specs.append(SLOSpec(**dict(entry)))
+    return specs

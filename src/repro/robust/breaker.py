@@ -43,6 +43,9 @@ from typing import Callable
 
 from repro.exceptions import CircuitOpenError, EngineError
 from repro.obs import count, emit_event, get_registry
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.robust.breaker")
 
 __all__ = ["BreakerBoard", "CircuitBreaker"]
 
@@ -154,6 +157,12 @@ class CircuitBreaker:
             f"breaker.{state}",
             breaker=self.name,
             failure_rate=self.failure_rate(),
+        )
+        _log.log(
+            "warning" if state == "open" else "info",
+            f"breaker.{state}",
+            breaker=self.name,
+            failure_rate=round(self.failure_rate(), 6),
         )
         self._publish_state()
 

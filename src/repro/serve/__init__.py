@@ -18,7 +18,11 @@ failure, using only stdlib asyncio:
   graceful drain together; every request resolves to exactly one
   typed :class:`ServeResponse`;
 * :mod:`repro.serve.transport` — a line-JSON batch driver and TCP
-  server behind the ``repro serve`` CLI.
+  server behind the ``repro serve`` CLI;
+* :mod:`repro.serve.admin` — the admin plane: ``/metrics`` (live
+  OpenMetrics scrape with exemplars), ``/healthz``, drain-aware
+  ``/readyz``, ``/slo`` burn-rate states, and ``/debug/flight``
+  recorder dumps, served over minimal HTTP on a second port.
 
 Everything is observable through :mod:`repro.obs`: a queue-depth
 gauge, shed/coalesced counters, per-tenant latency histograms, and
@@ -26,6 +30,7 @@ trace ids spanning admission through kernel execution.  See
 ``docs/serving.md`` for the architecture and the overload contract.
 """
 
+from repro.serve.admin import serve_admin
 from repro.serve.admission import AdmissionController, TokenBucket
 from repro.serve.coalesce import RequestCoalescer, coalesce_key
 from repro.serve.core import ServeRequest, ServeResponse, ServingCore
@@ -43,5 +48,6 @@ __all__ = [
     "coalesce_key",
     "handle_line",
     "run_batch",
+    "serve_admin",
     "serve_tcp",
 ]

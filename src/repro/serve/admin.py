@@ -1,0 +1,188 @@
+"""The admin plane: live telemetry over minimal HTTP.
+
+A second listener next to the line-JSON data port, speaking just
+enough HTTP/1.0 for ``curl``, a Prometheus scraper, and a Kubernetes
+probe — request line + headers in, one response out, connection
+closed.  No routing framework, no dependency, no keep-alive: every
+endpoint is a read-only snapshot of in-process state, so the handler
+is a dispatch table over five paths:
+
+``/metrics``
+    The process registry as OpenMetrics 1.0 text — histograms carry
+    per-bucket **exemplars** linking slow latency buckets to recent
+    trace ids (:func:`repro.obs.export.to_openmetrics`).  SLO gauges
+    are refreshed on the way out, so a scrape always reads current
+    burn rates.
+``/healthz``
+    Liveness: 200 while the process can serve this very response.
+``/readyz``
+    Readiness: 200 while the core admits work, 503 once a drain has
+    started — the signal a load balancer uses to stop routing here
+    *before* requests start shedding.
+``/slo``
+    Every SLO spec's live evaluation as a JSON array (state, burn
+    rates, good/bad counts), 200 even mid-breach — the *content*
+    carries the alert, the transport stays boring.
+``/debug/flight``
+    The armed flight recorder's status; ``/debug/flight?dump=1``
+    forces an on-demand dump (reason ``manual``) and returns it, the
+    live-incident "give me everything you have" button.
+
+The server binds loopback by default; nothing here authenticates, so
+exposing it beyond the host is an operator decision, not a default.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from repro.obs import get_registry
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE, to_openmetrics
+from repro.obs.flight import get_flight_recorder
+from repro.obs.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.slo import SLOEngine
+    from repro.serve.core import ServingCore
+
+__all__ = ["serve_admin"]
+
+_log = get_logger("repro.serve.admin")
+
+_MAX_REQUEST_BYTES = 8192
+
+
+def _response(
+    status: int,
+    body: str,
+    *,
+    content_type: str = "text/plain; charset=utf-8",
+) -> bytes:
+    reason = {
+        200: "OK",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        503: "Service Unavailable",
+    }.get(status, "OK")
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.0 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+def _json_response(status: int, document: object) -> bytes:
+    return _response(
+        status,
+        json.dumps(document, sort_keys=True, default=str) + "\n",
+        content_type="application/json; charset=utf-8",
+    )
+
+
+def handle_admin_request(
+    path: str,
+    core: "ServingCore",
+    *,
+    slo: "SLOEngine | None" = None,
+) -> bytes:
+    """Resolve one GET path to a full HTTP response (transport-free).
+
+    Split out from the socket handler so tests and the chaos soak can
+    drive every endpoint without opening a port.
+    """
+    route, _, query = path.partition("?")
+    slo_engine = slo if slo is not None else core.slo
+    if route == "/metrics":
+        if slo_engine is not None:
+            slo_engine.evaluate()
+        return _response(
+            200,
+            to_openmetrics(get_registry()),
+            content_type=OPENMETRICS_CONTENT_TYPE,
+        )
+    if route == "/healthz":
+        return _response(200, "ok\n")
+    if route == "/readyz":
+        if core.ready:
+            return _response(200, "ready\n")
+        return _response(503, "draining\n")
+    if route == "/slo":
+        if slo_engine is None:
+            return _json_response(200, [])
+        return _json_response(
+            200,
+            [status.to_dict() for status in slo_engine.evaluate()],
+        )
+    if route == "/debug/flight":
+        recorder = get_flight_recorder()
+        if recorder is None:
+            return _json_response(200, {"armed": False})
+        document = recorder.snapshot()
+        if "dump=1" in query.split("&"):
+            recorder.trigger("manual", force=True)
+            document = recorder.snapshot()
+            document["last_dump"] = recorder.last_dump
+        return _json_response(200, document)
+    return _response(404, f"unknown path {route}\n")
+
+
+async def serve_admin(
+    core: "ServingCore",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    slo: "SLOEngine | None" = None,
+) -> asyncio.base_events.Server:
+    """Start the admin listener; the caller owns its lifecycle.
+
+    Runs on the same event loop as the data plane, so every endpoint
+    reads consistent in-process state without locks.  Closing the
+    returned server drops the listener; in-flight admin responses are
+    one write each and finish on their own.
+    """
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").split()
+            # Drain headers so well-behaved clients see a clean close.
+            total = len(request_line)
+            while True:
+                header = await reader.readline()
+                total += len(header)
+                if header in (b"\r\n", b"\n", b"") or (
+                    total > _MAX_REQUEST_BYTES
+                ):
+                    break
+            if len(parts) < 2:
+                writer.write(_response(405, "malformed request\n"))
+            elif parts[0] != "GET":
+                writer.write(
+                    _response(405, f"method {parts[0]} not allowed\n")
+                )
+            else:
+                writer.write(
+                    handle_admin_request(parts[1], core, slo=slo)
+                )
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    server = await asyncio.start_server(handler, host, port)
+    bound = server.sockets[0].getsockname() if server.sockets else None
+    _log.info("serve.admin.listening", address=str(bound))
+    return server

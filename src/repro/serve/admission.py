@@ -21,8 +21,11 @@ from typing import Callable
 
 from repro.exceptions import OverloadedError
 from repro.obs import count, get_registry
+from repro.obs.logging import get_logger
 
 __all__ = ["AdmissionController", "TokenBucket"]
+
+_log = get_logger("repro.serve.admission")
 
 
 class TokenBucket:
@@ -75,8 +78,8 @@ class AdmissionController:
     Usage is strictly paired: every successful :meth:`admit` must be
     followed by exactly one :meth:`release` when the request resolves
     (the serving core does this in a ``finally``).  ``serve.queue_depth``
-    gauges the in-system count; ``serve.shed.<reason>`` counts every
-    shed decision.
+    gauges the in-system count; the labeled ``serve.shed`` counter
+    (one ``reason`` series per shed cause) counts every shed decision.
     """
 
     def __init__(
@@ -92,6 +95,9 @@ class AdmissionController:
         self._buckets: dict[str, TokenBucket] = {}
         self._in_system = 0
         self._draining = False
+        # Publish the zero depth up front: a scrape before the first
+        # request must read 0, not an unset gauge.
+        self.publish_depth()
 
     @property
     def in_system(self) -> int:
@@ -106,6 +112,8 @@ class AdmissionController:
     def start_draining(self) -> None:
         """Refuse all further admissions (shed reason ``draining``)."""
         self._draining = True
+        _log.info("serve.draining", in_system=self._in_system)
+        self.publish_depth()
 
     def bucket(self, tenant: str) -> TokenBucket:
         """The tenant's quota bucket, created on first sight."""
@@ -117,8 +125,16 @@ class AdmissionController:
         return existing
 
     def _shed(self, reason: str, tenant: str, message: str) -> None:
-        count(f"serve.shed.{reason}")
-        count("serve.shed")
+        count("serve.shed", labels={"reason": reason})
+        # A shed request never enters the system, but the gauge must
+        # still be fresh at the moment a scrape observes the shed.
+        self.publish_depth()
+        _log.warning(
+            "serve.shed",
+            reason=reason,
+            tenant=tenant,
+            in_system=self._in_system,
+        )
         raise OverloadedError(message, reason=reason, tenant=tenant)
 
     def admit(self, tenant: str) -> None:
@@ -149,14 +165,20 @@ class AdmissionController:
             )
         self._in_system += 1
         count("serve.admitted")
-        self._publish_depth()
+        self.publish_depth()
 
     def release(self) -> None:
         """Mark one admitted request as resolved."""
         self._in_system = max(0, self._in_system - 1)
-        self._publish_depth()
+        self.publish_depth()
 
-    def _publish_depth(self) -> None:
+    def publish_depth(self) -> None:
+        """Refresh the ``serve.queue_depth`` gauge from the true count.
+
+        Called on every transition — construction, admit, shed,
+        release, drain — so a scrape between requests always reads
+        the current depth, never the depth as of the last admission.
+        """
         registry = get_registry()
         if registry.enabled:
             registry.gauge("serve.queue_depth").set(self._in_system)

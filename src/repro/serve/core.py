@@ -54,6 +54,8 @@ from repro.exceptions import (
 )
 from repro.obs import answer_digest, count, get_capture, get_registry
 from repro.obs import trace as obs_trace
+from repro.obs.flight import notify_anomaly
+from repro.obs.logging import bind_tenant, get_logger
 from repro.robust import BreakerBoard, Deadline, RetryPolicy
 from repro.serve.admission import AdmissionController
 from repro.serve.coalesce import RequestCoalescer, coalesce_key
@@ -62,9 +64,12 @@ from repro.serve.settings import ServeSettings
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.result import TopKResult
     from repro.engine.database import ProbabilisticDatabase
+    from repro.obs.slo import SLOEngine
     from repro.robust import FaultInjector
 
 __all__ = ["ServeRequest", "ServeResponse", "ServingCore"]
+
+_log = get_logger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -226,6 +231,10 @@ class ServingCore:
     clock:
         Injectable monotonic clock driving admission quotas,
         deadlines, and breakers (RPR004: tests are wall-clock-free).
+    slo:
+        Optional :class:`~repro.obs.slo.SLOEngine`; every finished
+        request is folded into it (outcome, latency, degradation), so
+        the admin plane's ``/slo`` reads live burn rates.
     """
 
     def __init__(
@@ -237,6 +246,7 @@ class ServingCore:
         retry: RetryPolicy | None = None,
         breakers: BreakerBoard | None = None,
         clock: Callable[[], float] = time.monotonic,
+        slo: "SLOEngine | None" = None,
     ) -> None:
         self.database = database
         self.settings = settings if settings is not None else ServeSettings()
@@ -273,6 +283,7 @@ class ServingCore:
         self._idle.set()
         self._inflight = 0
         self._closed = False
+        self.slo = slo
 
     # ------------------------------------------------------------------
     # The request path
@@ -285,7 +296,7 @@ class ServingCore:
         propagate; a typed contract must not hide bugs.)
         """
         start = self._clock()
-        with obs_trace(
+        with bind_tenant(request.tenant), obs_trace(
             "serve.request",
             tenant=request.tenant,
             relation=request.relation,
@@ -296,34 +307,47 @@ class ServingCore:
             try:
                 self.admission.admit(request.tenant)
             except OverloadedError as error:
-                return self._finish(
+                outcome: tuple[str, object] = ("shed", error)
+                response = self._finish(
                     request,
-                    ("shed", error),
+                    outcome,
                     coalesced=False,
                     trace_id=trace_id,
                     start=start,
                 )
-            deadline_ms = (
-                request.deadline_ms
-                if request.deadline_ms is not None
-                else self.settings.default_deadline_ms
-            )
-            deadline = Deadline.from_ms(deadline_ms, clock=self._clock)
-            self._enter()
-            try:
-                outcome, coalesced = await self._execute(
-                    request, deadline
+            else:
+                deadline_ms = (
+                    request.deadline_ms
+                    if request.deadline_ms is not None
+                    else self.settings.default_deadline_ms
                 )
-            finally:
-                self.admission.release()
-                self._leave()
-            return self._finish(
-                request,
-                outcome,
-                coalesced=coalesced,
-                trace_id=trace_id,
-                start=start,
+                deadline = Deadline.from_ms(
+                    deadline_ms, clock=self._clock
+                )
+                self._enter()
+                try:
+                    outcome, coalesced = await self._execute(
+                        request, deadline
+                    )
+                finally:
+                    self.admission.release()
+                    self._leave()
+                response = self._finish(
+                    request,
+                    outcome,
+                    coalesced=coalesced,
+                    trace_id=trace_id,
+                    start=start,
+                )
+        # Outside the span on purpose: by now the root span has been
+        # emitted, so an armed flight recorder's anomaly dump holds
+        # the triggering trace's *complete* tree.
+        payload = outcome[1]
+        if isinstance(payload, BaseException):
+            notify_anomaly(
+                payload, trace_id=trace_id, tenant=request.tenant
             )
+        return response
 
     async def _execute(
         self, request: ServeRequest, deadline: Deadline
@@ -448,9 +472,36 @@ class ServingCore:
         count("serve.requests")
         registry = get_registry()
         if registry.enabled:
+            registry.describe(
+                "serve.latency",
+                "Request wall time per tenant, admission to response",
+            )
             registry.histogram(
-                f"serve.latency.{request.tenant}"
-            ).observe(wall)
+                "serve.latency", {"tenant": request.tenant}
+            ).observe(
+                wall,
+                # The OpenMetrics exemplar: each latency bucket links
+                # to the most recent trace that landed in it, so a
+                # scrape's slow bucket points straight at a trace id.
+                exemplar=(
+                    {"trace_id": trace_id}
+                    if trace_id is not None
+                    else None
+                ),
+            )
+        if self.slo is not None:
+            degraded_flag = False
+            if kind == "ok":
+                result_payload: "TopKResult" = payload  # type: ignore[assignment]
+                degraded_flag = bool(
+                    result_payload.metadata.get("degraded", False)
+                )
+            self.slo.observe(
+                request.tenant,
+                ok=kind == "ok",
+                latency_seconds=wall,
+                degraded=degraded_flag,
+            )
         base = dict(
             tenant=request.tenant,
             relation=request.relation,
@@ -478,8 +529,7 @@ class ServingCore:
                 **base,
             )
         if kind == "drained":
-            count("serve.shed.drained")
-            count("serve.shed")
+            count("serve.shed", labels={"reason": "drained"})
             return ServeResponse(
                 status="shed", shed_reason="drained", **base
             )
@@ -490,6 +540,13 @@ class ServingCore:
             )
         error: BaseException = payload  # type: ignore[assignment]
         count("serve.errors")
+        _log.error(
+            "serve.error",
+            error_type=type(error).__name__,
+            error=str(error),
+            relation=request.relation,
+            wall_seconds=round(wall, 6),
+        )
         return ServeResponse(
             status="error",
             error_type=type(error).__name__,
@@ -549,6 +606,15 @@ class ServingCore:
         """Admitted requests not yet resolved."""
         return self._inflight
 
+    @property
+    def ready(self) -> bool:
+        """Whether the core is accepting work (the ``/readyz`` answer).
+
+        ``False`` from the moment a drain starts — load balancers
+        stop routing here while in-flight requests settle.
+        """
+        return not self._closed and not self.admission.draining
+
     async def drain(self, *, deadline_ms: float | None = None) -> dict:
         """Graceful shutdown: stop admitting, settle in-flight work.
 
@@ -587,7 +653,10 @@ class ServingCore:
             self._closed = True
             self._pool.shutdown(wait=True)
         count("serve.drained")
-        return {
+        self.admission.publish_depth()
+        report = {
             "abandoned": abandoned,
             "drained_in_seconds": self._clock() - started,
         }
+        _log.info("serve.drained", **report)
+        return report

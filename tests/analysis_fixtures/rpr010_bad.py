@@ -1,0 +1,17 @@
+# repro: module repro.serve.fixture
+"""RPR010 fixture: unstructured output from the serving layer.
+
+``logger.warning`` itself is not flagged — the rule catches the
+``logging.getLogger`` chokepoint instead, without which no stdlib
+logger object can exist.
+"""
+
+import logging
+
+logger = logging.getLogger("serve")
+
+
+def shed(tenant: str, reason: str) -> None:
+    print(f"shedding {tenant}: {reason}")
+    logger.warning("shed %s: %s", tenant, reason)
+    logging.info("shed happened")

@@ -1,0 +1,10 @@
+# repro: module repro.serve.fixture
+"""RPR010 fixture: the structured logger, correlated and free when off."""
+
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.serve.fixture")
+
+
+def shed(tenant: str, reason: str) -> None:
+    _log.warning("serve.shed", tenant=tenant, reason=reason)

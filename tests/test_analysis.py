@@ -42,6 +42,7 @@ EXPECTED_LINES = {
     "RPR007": (5, 6),
     "RPR008": (4, 9, 9),
     "RPR009": (9, 10, 11),
+    "RPR010": (11, 15, 17),
 }
 
 
@@ -81,6 +82,7 @@ class TestFixturePairs:
         assert "get_registry()" in by_code["RPR007"]
         assert "None" in by_code["RPR008"]
         assert "run_in_executor" in by_code["RPR009"]
+        assert "repro.obs.logging" in by_code["RPR010"]
 
 
 class TestEngine:

@@ -1,0 +1,708 @@
+"""Tests for the live-telemetry layer (ISSUE 8).
+
+Covers the four new surfaces and the hardened export, each on fake
+clocks or in-memory streams so nothing here reads the wall clock or
+opens a port except the admin round-trip tests (loopback, port 0):
+
+* export hardening — label/help escaping round-trips, exemplar
+  emission and parsing, the per-metric label-cardinality cap;
+* structured logging — envelope fields, trace-id/tenant correlation,
+  threshold filtering, free-while-unconfigured;
+* the flight recorder — ring wraparound, per-trace eviction,
+  trigger-on-root-close (complete span tree), typed anomaly hooks,
+  rate limiting, dump determinism under PYTHONHASHSEED;
+* the SLO engine — burn-rate window math, state transitions, gauge
+  export, spec parsing and validation;
+* the admin plane — every endpoint end-to-end over a real socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.database import ProbabilisticDatabase
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    EngineError,
+    OverloadedError,
+)
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    configure_logging,
+    emit_event,
+    get_flight_recorder,
+    get_registry,
+    notify_anomaly,
+    parse_prometheus,
+    set_flight_recorder,
+    set_registry,
+    to_openmetrics,
+    to_prometheus,
+    trace,
+)
+from repro.obs.logging import bind_tenant, get_logger
+from repro.obs.slo import SLOEngine, SLOSpec, parse_slo_specs
+from repro.serve import ServeRequest, ServingCore, serve_admin
+from repro.serve.admin import handle_admin_request
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture
+def log_stream():
+    stream = io.StringIO()
+    configure_logging(stream, level="debug", clock=lambda: 1000.0)
+    yield stream
+    configure_logging(None)
+
+
+def log_records(stream: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Export hardening
+# ----------------------------------------------------------------------
+
+
+class TestExportHardening:
+    def test_label_values_escape_and_round_trip(self, registry):
+        hostile = 'quo"ta\nback\\slash'
+        registry.counter("serve.shed", {"reason": hostile}).inc(3)
+        text = to_prometheus(registry)
+        assert '\\"' in text and "\\n" in text and "\\\\" in text
+        families = parse_prometheus(text)
+        sample = families["repro_serve_shed_total"]["samples"][0]
+        assert sample["labels"]["reason"] == hostile
+        assert sample["value"] == 3.0
+
+    def test_help_strings_escape_and_round_trip(self, registry):
+        registry.describe("serve.shed", 'line\nbreak \\ "quote"')
+        registry.counter("serve.shed").inc()
+        families = parse_prometheus(to_prometheus(registry))
+        assert (
+            families["repro_serve_shed_total"]["help"]
+            == 'line\nbreak \\ "quote"'
+        )
+
+    def test_exemplars_render_and_parse(self, registry):
+        registry.histogram(
+            "serve.latency", {"tenant": "acme"}
+        ).observe(0.01, exemplar={"trace_id": "abc123"})
+        openmetrics = to_openmetrics(registry)
+        assert openmetrics.rstrip().endswith("# EOF")
+        families = parse_prometheus(openmetrics)
+        bearing = [
+            sample
+            for sample in families["repro_serve_latency"]["samples"]
+            if "exemplar" in sample
+        ]
+        assert len(bearing) == 1
+        assert (
+            bearing[0]["exemplar"]["labels"]["trace_id"] == "abc123"
+        )
+        assert bearing[0]["exemplar"]["value"] == 0.01
+        # The classic 0.0.4 exposition must NOT carry exemplars.
+        assert " # {" not in to_prometheus(registry)
+
+    def test_cardinality_cap_drops_and_counts(self):
+        registry = MetricsRegistry(enabled=True, label_cardinality=3)
+        previous = set_registry(registry)
+        try:
+            for index in range(10):
+                registry.counter(
+                    "serve.requests", {"tenant": f"t{index}"}
+                ).inc()
+            snapshot = registry.snapshot()["counters"]
+            kept = [
+                key
+                for key in snapshot
+                if key.startswith("serve.requests{")
+            ]
+            assert len(kept) == 3
+            assert snapshot["obs.dropped_labels"] == 7
+            text = to_prometheus(registry)
+            assert "repro_obs_dropped_labels_total 7" in text
+        finally:
+            set_registry(previous)
+
+    def test_unlabelled_names_are_not_capped(self):
+        registry = MetricsRegistry(enabled=True, label_cardinality=2)
+        for index in range(10):
+            registry.counter(f"metric.{index}").inc()
+        assert len(registry.snapshot()["counters"]) == 10
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+# ----------------------------------------------------------------------
+
+
+class TestStructuredLogging:
+    def test_record_envelope_and_field_merge(self, log_stream):
+        get_logger("repro.test").warning(
+            "serve.shed", reason="quota", depth=3
+        )
+        (record,) = log_records(log_stream)
+        assert record == {
+            "event": "serve.shed",
+            "level": "warning",
+            "logger": "repro.test",
+            "reason": "quota",
+            "depth": 3,
+            "tenant": None,
+            "trace_id": None,
+            "ts": 1000.0,
+        }
+
+    def test_trace_and_tenant_correlation(self, registry, log_stream):
+        with bind_tenant("acme"), trace("outer") as span:
+            get_logger("repro.test").info("inside")
+        (record,) = log_records(log_stream)
+        assert record["tenant"] == "acme"
+        assert record["trace_id"] == span.trace_id
+
+    def test_envelope_wins_field_collisions(self, log_stream):
+        get_logger("repro.test").info(
+            "real.event", trace_id="spoofed", tenant="spoofed"
+        )
+        (record,) = log_records(log_stream)
+        assert record["trace_id"] is None
+        assert record["tenant"] is None
+
+    def test_threshold_filters(self, log_stream):
+        configure_logging(log_stream, level="warning")
+        logger = get_logger("repro.test")
+        logger.debug("dropped")
+        logger.info("dropped")
+        logger.error("kept")
+        assert [r["event"] for r in log_records(log_stream)] == [
+            "kept"
+        ]
+
+    def test_unconfigured_logging_is_silent(self):
+        configure_logging(None)
+        get_logger("repro.test").error("nowhere")  # must not raise
+
+    def test_unknown_level_raises(self, log_stream):
+        with pytest.raises(ValueError, match="unknown log level"):
+            get_logger("repro.test").log("shout", "event")
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(io.StringIO(), level="shout")
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+
+
+def ring_events(recorder: FlightRecorder, trace_id: str) -> list[str]:
+    return [
+        record.get("name", "")
+        for record in recorder.records_for(trace_id)
+    ]
+
+
+class TestFlightRecorderRing:
+    def test_wraparound_keeps_newest(self, registry):
+        recorder = FlightRecorder(capacity=4)
+        with recorder:
+            for index in range(10):
+                emit_event(f"event.{index}")
+        assert len(recorder) == 4
+        names = [record["name"] for record in recorder.last_records()]
+        assert names == [
+            "event.6",
+            "event.7",
+            "event.8",
+            "event.9",
+        ]
+
+    def test_per_trace_eviction(self, registry):
+        recorder = FlightRecorder(capacity=2)
+        with recorder:
+            with trace("first"):
+                emit_event("first.event")
+            with trace("second"):
+                emit_event("second.event")
+        # 4 records flowed (event + span per trace); capacity 2
+        # keeps only the second trace's pair, so the first trace's
+        # id has vanished from the index with its records.
+        assert len(recorder.traces) == 1
+        (survivor,) = recorder.traces
+        assert [
+            record["name"]
+            for record in recorder.records_for(survivor)
+        ] == ["second.event", "second"]
+
+    def test_tee_forwards_to_wrapped_sink(self, registry):
+        received = []
+
+        class Collect:
+            def emit(self, record):
+                received.append(record)
+
+        from repro.obs import set_sink
+
+        previous = set_sink(Collect())
+        try:
+            with FlightRecorder(capacity=4):
+                emit_event("tee.check")
+        finally:
+            set_sink(previous)
+        assert [r["name"] for r in received] == ["tee.check"]
+
+    def test_disarm_is_idempotent(self, registry):
+        recorder = FlightRecorder(capacity=4)
+        recorder.arm()
+        recorder.arm()
+        recorder.disarm()
+        recorder.disarm()
+        emit_event("after.disarm")
+        assert len(recorder) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError, match="max_dumps"):
+            FlightRecorder(max_dumps=0)
+
+
+class TestFlightRecorderDumps:
+    def test_trigger_event_dumps_complete_span_tree(
+        self, registry, tmp_path
+    ):
+        recorder = FlightRecorder(capacity=64, dump_dir=tmp_path)
+        with recorder:
+            with trace("serve.request") as span:
+                with trace("engine.query"):
+                    emit_event("kernel.gf_fallback", reason="mass")
+        assert recorder.snapshot()["dumps_written"] == 1
+        path = recorder.dump_paths[0]
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        header, records = lines[0], lines[1:]
+        assert header["reason"] == "kernel.gf_fallback"
+        assert header["trace_id"] == span.trace_id
+        tree = [
+            (record["type"], record.get("name"))
+            for record in records
+            if record.get("trace_id") == span.trace_id
+        ]
+        assert ("event", "kernel.gf_fallback") in tree
+        assert ("span", "engine.query") in tree
+        assert ("span", "serve.request") in tree
+        chrome = json.loads(
+            path.with_name(
+                path.name.replace(".jsonl", ".chrome.json")
+            ).read_text()
+        )
+        assert chrome["traceEvents"]
+
+    def test_typed_anomaly_hooks(self, registry, tmp_path):
+        recorder = FlightRecorder(dump_dir=tmp_path)
+        set_flight_recorder(recorder)
+        try:
+            notify_anomaly(
+                OverloadedError("full", reason="queue_full"),
+                trace_id="t1",
+            )
+            notify_anomaly(CircuitOpenError("open"), trace_id="t2")
+            notify_anomaly(
+                DeadlineExceededError("late"), trace_id="t3"
+            )
+            # Untyped errors are ignored: not an anomaly contract.
+            notify_anomaly(EngineError("bug"), trace_id="t4")
+        finally:
+            set_flight_recorder(None)
+        snapshot = recorder.snapshot()
+        assert snapshot["dumps_written"] == 3
+        reasons = [
+            json.loads(path.read_text().splitlines()[0])["reason"]
+            for path in recorder.dump_paths
+        ]
+        assert reasons == [
+            "overloaded.queue_full",
+            "circuit_open",
+            "deadline_exceeded",
+        ]
+
+    def test_notify_without_recorder_is_free(self):
+        assert get_flight_recorder() is None
+        notify_anomaly(OverloadedError("x"))  # must not raise
+
+    def test_rate_limit_suppresses_dump_storm(self, registry):
+        clock = FakeClock()
+        recorder = FlightRecorder(
+            min_interval_seconds=10.0, clock=clock
+        )
+        assert recorder.trigger("storm") is None  # no dump_dir
+        assert recorder.snapshot()["dumps_written"] == 1
+        for _ in range(5):
+            recorder.trigger("storm")
+        assert recorder.snapshot()["dumps_written"] == 1
+        assert recorder.snapshot()["dumps_suppressed"] == 5
+        clock.advance(11.0)
+        recorder.trigger("storm")
+        assert recorder.snapshot()["dumps_written"] == 2
+
+    def test_max_dumps_is_a_hard_cap(self, registry):
+        recorder = FlightRecorder(max_dumps=2)
+        for _ in range(5):
+            recorder.trigger("anomaly", force=True)
+        assert recorder.snapshot()["dumps_written"] == 2
+
+    def test_dump_bytes_are_hashseed_deterministic(self, tmp_path):
+        """The dump's *shape* must not depend on PYTHONHASHSEED.
+
+        Trace ids, span ids, and timings vary per process, so the
+        probe nulls those volatile fields and hashes what remains:
+        key order (``sort_keys``), record order, names, attributes.
+        Any hash-seed-dependent iteration in the dump path shows up
+        as differing digests.
+        """
+        script = tmp_path / "dump_digest.py"
+        script.write_text(
+            "import hashlib, json, tempfile\n"
+            "from pathlib import Path\n"
+            "from repro.obs import (FlightRecorder, MetricsRegistry,\n"
+            "    set_registry, emit_event, trace)\n"
+            "set_registry(MetricsRegistry(enabled=True))\n"
+            "out = Path(tempfile.mkdtemp())\n"
+            "rec = FlightRecorder(capacity=32, dump_dir=out)\n"
+            "with rec:\n"
+            "    with trace('serve.request', zeta=1, alpha=2):\n"
+            "        with trace('engine.query', gamma=3, beta=4):\n"
+            "            emit_event('kernel.gf_fallback', b=1, a=2)\n"
+            "VOLATILE = {'trace_id', 'span_id', 'parent_id',\n"
+            "    'start_seconds', 'duration_seconds', 'metrics'}\n"
+            "canon = []\n"
+            "for line in rec.dump_paths[0].read_text().splitlines():\n"
+            "    record = json.loads(line)\n"
+            "    for key in VOLATILE:\n"
+            "        record.pop(key, None)\n"
+            "    canon.append(json.dumps(record, sort_keys=True))\n"
+            "digest = hashlib.sha256(\n"
+            "    '\\n'.join(canon).encode()).hexdigest()\n"
+            "print(digest)\n"
+        )
+        digests = set()
+        for seed in ("0", "1", "42"):
+            result = subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    "PYTHONHASHSEED": seed,
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parents[1] / "src"
+                    ),
+                    "PATH": "/usr/bin:/bin",
+                },
+            )
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1, digests
+
+
+# ----------------------------------------------------------------------
+# SLO engine
+# ----------------------------------------------------------------------
+
+
+def availability_spec(**overrides) -> SLOSpec:
+    fields = dict(
+        name="avail",
+        tenant="acme",
+        objective="availability",
+        target=0.99,
+    )
+    fields.update(overrides)
+    return SLOSpec(**fields)
+
+
+class TestSLOEngine:
+    def test_burn_rate_math(self, registry):
+        clock = FakeClock(1000.0)
+        engine = SLOEngine([availability_spec()], clock=clock)
+        for _ in range(95):
+            engine.observe("acme", ok=True)
+        for _ in range(5):
+            engine.observe("acme", ok=False)
+        (status,) = engine.evaluate()
+        # bad fraction 0.05 over budget 0.01 → burning 5× the budget.
+        assert status.fast_burn == pytest.approx(5.0)
+        assert status.slow_burn == pytest.approx(5.0)
+
+    def test_multi_window_states(self, registry):
+        clock = FakeClock(1000.0)
+        engine = SLOEngine([availability_spec()], clock=clock)
+        for _ in range(50):
+            engine.observe("acme", ok=True)
+            engine.observe("acme", ok=False)
+        (status,) = engine.evaluate()
+        assert status.state == "breach"  # both windows hot
+        clock.advance(400.0)  # past the fast window
+        (status,) = engine.evaluate()
+        assert status.state == "warn"  # only the slow window hot
+        clock.advance(4000.0)  # past the slow window
+        (status,) = engine.evaluate()
+        assert status.state == "ok"
+        assert status.good == 0 and status.bad == 0
+
+    def test_latency_objective_skips_failures(self, registry):
+        clock = FakeClock()
+        spec = availability_spec(
+            name="lat",
+            objective="latency_p99",
+            latency_threshold_ms=50.0,
+        )
+        engine = SLOEngine([spec], clock=clock)
+        engine.observe("acme", ok=True, latency_seconds=0.01)
+        engine.observe("acme", ok=True, latency_seconds=0.2)
+        engine.observe("acme", ok=False, latency_seconds=9.9)
+        (status,) = engine.evaluate()
+        assert status.good == 1 and status.bad == 1
+
+    def test_degradation_objective(self, registry):
+        clock = FakeClock()
+        spec = availability_spec(
+            name="deg", objective="degradation_rate", target=0.5
+        )
+        engine = SLOEngine([spec], clock=clock)
+        engine.observe("acme", ok=True, degraded=True)
+        (status,) = engine.evaluate()
+        assert status.bad == 1
+
+    def test_wildcard_tenant_aggregates(self, registry):
+        clock = FakeClock()
+        engine = SLOEngine(
+            [availability_spec(tenant="*")], clock=clock
+        )
+        engine.observe("a", ok=False)
+        engine.observe("b", ok=False)
+        (status,) = engine.evaluate()
+        assert status.bad == 2
+
+    def test_states_export_as_gauges(self, registry):
+        clock = FakeClock()
+        engine = SLOEngine([availability_spec()], clock=clock)
+        engine.observe("acme", ok=False)
+        engine.evaluate()
+        text = to_prometheus(get_registry())
+        assert 'repro_slo_state{slo="avail",tenant="acme"} 2' in text
+        assert "repro_slo_fast_burn" in text
+
+    def test_idle_tenant_is_ok_not_unknown(self, registry):
+        engine = SLOEngine([availability_spec()], clock=FakeClock())
+        (status,) = engine.evaluate()
+        assert status.state == "ok"
+        assert status.fast_burn == 0.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            availability_spec(objective="vibes")
+        with pytest.raises(ValueError, match="target"):
+            availability_spec(target=1.0)
+        with pytest.raises(ValueError, match="latency_threshold_ms"):
+            availability_spec(objective="latency_p99")
+        with pytest.raises(ValueError, match="windows"):
+            availability_spec(
+                fast_window_seconds=100.0, slow_window_seconds=50.0
+            )
+
+    def test_parse_specs_from_json_text(self):
+        specs = parse_slo_specs(
+            '[{"name": "a", "objective": "availability",'
+            ' "target": 0.999, "tenant": "acme"}]'
+        )
+        assert specs[0].error_budget == pytest.approx(0.001)
+
+    def test_parse_specs_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_slo_specs(
+                '[{"name": "a", "objective": "availability",'
+                ' "target": 0.9, "latency_treshold_ms": 5}]'
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine(
+                [availability_spec(), availability_spec()],
+                clock=FakeClock(),
+            )
+
+
+# ----------------------------------------------------------------------
+# Admin plane
+# ----------------------------------------------------------------------
+
+
+def parse_http(raw: bytes) -> tuple[int, dict, str]:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body.decode()
+
+
+async def admin_get(port: int, path: str) -> tuple[int, dict, str]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET {path} HTTP/1.0\r\nHost: test\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return parse_http(raw)
+
+
+@pytest.fixture
+def db(fig2) -> ProbabilisticDatabase:
+    database = ProbabilisticDatabase()
+    database.create_relation("fig2", fig2)
+    return database
+
+
+class TestAdminPlane:
+    def test_endpoints_end_to_end(self, db, registry):
+        clock = FakeClock()
+        slo = SLOEngine([availability_spec()], clock=clock)
+        core = ServingCore(db, slo=slo)
+
+        async def scenario():
+            admin = await serve_admin(core, port=0, slo=slo)
+            port = admin.sockets[0].getsockname()[1]
+            for _ in range(3):
+                response = await core.submit(
+                    ServeRequest(relation="fig2", k=2, tenant="acme")
+                )
+                assert response.status == "ok"
+
+            status, headers, body = await admin_get(port, "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith(
+                "application/openmetrics-text"
+            )
+            families = parse_prometheus(body)
+            latency = families["repro_serve_latency"]["samples"]
+            exemplars = [s for s in latency if "exemplar" in s]
+            assert exemplars, "scrape must carry exemplars"
+            assert (
+                exemplars[0]["exemplar"]["labels"]["trace_id"]
+            )
+            depth = families["repro_serve_queue_depth"]["samples"]
+            assert depth[0]["value"] == 0.0  # fresh between requests
+
+            status, _, body = await admin_get(port, "/healthz")
+            assert (status, body) == (200, "ok\n")
+            status, _, _ = await admin_get(port, "/readyz")
+            assert status == 200
+            status, _, body = await admin_get(port, "/slo")
+            assert status == 200
+            assert json.loads(body)[0]["state"] == "ok"
+            status, _, body = await admin_get(port, "/debug/flight")
+            assert json.loads(body) == {"armed": False}
+            status, _, _ = await admin_get(port, "/missing")
+            assert status == 404
+
+            await core.drain()
+            status, _, body = await admin_get(port, "/readyz")
+            assert (status, body) == (503, "draining\n")
+
+            admin.close()
+            await admin.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_non_get_rejected(self, db, registry):
+        core = ServingCore(db)
+
+        async def scenario():
+            admin = await serve_admin(core, port=0)
+            port = admin.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(b"DELETE /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            status, _, _ = parse_http(await reader.read())
+            writer.close()
+            await writer.wait_closed()
+            admin.close()
+            await admin.wait_closed()
+            return status
+
+        assert asyncio.run(scenario()) == 405
+
+    def test_debug_flight_forced_dump(self, db, registry):
+        core = ServingCore(db)
+        recorder = FlightRecorder(capacity=16)
+        recorder.arm()
+        set_flight_recorder(recorder)
+        try:
+            emit_event("warm.up")
+            status, _, body = parse_admin_response(
+                handle_admin_request("/debug/flight?dump=1", core)
+            )
+            assert status == 200
+            document = json.loads(body)
+            assert document["dumps_written"] == 1
+            assert document["last_dump"]["header"]["reason"] == (
+                "manual"
+            )
+        finally:
+            recorder.disarm()
+            set_flight_recorder(None)
+
+    def test_metrics_endpoint_refreshes_slo_gauges(
+        self, db, registry
+    ):
+        clock = FakeClock()
+        slo = SLOEngine([availability_spec()], clock=clock)
+        core = ServingCore(db, slo=slo)
+        slo.observe("acme", ok=False)
+        status, _, body = parse_admin_response(
+            handle_admin_request("/metrics", core)
+        )
+        assert status == 200
+        assert 'repro_slo_state{slo="avail",tenant="acme"} 2' in body
+
+
+def parse_admin_response(raw: bytes) -> tuple[int, dict, str]:
+    return parse_http(raw)

@@ -144,8 +144,7 @@ class TestAdmission:
         with pytest.raises(OverloadedError):
             controller.admit("b")
         counters = registry.snapshot()["counters"]
-        assert counters["serve.shed.queue_full"] == 1
-        assert counters["serve.shed"] == 1
+        assert counters['serve.shed{reason="queue_full"}'] == 1
         assert registry.snapshot()["gauges"]["serve.queue_depth"] == 1
 
 

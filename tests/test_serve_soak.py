@@ -249,3 +249,161 @@ class TestChaosSoak:
         assert len(responses) == SOAK_REQUESTS
         for response in responses:
             assert response.status in TYPED_STATUSES
+
+
+class TestAdminUnderChaos:
+    """Admin-endpoint round-trips while the soak is in flight.
+
+    The admin plane shares the event loop with the data plane, so
+    this is the test that it stays responsive under load, that a
+    mid-soak ``/metrics`` scrape parses with exemplars, and that an
+    armed flight recorder captures the chaos-induced anomalies.
+    """
+
+    def test_admin_round_trips_mid_soak(
+        self, db, registry, tmp_path
+    ):
+        from repro.obs import (
+            FlightRecorder,
+            parse_prometheus,
+            set_flight_recorder,
+        )
+        from repro.obs.slo import SLOEngine, SLOSpec
+        from repro.serve import serve_admin
+        import time as time_module
+
+        injector = FaultInjector(
+            error_rate=0.3,
+            latency_rate=0.5,
+            latency_seconds=0.002,
+            seed=fault_seed_from_env(),
+        )
+        slo = SLOEngine(
+            [
+                SLOSpec(
+                    name="soak-avail",
+                    objective="availability",
+                    target=0.5,
+                )
+            ],
+            clock=time_module.monotonic,
+        )
+        core = ServingCore(
+            db,
+            settings=ServeSettings(
+                queue_limit=SOAK_REQUESTS + 1,
+                tenant_rate=10_000.0,
+                tenant_burst=float(SOAK_REQUESTS),
+                default_deadline_ms=2_000.0,
+            ),
+            injector=injector,
+            retry=RetryPolicy(max_retries=1, base_delay=0.0),
+            slo=slo,
+        )
+        recorder = FlightRecorder(
+            capacity=512, dump_dir=tmp_path, max_dumps=4
+        )
+        recorder.arm()
+        set_flight_recorder(recorder)
+
+        async def admin_get(port: int, path: str):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(
+                f"GET {path} HTTP/1.0\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            status = int(head.decode().split()[1])
+            return status, body.decode()
+
+        async def scenario():
+            admin = await serve_admin(core, port=0, slo=slo)
+            port = admin.sockets[0].getsockname()[1]
+            pending = [
+                asyncio.create_task(core.submit(request))
+                for request in soak_requests()
+            ]
+            # Scrape while the soak is genuinely in flight.
+            await asyncio.sleep(0.005)
+            mid_status, mid_body = await admin_get(
+                port, "/metrics"
+            )
+            health_status, _ = await admin_get(port, "/healthz")
+            ready_status, _ = await admin_get(port, "/readyz")
+            responses = await asyncio.gather(*pending)
+            # Force one deterministic anomaly: an already-expired
+            # deadline resolves as a typed DeadlineExceededError,
+            # which must trigger a flight dump.
+            forced = await core.submit(
+                ServeRequest(relation="fig2", k=2, deadline_ms=0.0)
+            )
+            assert forced.status == "error"
+            assert forced.error_type == "DeadlineExceededError"
+            slo_status, slo_body = await admin_get(port, "/slo")
+            flight_status, flight_body = await admin_get(
+                port, "/debug/flight"
+            )
+            await core.drain()
+            admin.close()
+            await admin.wait_closed()
+            assert_no_orphan_tasks()
+            return (
+                responses,
+                (mid_status, mid_body),
+                (health_status, ready_status),
+                (slo_status, slo_body),
+                (flight_status, flight_body),
+            )
+
+        try:
+            (
+                responses,
+                (mid_status, mid_body),
+                (health_status, ready_status),
+                (slo_status, slo_body),
+                (flight_status, flight_body),
+            ) = asyncio.run(scenario())
+        finally:
+            recorder.disarm()
+            set_flight_recorder(None)
+
+        for response in responses:
+            assert response.status in TYPED_STATUSES
+        assert mid_status == 200
+        assert mid_body.rstrip().endswith("# EOF")
+        families = parse_prometheus(mid_body)
+        assert "repro_serve_queue_depth" in families
+        assert (health_status, ready_status) == (200, 200)
+        assert slo_status == 200
+        import json as json_module
+
+        (slo_state,) = json_module.loads(slo_body)
+        assert slo_state["good"] + slo_state["bad"] > 0
+        assert flight_status == 200
+        flight = json_module.loads(flight_body)
+        assert flight["armed"] is True
+        assert flight["records"] > 0
+        # The forced deadline anomaly dumped, and the dump is on
+        # disk with the triggering trace's span tree in it.
+        assert flight["dumps_written"] >= 1
+        dump_lines = [
+            json_module.loads(line)
+            for line in recorder.dump_paths[0]
+            .read_text()
+            .splitlines()
+        ]
+        header = dump_lines[0]
+        trace_records = [
+            record
+            for record in dump_lines[1:]
+            if record.get("trace_id") == header["trace_id"]
+        ]
+        assert any(
+            record.get("name") == "serve.request"
+            for record in trace_records
+        )

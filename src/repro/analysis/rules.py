@@ -699,6 +699,67 @@ class UnstructuredLogging(Rule):
             )
 
 
+# ----------------------------------------------------------------------
+# RPR011 — resource accounting outside the cost-ledger chokepoint
+# ----------------------------------------------------------------------
+
+_CPU_CLOCKS = frozenset(
+    {
+        "os.times",
+        "resource.getrusage",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+    }
+)
+
+
+class AccountingOutsideLedger(Rule):
+    code = "RPR011"
+    name = "accounting-outside-ledger"
+    summary = (
+        "CPU-clock read or ledger write outside repro.obs.costs"
+    )
+    rationale = (
+        "Per-query resource accounting has one chokepoint: "
+        "repro.obs.costs, where both clocks are injectable and every "
+        "ledger write flows through CostLedger.record().  A direct "
+        "time.process_time()/getrusage() read elsewhere produces "
+        "numbers no fake clock can drive (untestable arithmetic) and "
+        "no ledger ever sees (invisible cost); with accounting off "
+        "it is also a clock read the bit-identical fault-free path "
+        "promised not to make.  Meter through "
+        "query_accounting()/CostLedger.meter() instead."
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module != "repro.obs.costs"
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Violation:
+        target = ctx.resolve_call(node)
+        if target in _CPU_CLOCKS:
+            yield node, (
+                f"{target}() reads a CPU/resource clock outside the "
+                "repro.obs.costs chokepoint; meter through "
+                "query_accounting()/CostLedger.meter() so the read "
+                "is injectable and the cost lands in the ledger"
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "record"
+            and isinstance(node.func.value, ast.Name)
+            and "ledger" in node.func.value.id.lower()
+        ):
+            yield node, (
+                "direct ledger .record() call outside "
+                "repro.obs.costs; meter through "
+                "query_accounting()/CostLedger.meter() so clocks, "
+                "aggregates, and drift stay consistent"
+            )
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     FloatEquality(),
@@ -710,6 +771,7 @@ RULES: tuple[Rule, ...] = (
     MutableDefaultArgument(),
     BlockingCallInAsyncServe(),
     UnstructuredLogging(),
+    AccountingOutsideLedger(),
 )
 
 

@@ -1,0 +1,141 @@
+"""Bench-history trend rendering: ``repro bench trend``.
+
+:mod:`repro.bench.compare` appends every gated perf-smoke run to
+``BENCH_history.jsonl`` (commit, timestamp, flat metric values).  The
+gate itself is binary; this module reads the accumulated log back and
+renders the *trajectory* — per-metric values across the last N runs
+with the relative delta from the first to the last shown entry — so a
+slow drift that never trips the 2x tolerance is still visible in CI
+logs and the uploaded artifact.
+
+Plain data first: :func:`trend_table` returns rows a caller can
+re-render, :func:`render_trend` formats them for a terminal, and the
+CLI (wired as ``repro bench trend``) adds ``--json`` for machines.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = [
+    "load_history",
+    "render_trend",
+    "trend_table",
+]
+
+
+def load_history(path: Path | str) -> tuple[list[dict], list[str]]:
+    """``(entries, problems)`` from a JSONL history file.
+
+    Malformed lines are reported, not fatal — the history is an
+    append-only log that may have suffered partial writes, and a
+    trend over the surviving entries is still a trend.
+    """
+    entries: list[dict] = []
+    problems: list[str] = []
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as error:
+        return [], [str(error)]
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            problems.append(f"line {number}: {error}")
+            continue
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("metrics"), Mapping
+        ):
+            problems.append(f"line {number}: not a history entry")
+            continue
+        entries.append(entry)
+    return entries, problems
+
+
+def trend_table(
+    entries: Iterable[Mapping],
+    *,
+    last: int | None = None,
+    pattern: str | None = None,
+) -> dict:
+    """The trend as plain data.
+
+    Returns ``{"commits": [...], "metrics": {name: {"values": [...],
+    "delta": ...}}}`` over the ``last`` entries (all when ``None``).
+    ``values`` aligns with ``commits`` (``None`` where a run lacked
+    the metric); ``delta`` is the first→last relative change over the
+    shown window, ``None`` when either endpoint is missing or zero.
+    ``pattern`` filters metric names with shell-style wildcards.
+    """
+    window = list(entries)
+    if last is not None and last > 0:
+        window = window[-last:]
+    names: set[str] = set()
+    for entry in window:
+        names.update(str(name) for name in entry["metrics"])
+    if pattern is not None:
+        names = {
+            name
+            for name in names
+            if fnmatch.fnmatch(name, pattern)
+        }
+    metrics: dict[str, dict] = {}
+    for name in sorted(names):
+        values: list[float | None] = []
+        for entry in window:
+            value = entry["metrics"].get(name)
+            values.append(
+                float(value)
+                if isinstance(value, (int, float))
+                else None
+            )
+        present = [value for value in values if value is not None]
+        delta = None
+        if len(present) >= 2 and present[0] != 0:
+            delta = (present[-1] - present[0]) / present[0]
+        metrics[name] = {"values": values, "delta": delta}
+    return {
+        "commits": [
+            str(entry.get("commit", "?")) for entry in window
+        ],
+        "metrics": metrics,
+    }
+
+
+def render_trend(table: Mapping) -> str:
+    """A terminal table: one metric per row, newest run last."""
+    commits = list(table["commits"])
+    if not commits:
+        return "no history entries"
+    name_width = max(
+        [len(name) for name in table["metrics"]] or [6]
+    )
+    header = (
+        f"{'metric':<{name_width}}  "
+        + "  ".join(f"{commit:>10}" for commit in commits)
+        + "      delta"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in table["metrics"].items():
+        cells = "  ".join(
+            f"{value:>10.6g}" if value is not None else f"{'-':>10}"
+            for value in row["values"]
+        )
+        delta = row["delta"]
+        delta_text = (
+            f"{delta:+9.1%}" if delta is not None else f"{'-':>9}"
+        )
+        lines.append(
+            f"{name:<{name_width}}  {cells}  {delta_text}"
+        )
+    lines.append(
+        f"{len(table['metrics'])} metrics over "
+        f"{len(commits)} runs"
+    )
+    return "\n".join(lines)

@@ -22,6 +22,14 @@ Python:
 * ``lint`` — run the :mod:`repro.analysis` invariant linter (exit 0
   clean, 1 findings, 13 internal analyzer error; see
   ``docs/static_analysis.md``);
+* ``calibrate`` — fit a planner cost model (per-kernel seconds
+  coefficients) from bench history and/or capture logs, persisted as
+  versioned JSON for ``--cost-model`` (see ``docs/observability.md``);
+* ``profile`` — run a query in a loop under the continuous sampling
+  profiler and dump collapsed stacks or speedscope JSON
+  (``--profile-out`` arms the same profiler on ``topk`` / ``serve``);
+* ``bench trend`` — render ``BENCH_history.jsonl`` as a per-metric
+  delta table (the perf-smoke gate's trend log, made readable);
 * ``serve`` — the multi-tenant serving core (:mod:`repro.serve`) over
   one or more relation files: line-JSON requests in, typed responses
   out, either as a concurrent batch (``--workload`` / stdin) or a TCP
@@ -335,6 +343,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="injected per-access latency for the chaos demo",
     )
 
+    # Cost-model flag shared by topk, explain, and serve.
+    costmodel_flags = argparse.ArgumentParser(add_help=False)
+    costmodel_flags.add_argument(
+        "--cost-model",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "plan with calibrated per-kernel cost coefficients from "
+            "PATH (written by 'repro calibrate'); candidate plans are "
+            "ranked by predicted seconds instead of the static "
+            "heuristic"
+        ),
+    )
+
+    # Profiler flags shared by topk and serve.
+    profile_flags = argparse.ArgumentParser(add_help=False)
+    profile_flags.add_argument(
+        "--profile-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "arm the sampling profiler for the whole command and "
+            "write the dump to PATH (.txt collapsed stacks, "
+            "otherwise speedscope JSON)"
+        ),
+    )
+    profile_flags.add_argument(
+        "--profile-hz",
+        type=float,
+        default=97.0,
+        metavar="HZ",
+        help="profiler sampling rate (default 97)",
+    )
+
     # Capture flags shared by topk and the capture command.
     capture_flags = argparse.ArgumentParser(add_help=False)
     capture_flags.add_argument(
@@ -360,7 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     topk = commands.add_parser(
         "topk",
-        parents=[ingest, query, resilience, capture_flags],
+        parents=[
+            ingest,
+            query,
+            resilience,
+            capture_flags,
+            costmodel_flags,
+            profile_flags,
+        ],
         help="run a top-k ranking query over a relation file",
     )
     topk.add_argument("file", type=Path, help="relation .csv or .json")
@@ -380,7 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain = commands.add_parser(
         "explain",
-        parents=[ingest, query, resilience],
+        parents=[ingest, query, resilience, costmodel_flags],
         help=(
             "with two tuple ids: why one outranks the other; with "
             "none: EXPLAIN a top-k query (plan, cost, timings, events)"
@@ -566,7 +617,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        parents=[ingest, resilience, capture_flags],
+        parents=[
+            ingest,
+            resilience,
+            capture_flags,
+            costmodel_flags,
+            profile_flags,
+        ],
         help=(
             "serve line-JSON ranking queries through the "
             "multi-tenant serving core: a concurrent batch from "
@@ -657,8 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PORT",
         help=(
             "start the admin plane (/metrics /healthz /readyz /slo "
-            "/debug/flight) on PORT next to the TCP server (0 picks "
-            "a free port; requires --port; see docs/observability.md)"
+            "/costs /debug/flight /debug/profile) on PORT next to "
+            "the TCP server (0 picks a free port; requires --port; "
+            "see docs/observability.md)"
         ),
     )
     serve.add_argument(
@@ -694,6 +752,136 @@ def build_parser() -> argparse.ArgumentParser:
             "write structured JSON logs to PATH ('-' for stderr); "
             "records carry trace ids and tenants"
         ),
+    )
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help=(
+            "fit planner cost-model coefficients from bench history "
+            "and/or capture JSONL, writing versioned JSON for "
+            "--cost-model"
+        ),
+    )
+    calibrate.add_argument(
+        "--history",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="PATH",
+        help=(
+            "BENCH_history.jsonl from the perf-smoke gate "
+            "(repeatable)"
+        ),
+    )
+    calibrate.add_argument(
+        "--capture",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="capture JSONL from --capture-out (repeatable)",
+    )
+    calibrate.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the fitted model as JSON to PATH",
+    )
+    calibrate.add_argument(
+        "--expensive-access-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "predicted seconds charged per tuple access under "
+            "expensive-access planning (default 1e-4)"
+        ),
+    )
+    calibrate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the fitted model document as JSON",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        parents=[ingest, query],
+        help=(
+            "run a query in a loop under the sampling profiler for "
+            "--seconds, then dump collapsed stacks or speedscope JSON"
+        ),
+    )
+    profile.add_argument("file", type=Path, help="relation .csv or .json")
+    profile.add_argument(
+        "--seconds",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="how long to keep querying under the profiler (default 2)",
+    )
+    profile.add_argument(
+        "--hz",
+        type=float,
+        default=97.0,
+        help="profiler sampling rate (default 97)",
+    )
+    profile.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "dump destination (.txt collapsed stacks, otherwise "
+            "speedscope JSON); with --json the document prints to "
+            "stdout instead"
+        ),
+    )
+
+    bench = commands.add_parser(
+        "bench", help="benchmark utilities (history trends)"
+    )
+    bench_commands = bench.add_subparsers(
+        dest="bench_command", required=True
+    )
+    trend = bench_commands.add_parser(
+        "trend",
+        help=(
+            "render the perf-smoke history as a per-metric delta "
+            "table (newest runs last)"
+        ),
+    )
+    trend.add_argument(
+        "--history",
+        type=Path,
+        default=Path("benchmarks/results/BENCH_history.jsonl"),
+        metavar="PATH",
+        help=(
+            "history JSONL appended by the perf-smoke gate "
+            "(default: benchmarks/results/BENCH_history.jsonl)"
+        ),
+    )
+    trend.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the most recent N runs (default 10)",
+    )
+    trend.add_argument(
+        # Not ``--metric``: the root parser classifies option strings
+        # before delegating to subparsers, and an abbreviation of the
+        # global ``--metrics-out`` / ``--metrics-format`` is rejected
+        # as ambiguous there.
+        "--filter",
+        default=None,
+        metavar="GLOB",
+        help="only metrics matching this shell-style pattern",
+    )
+    trend.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the trend table as JSON instead of text",
     )
 
     generate = commands.add_parser(
@@ -753,12 +941,56 @@ def _query_options(args) -> dict:
     return options
 
 
-def _build_executor(args):
+def _planner_for(args, *, expensive_access: bool = False):
+    """A cost-model planner from ``--cost-model``, or ``None``.
+
+    ``None`` (no flag) keeps every code path exactly as before — the
+    engine's static heuristics, bit-identical output.
+    """
+    path = getattr(args, "cost_model", None)
+    if path is None:
+        return None
+    from repro.engine.query import TopKPlanner
+    from repro.obs.costmodel import CostModel
+
+    try:
+        model = CostModel.load(path)
+    except (ValueError, KeyError) as error:
+        raise SchemaError(f"{path}: {error}") from error
+    return TopKPlanner(
+        expensive_access=expensive_access, cost_model=model
+    )
+
+
+@contextmanager
+def _profile_for(args) -> Iterator["object | None"]:
+    """Arm the sampling profiler for ``--profile-out``, dump after."""
+    out = getattr(args, "profile_out", None)
+    if out is None:
+        yield None
+        return
+    from repro.obs.profiler import SamplingProfiler
+
+    profiler = SamplingProfiler(
+        hz=getattr(args, "profile_hz", 97.0)
+    )
+    with profiler:
+        yield profiler
+    profiler.write(out)
+    print(
+        f"profile: {profiler.sample_count} samples to {out}",
+        file=sys.stderr,
+    )
+
+
+def _build_executor(args, *, planner=None):
     """``(executor, injector, retry)`` from the resilience flags.
 
     All three are ``None`` when no resilience flag was given, keeping
     default invocations bit-identical to the exact engine (and free of
-    the resilience layer's overhead).
+    the resilience layer's overhead).  ``planner`` (a cost-model
+    planner from ``--cost-model``) rides along on the executor when
+    one is built.
     """
     resilient = (
         args.deadline_ms is not None
@@ -801,6 +1033,7 @@ def _build_executor(args):
         # breaker; wiring the board anyway puts per-rung states into
         # the EXPLAIN resilience envelope and capture records.
         breakers=BreakerBoard(),
+        planner=planner,
     )
     return executor, injector, retry
 
@@ -837,30 +1070,35 @@ def _capture_for(args) -> Iterator["object | None"]:
 
 
 def _execute_recorded(
-    relation, k, method, options, executor, relation_name
+    relation, k, method, options, executor, relation_name, planner=None
 ):
     """Run one query, recording it when a capture log is ambient.
 
-    The plain path (no capture installed) stays bit-identical to
-    calling the engine directly: :func:`query_capture` is one ``None``
-    check and no clock is read.
+    The plain path (no capture installed, no planner) stays
+    bit-identical to calling the engine directly: :func:`query_capture`
+    is one ``None`` check and no clock is read.  ``planner`` (the
+    ``--cost-model`` hook) routes the plain path through
+    ``planner.plan(...).execute(...)`` so the chosen plan and its
+    estimate replace the static dispatch.
     """
     from repro.obs.capture import query_capture
 
-    with query_capture() as capture:
-        if capture is None:
-            if executor is not None:
-                return executor.execute(
-                    relation, k, method=method, **options
-                )
-            return rank(relation, k, method=method, **options)
-        start = time.perf_counter()
+    def _run():
         if executor is not None:
-            result = executor.execute(
+            return executor.execute(
                 relation, k, method=method, **options
             )
-        else:
-            result = rank(relation, k, method=method, **options)
+        if planner is not None:
+            return planner.plan(
+                relation, k, method, **options
+            ).execute(relation, k)
+        return rank(relation, k, method=method, **options)
+
+    with query_capture() as capture:
+        if capture is None:
+            return _run()
+        start = time.perf_counter()
+        result = _run()
         capture.record_query(
             relation,
             result,
@@ -876,8 +1114,9 @@ def _execute_recorded(
 
 def _command_topk(args) -> int:
     options = _query_options(args)
-    executor, injector, retry = _build_executor(args)
-    with _capture_for(args):
+    planner = _planner_for(args)
+    executor, injector, retry = _build_executor(args, planner=planner)
+    with _capture_for(args), _profile_for(args):
         if executor is None:
             relation = _load_for(args)
         else:
@@ -894,6 +1133,7 @@ def _command_topk(args) -> int:
             options,
             executor,
             str(args.file),
+            planner=planner,
         )
     if args.json:
         import json as json_module
@@ -904,6 +1144,12 @@ def _command_topk(args) -> int:
     accessed = result.metadata.get("tuples_accessed")
     if accessed is not None:
         print(f"tuples accessed: {accessed} of {relation.size}")
+    estimate = result.metadata.get("cost_estimate")
+    if estimate is not None:
+        print(
+            f"predicted: {estimate['total_seconds']:.3g}s "
+            f"({estimate['tuples']} tuples via {estimate['kernel']})"
+        )
     for item in result:
         statistic = (
             "" if item.statistic is None else f"\t{item.statistic:.6g}"
@@ -990,12 +1236,16 @@ def _command_explain(args) -> int:
         return 0
     from repro.obs.explain import explain as explain_query
 
-    executor, injector, retry = _build_executor(args)
+    planner = _planner_for(
+        args, expensive_access=not args.cheap_access
+    )
+    executor, injector, retry = _build_executor(args, planner=planner)
     relation = _load_for(args, injector=injector, retry=retry)
     report = explain_query(
         relation,
         args.k,
         args.method,
+        planner=planner,
         executor=executor,
         dry_run=args.dry_run,
         expensive_access=not args.cheap_access,
@@ -1080,6 +1330,130 @@ def _command_audit(args) -> int:
     ]
     for name, property_name, counterexample in failures:
         print(f"  {name} / {property_name}: {counterexample}")
+    return 0
+
+
+def _command_calibrate(args) -> int:
+    import json as json_module
+
+    from repro.bench.trend import load_history
+    from repro.obs.capture import read_jsonl
+    from repro.obs.costmodel import (
+        DEFAULT_EXPENSIVE_ACCESS_SECONDS,
+        fit_cost_model,
+    )
+
+    if not args.history and not args.capture:
+        print(
+            "error: calibrate needs at least one --history or "
+            "--capture",
+            file=sys.stderr,
+        )
+        return 2
+    entries: list[dict] = []
+    captures: list[dict] = []
+    sources: list[str] = []
+    for path in args.history:
+        loaded, problems = load_history(path)
+        for problem in problems:
+            print(f"warning: {path}: {problem}", file=sys.stderr)
+        entries.extend(loaded)
+        sources.append(str(path))
+    for path in args.capture:
+        records, problems = read_jsonl(path)
+        for problem in problems:
+            print(f"warning: {path}: {problem}", file=sys.stderr)
+        captures.extend(records)
+        sources.append(str(path))
+    model = fit_cost_model(
+        entries,
+        captures,
+        fitted_from=sources,
+        expensive_access_seconds=(
+            args.expensive_access_seconds
+            if args.expensive_access_seconds is not None
+            else DEFAULT_EXPENSIVE_ACCESS_SECONDS
+        ),
+    )
+    if not model.kernels:
+        print(
+            "error: no calibratable samples in the given sources",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out is not None:
+        model.save(args.out)
+        print(f"wrote cost model to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json_module.dumps(model.to_document(), indent=2))
+    else:
+        print(model.describe())
+    return 0
+
+
+def _command_profile(args) -> int:
+    import json as json_module
+
+    from repro.obs.profiler import SamplingProfiler
+
+    if args.out is None and not args.json:
+        print(
+            "error: profile needs --out PATH or --json",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seconds <= 0:
+        print("error: --seconds must be positive", file=sys.stderr)
+        return 2
+    options = _query_options(args)
+    relation = _load_for(args)
+    profiler = SamplingProfiler(hz=args.hz)
+    executed = 0
+    deadline = time.perf_counter() + args.seconds
+    with profiler:
+        while time.perf_counter() < deadline:
+            rank(relation, args.k, method=args.method, **options)
+            executed += 1
+    if args.out is not None:
+        profiler.write(args.out)
+    if args.json:
+        print(
+            json_module.dumps(
+                profiler.to_speedscope(name=str(args.file)),
+                sort_keys=True,
+            )
+        )
+    print(
+        f"profiled {executed} queries over {args.seconds:g}s "
+        f"({profiler.sample_count} samples)"
+        + (f" to {args.out}" if args.out is not None else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_bench(args) -> int:
+    import json as json_module
+
+    from repro.bench.trend import (
+        load_history,
+        render_trend,
+        trend_table,
+    )
+
+    # Only one subcommand today; argparse enforces its presence.
+    entries, problems = load_history(args.history)
+    for problem in problems:
+        print(
+            f"warning: {args.history}: {problem}", file=sys.stderr
+        )
+    table = trend_table(
+        entries, last=args.last, pattern=args.filter
+    )
+    if args.json:
+        print(json_module.dumps(table, indent=2, sort_keys=True))
+    else:
+        print(render_trend(table))
     return 0
 
 
@@ -1356,13 +1730,25 @@ def _command_serve(args) -> int:
         recorder = FlightRecorder(dump_dir=args.flight_dir)
         recorder.arm()
         set_flight_recorder(recorder)
+    planner = _planner_for(args, expensive_access=True)
+    # The serving core always carries a ledger: per-tenant cost
+    # attribution is the point of a multi-tenant front end, and the
+    # /costs endpoint reads it live.
+    from repro.obs.costs import CostLedger
+
+    ledger = CostLedger()
     database = ProbabilisticDatabase()
-    with _capture_for(args):
+    with _capture_for(args), _profile_for(args):
         for path in args.files:
             args.file = path
             database.create_relation(path.stem, _load_for(args))
         core = ServingCore(
-            database, settings=settings, injector=injector, slo=slo
+            database,
+            settings=settings,
+            injector=injector,
+            slo=slo,
+            ledger=ledger,
+            planner=planner,
         )
         if args.port is not None:
             return _serve_forever(core, args)
@@ -1403,6 +1789,9 @@ _COMMANDS = {
     "churn": _command_churn,
     "audit": _command_audit,
     "generate": _command_generate,
+    "calibrate": _command_calibrate,
+    "profile": _command_profile,
+    "bench": _command_bench,
     "capture": _command_capture,
     "replay": _command_replay,
     "report": _command_report,

@@ -20,6 +20,7 @@ from repro.core.semantics import rank
 from repro.engine.io import load_json, save_json
 from repro.obs import trace
 from repro.obs.capture import query_capture
+from repro.obs.costs import query_accounting
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.query import ResilientExecutor
@@ -188,10 +189,13 @@ class ProbabilisticDatabase:
         When an ambient :class:`~repro.obs.capture.CaptureLog` is
         installed, the query is additionally recorded there —
         ``db.topk`` claims the capture point, so a nested executor
-        does not record the same query twice.
+        does not record the same query twice.  The ambient
+        :class:`~repro.obs.costs.CostLedger` works the same way: the
+        outermost claimer meters the query, so serving-layer metering
+        (which attributes a tenant) wins over this entry point.
         """
         relation = self.relation(name)
-        with query_capture() as capture:
+        with query_capture() as capture, query_accounting() as meter:
             start = time.perf_counter()
             # The db.topk span is the query's root: the planner,
             # kernel, retry, and degradation spans all nest under it
@@ -239,6 +243,14 @@ class ProbabilisticDatabase:
                     wall_seconds=time.perf_counter() - start,
                     relation_name=name,
                     executor=executor,
+                    trace_id=span.trace_id,
+                )
+            if meter is not None:
+                meter.finish(
+                    result,
+                    k=k,
+                    n=relation.size,
+                    method=method,
                     trace_id=span.trace_id,
                 )
         return result

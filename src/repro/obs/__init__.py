@@ -14,6 +14,12 @@ The layer the benchmarks, the CLI and CI's perf smoke all read from:
 * :func:`to_prometheus` / :func:`parse_prometheus` — registry
   snapshots in Prometheus text exposition format
   (:mod:`repro.obs.export`);
+* :class:`CostLedger` / :class:`CostModel` — per-query resource
+  accounting against a calibrated planner cost model
+  (:mod:`repro.obs.costs`, :mod:`repro.obs.costmodel`);
+* :class:`SamplingProfiler` — stdlib-only continuous sampling
+  profiler with collapsed-stack and speedscope output
+  (:mod:`repro.obs.profiler`);
 * :class:`CaptureLog` / :func:`replay_capture` / :func:`build_report`
   / :func:`to_chrome_trace` — durable workload capture, deterministic
   replay with per-query regression verdicts, session-wide reports,
@@ -54,6 +60,18 @@ from repro.obs.chrome_trace import (
     build_span_tree,
     to_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.costmodel import (
+    CostEstimate,
+    CostModel,
+    fit_cost_model,
+)
+from repro.obs.costs import (
+    CostEntry,
+    CostLedger,
+    get_cost_ledger,
+    query_accounting,
+    set_cost_ledger,
 )
 from repro.obs.explain import (
     EXPLAIN_SCHEMA,
@@ -106,6 +124,7 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.profile import profiled
+from repro.obs.profiler import SamplingProfiler, validate_speedscope
 from repro.obs.trace import (
     JsonlSink,
     LoggingSink,
@@ -123,6 +142,10 @@ __all__ = [
     "EXPLAIN_SCHEMA",
     "OPENMETRICS_CONTENT_TYPE",
     "CaptureLog",
+    "CostEntry",
+    "CostEstimate",
+    "CostLedger",
+    "CostModel",
     "Counter",
     "ExplainReport",
     "FlightRecorder",
@@ -137,6 +160,7 @@ __all__ = [
     "SLOEngine",
     "SLOSpec",
     "SLOStatus",
+    "SamplingProfiler",
     "SessionReport",
     "Sink",
     "StructuredLogger",
@@ -154,7 +178,9 @@ __all__ = [
     "escape_help",
     "escape_label_value",
     "explain",
+    "fit_cost_model",
     "get_capture",
+    "get_cost_ledger",
     "get_flight_recorder",
     "get_logger",
     "get_registry",
@@ -165,11 +191,13 @@ __all__ = [
     "parse_prometheus",
     "parse_slo_specs",
     "profiled",
+    "query_accounting",
     "query_capture",
     "read_jsonl",
     "relation_digest",
     "replay_capture",
     "set_capture",
+    "set_cost_ledger",
     "set_flight_recorder",
     "set_registry",
     "set_sink",
@@ -178,6 +206,7 @@ __all__ = [
     "to_prometheus",
     "trace",
     "validate_report",
+    "validate_speedscope",
     "write_chrome_trace",
 ]
 

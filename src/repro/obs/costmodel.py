@@ -1,0 +1,475 @@
+"""The calibrated planner cost model: per-kernel coefficients.
+
+The paper's efficiency argument (Sections 6-7) is a *cost* argument:
+the exact expected-rank pass is ``O(N log N)``, the median/quantile
+generating-function engine pays ``O(N^2)`` coefficient work, and the
+pruned sorted-access variants touch a data-dependent prefix.  Until
+now those costs lived only in ``docs/kernels.md`` and the bench
+suite; this module turns them into numbers the planner can consume.
+
+A :class:`CostModel` holds one fitted coefficient per kernel family
+(seconds per complexity unit) plus a prefix ratio per pruned kernel
+(observed tuples accessed relative to ``k log2 n``).  Coefficients
+are *calibrated*, not assumed: :func:`fit_cost_model` regresses them
+from ``BENCH_history.jsonl`` entries (metric names like
+``a_erank/uu/n=2000/seconds``) and/or capture-log query records, and
+``repro calibrate`` persists the result as versioned JSON.
+
+Given a query, :meth:`CostModel.estimate` returns a
+:class:`CostEstimate` — predicted tuples accessed, the kernel's
+complexity term, and predicted seconds split into kernel time and
+access time — which :class:`~repro.engine.query.TopKPlanner` uses to
+rank candidate plans and :class:`~repro.obs.costs.CostLedger` keeps
+next to the measured actuals.  A missing coefficient yields ``None``
+and the planner falls back to its static heuristic, so an uncalibrated
+process behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = [
+    "COST_MODEL_SCHEMA_VERSION",
+    "CostEstimate",
+    "CostModel",
+    "fit_cost_model",
+    "parse_metric_name",
+]
+
+#: Bumped on breaking changes to the persisted coefficient layout.
+COST_MODEL_SCHEMA_VERSION = 1
+
+#: Default predicted seconds per tuple access when the planner declares
+#: access expensive (remote/on-disk data).  Deliberately conservative:
+#: one access ~ a fast network round trip, so pruned scans keep winning
+#: under expensive access unless the kernel term dominates outright.
+DEFAULT_EXPENSIVE_ACCESS_SECONDS = 1e-4
+
+
+def _units_nlogn(n: int) -> float:
+    return n * math.log2(max(n, 2))
+
+
+def _units_quadratic(n: int) -> float:
+    return float(n) * float(n)
+
+
+#: Kernel families the model can be calibrated for, keyed by
+#: ``(relation model, method)``.  Each entry names the bench kernel the
+#: coefficient is fitted from and the complexity-unit function from the
+#: ``docs/kernels.md`` table.  Pruned methods reuse their exact twin's
+#: per-unit coefficient over a predicted prefix instead of ``n``.
+_KERNELS: dict[tuple[str, str], tuple[str, str]] = {
+    ("attribute", "expected_rank"): ("a_erank", "nlogn"),
+    ("tuple", "expected_rank"): ("t_erank", "nlogn"),
+    ("attribute", "median_rank"): ("a_mqrank_gf", "quadratic"),
+    ("attribute", "quantile_rank"): ("a_mqrank_gf", "quadratic"),
+    ("tuple", "median_rank"): ("t_mqrank_gf", "quadratic"),
+    ("tuple", "quantile_rank"): ("t_mqrank_gf", "quadratic"),
+    ("attribute", "expected_rank_prune"): ("a_erank", "nlogn"),
+    ("tuple", "expected_rank_prune"): ("t_erank", "nlogn"),
+    ("attribute", "quantile_rank_prune"): (
+        "a_mqrank_gf",
+        "quadratic",
+    ),
+    ("tuple", "quantile_rank_prune"): ("t_mqrank_gf", "quadratic"),
+}
+
+#: Bench prune kernels feeding the prefix-ratio fit, keyed by the
+#: ``(relation model, pruned method)`` they inform.
+_PRUNE_KERNELS: dict[str, tuple[str, str]] = {
+    "a_erank_prune": ("attribute", "expected_rank_prune"),
+    "t_erank_prune": ("tuple", "expected_rank_prune"),
+    "a_mqrank_prune": ("attribute", "quantile_rank_prune"),
+    "t_mqrank_prune": ("tuple", "quantile_rank_prune"),
+}
+
+_UNIT_FUNCTIONS = {
+    "nlogn": _units_nlogn,
+    "quadratic": _units_quadratic,
+}
+
+#: Methods whose cost estimate runs over a predicted prefix, not ``n``.
+_PRUNED_METHODS = frozenset(
+    {"expected_rank_prune", "quantile_rank_prune"}
+)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The planner's predicted cost for one candidate plan.
+
+    ``kernel_seconds`` is ``units * seconds_per_unit`` from the
+    calibrated coefficient; ``access_seconds`` prices the predicted
+    ``tuples`` accesses under the planner's declared access cost.
+    ``total_seconds`` is what candidate plans are ranked by.
+    """
+
+    method: str
+    kernel: str
+    units: float
+    tuples: int
+    kernel_seconds: float
+    access_seconds: float
+    model_version: int = COST_MODEL_SCHEMA_VERSION
+
+    @property
+    def total_seconds(self) -> float:
+        return self.kernel_seconds + self.access_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "kernel": self.kernel,
+            "units": self.units,
+            "tuples": self.tuples,
+            "kernel_seconds": self.kernel_seconds,
+            "access_seconds": self.access_seconds,
+            "total_seconds": self.total_seconds,
+            "model_version": self.model_version,
+        }
+
+
+def parse_metric_name(name: str) -> dict | None:
+    """Decompose a bench metric name into its structured parts.
+
+    ``a_erank/uu/n=2000/seconds`` →
+    ``{"kernel": "a_erank", "workload": "uu", "n": 2000, "k": None,
+    "kind": "seconds"}``; returns ``None`` for names outside the
+    convention (the fit skips them instead of guessing).
+    """
+    parts = name.split("/")
+    if len(parts) < 4:
+        return None
+    kernel, workload = parts[0], parts[1]
+    kind = parts[-1]
+    n = None
+    k = None
+    for part in parts[2:-1]:
+        key, _, value = part.partition("=")
+        if not value or not value.isdigit():
+            return None
+        if key == "n":
+            n = int(value)
+        elif key == "k":
+            k = int(value)
+    if n is None or kind not in ("seconds", "tuples_accessed"):
+        return None
+    return {
+        "kernel": kernel,
+        "workload": workload,
+        "n": n,
+        "k": k,
+        "kind": kind,
+    }
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+class CostModel:
+    """Calibrated per-kernel cost coefficients.
+
+    Parameters
+    ----------
+    kernels:
+        ``{kernel: {"seconds_per_unit": ..., "observations": ...}}``
+        for exact kernels, plus ``{"prefix_ratio": ...}`` entries for
+        pruned kernels (the observed accessed-prefix length relative
+        to ``k * log2(n)``).
+    expensive_access_seconds:
+        Predicted seconds charged per tuple access when the planner
+        declares access expensive; ``0.0`` is charged when cheap.
+    fitted_from:
+        Provenance strings (file paths, commits) for the report
+        header and the persisted JSON.
+    """
+
+    def __init__(
+        self,
+        kernels: Mapping[str, Mapping[str, float]] | None = None,
+        *,
+        expensive_access_seconds: float = (
+            DEFAULT_EXPENSIVE_ACCESS_SECONDS
+        ),
+        fitted_from: Iterable[str] = (),
+        schema_version: int = COST_MODEL_SCHEMA_VERSION,
+    ) -> None:
+        self.kernels = {
+            str(name): dict(entry)
+            for name, entry in (kernels or {}).items()
+        }
+        self.expensive_access_seconds = float(
+            expensive_access_seconds
+        )
+        self.fitted_from = tuple(str(item) for item in fitted_from)
+        self.schema_version = int(schema_version)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def predicted_prefix(
+        self, model: str, method: str, n: int, k: int
+    ) -> int:
+        """Tuples a pruned scan is predicted to touch.
+
+        ``ratio * k * log2(n)`` with the ratio calibrated from bench
+        prune counts (default 1.0), clamped into ``[k + 1, n]`` — a
+        pruned scan must read at least the answer plus one stopping
+        witness and can never exceed the relation.
+        """
+        kernel, _ = _KERNELS[(model, method)]
+        entry = self.kernels.get(f"{kernel}_prune", {})
+        ratio = float(entry.get("prefix_ratio", 1.0))
+        predicted = ratio * max(k, 1) * math.log2(max(n, 2))
+        return max(min(n, int(math.ceil(predicted))), min(n, k + 1))
+
+    def estimate(
+        self,
+        model: str,
+        method: str,
+        n: int,
+        k: int,
+        *,
+        expensive_access: bool = False,
+    ) -> CostEstimate | None:
+        """Predicted cost of running ``method``, or ``None``.
+
+        ``None`` means the model has no calibrated coefficient for the
+        kernel this query would run — the planner then falls back to
+        its static heuristic rather than trusting a made-up number.
+        """
+        key = (model, method)
+        if key not in _KERNELS:
+            return None
+        kernel, units_name = _KERNELS[key]
+        entry = self.kernels.get(kernel)
+        if entry is None or "seconds_per_unit" not in entry:
+            return None
+        if method in _PRUNED_METHODS:
+            tuples = self.predicted_prefix(model, method, n, k)
+        else:
+            tuples = n
+        units = _UNIT_FUNCTIONS[units_name](tuples)
+        access_seconds = (
+            tuples * self.expensive_access_seconds
+            if expensive_access
+            else 0.0
+        )
+        return CostEstimate(
+            method=method,
+            kernel=kernel,
+            units=units,
+            tuples=tuples,
+            kernel_seconds=units * float(entry["seconds_per_unit"]),
+            access_seconds=access_seconds,
+            model_version=self.schema_version,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_document(self) -> dict:
+        """The versioned JSON document ``repro calibrate`` writes."""
+        return {
+            "schema": self.schema_version,
+            "kind": "repro-cost-model",
+            "fitted_from": list(self.fitted_from),
+            "expensive_access_seconds": (
+                self.expensive_access_seconds
+            ),
+            "kernels": {
+                name: dict(entry)
+                for name, entry in sorted(self.kernels.items())
+            },
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping) -> "CostModel":
+        if document.get("kind") != "repro-cost-model":
+            raise ValueError(
+                "not a cost-model document (kind="
+                f"{document.get('kind')!r})"
+            )
+        schema = document.get("schema")
+        if schema != COST_MODEL_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported cost-model schema {schema!r} "
+                f"(this build reads {COST_MODEL_SCHEMA_VERSION})"
+            )
+        return cls(
+            document.get("kernels", {}),
+            expensive_access_seconds=float(
+                document.get(
+                    "expensive_access_seconds",
+                    DEFAULT_EXPENSIVE_ACCESS_SECONDS,
+                )
+            ),
+            fitted_from=document.get("fitted_from", ()),
+            schema_version=int(schema),
+        )
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_document(), indent=2, sort_keys=True)
+            + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "CostModel":
+        return cls.from_document(
+            json.loads(Path(path).read_text())
+        )
+
+    def describe(self) -> str:
+        """A terminal rendering of the fitted coefficients."""
+        lines = [
+            f"cost model v{self.schema_version} "
+            f"({len(self.kernels)} kernels)"
+        ]
+        for name in sorted(self.kernels):
+            entry = self.kernels[name]
+            parts = []
+            if "seconds_per_unit" in entry:
+                parts.append(
+                    f"seconds_per_unit={entry['seconds_per_unit']:.3e}"
+                )
+            if "prefix_ratio" in entry:
+                parts.append(
+                    f"prefix_ratio={entry['prefix_ratio']:.3f}"
+                )
+            parts.append(
+                f"observations={int(entry.get('observations', 0))}"
+            )
+            lines.append(f"  {name}: {' '.join(parts)}")
+        if self.fitted_from:
+            lines.append(
+                "fitted from: " + ", ".join(self.fitted_from)
+            )
+        return "\n".join(lines)
+
+
+#: Capture-record method → the kernel its wall time calibrates, per
+#: relation model.  Degraded or Monte-Carlo answers are skipped: their
+#: wall time reflects retries and sampling budgets, not the kernel.
+_CAPTURE_KERNELS: dict[tuple[str, str], str] = {
+    (model, method): kernel
+    for (model, method), (kernel, _) in _KERNELS.items()
+    if method not in _PRUNED_METHODS
+}
+
+
+def fit_cost_model(
+    history_entries: Iterable[Mapping] = (),
+    capture_records: Iterable[Mapping] = (),
+    *,
+    fitted_from: Iterable[str] = (),
+    expensive_access_seconds: float = (
+        DEFAULT_EXPENSIVE_ACCESS_SECONDS
+    ),
+) -> CostModel:
+    """Fit per-kernel coefficients from bench history and captures.
+
+    Each ``seconds`` metric of a known kernel contributes one
+    ``seconds / units(n)`` sample; each prune ``tuples_accessed``
+    metric contributes one ``accessed / (k * log2 n)`` prefix-ratio
+    sample; each fault-free capture query record of a known kernel
+    contributes a seconds sample from its recorded ``wall_seconds``.
+    Coefficients are the per-kernel medians — robust to one noisy CI
+    run polluting the history.
+    """
+    seconds_samples: dict[str, list[float]] = {}
+    ratio_samples: dict[str, list[float]] = {}
+    observations: dict[str, int] = {}
+
+    def add_seconds(kernel: str, n: int, seconds: float) -> None:
+        units_name = next(
+            (
+                units
+                for (_, method), (name, units) in _KERNELS.items()
+                if name == kernel
+            ),
+            None,
+        )
+        if units_name is None or seconds <= 0 or n <= 0:
+            return
+        units = _UNIT_FUNCTIONS[units_name](n)
+        seconds_samples.setdefault(kernel, []).append(
+            seconds / units
+        )
+        observations[kernel] = observations.get(kernel, 0) + 1
+
+    for entry in history_entries:
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, Mapping):
+            continue
+        for name, value in metrics.items():
+            parsed = parse_metric_name(str(name))
+            if parsed is None or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            if parsed["kind"] == "seconds":
+                add_seconds(
+                    parsed["kernel"], parsed["n"], float(value)
+                )
+            elif (
+                parsed["kind"] == "tuples_accessed"
+                and parsed["kernel"] in _PRUNE_KERNELS
+                and parsed["k"]
+            ):
+                denominator = parsed["k"] * math.log2(
+                    max(parsed["n"], 2)
+                )
+                key = parsed["kernel"]
+                ratio_samples.setdefault(key, []).append(
+                    float(value) / denominator
+                )
+                observations[key] = observations.get(key, 0) + 1
+
+    for record in capture_records:
+        if record.get("type") != "query":
+            continue
+        model = record.get("model")
+        plan = record.get("plan") or {}
+        method = plan.get("method") or record.get("method")
+        kernel = _CAPTURE_KERNELS.get((str(model), str(method)))
+        wall = record.get("wall_seconds")
+        n = record.get("n")
+        if (
+            kernel is None
+            or not isinstance(wall, (int, float))
+            or not isinstance(n, int)
+            or record.get("degraded")
+        ):
+            continue
+        add_seconds(kernel, n, float(wall))
+
+    kernels: dict[str, dict[str, float]] = {}
+    for kernel, samples in seconds_samples.items():
+        kernels[kernel] = {
+            "seconds_per_unit": _median(samples),
+            "observations": float(observations.get(kernel, 0)),
+        }
+    for kernel, samples in ratio_samples.items():
+        kernels.setdefault(kernel, {})["prefix_ratio"] = _median(
+            samples
+        )
+        kernels[kernel]["observations"] = float(
+            observations.get(kernel, 0)
+        )
+    return CostModel(
+        kernels,
+        expensive_access_seconds=expensive_access_seconds,
+        fitted_from=fitted_from,
+    )

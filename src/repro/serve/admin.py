@@ -23,10 +23,22 @@ is a dispatch table over five paths:
     Every SLO spec's live evaluation as a JSON array (state, burn
     rates, good/bad counts), 200 even mid-breach — the *content*
     carries the alert, the transport stays boring.
+``/costs``
+    The cost ledger's summary (per-tenant/per-method resource
+    aggregates plus calibration drift) as JSON.  Drain-aware with
+    ``/readyz`` semantics: 503 once a drain has started, because a
+    draining core's ledger is about to stop moving and dashboards
+    should fail over with the traffic.
 ``/debug/flight``
     The armed flight recorder's status; ``/debug/flight?dump=1``
     forces an on-demand dump (reason ``manual``) and returns it, the
     live-incident "give me everything you have" button.
+``/debug/profile``
+    Arm a :class:`~repro.obs.profiler.SamplingProfiler` for
+    ``?seconds=N`` (default 1, capped at 30) and return the speedscope
+    JSON dump.  The only endpoint that awaits: it samples the live
+    process while other coroutines keep serving.  One capture at a
+    time; a second request mid-capture gets 503.
 
 The server binds loopback by default; nothing here authenticates, so
 exposing it beyond the host is an operator decision, not a default.
@@ -39,19 +51,28 @@ import json
 from typing import TYPE_CHECKING
 
 from repro.obs import get_registry
+from repro.obs.costs import get_cost_ledger
 from repro.obs.export import OPENMETRICS_CONTENT_TYPE, to_openmetrics
 from repro.obs.flight import get_flight_recorder
 from repro.obs.logging import get_logger
+from repro.obs.profiler import SamplingProfiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.slo import SLOEngine
     from repro.serve.core import ServingCore
 
-__all__ = ["serve_admin"]
+__all__ = ["handle_profile_request", "serve_admin"]
 
 _log = get_logger("repro.serve.admin")
 
 _MAX_REQUEST_BYTES = 8192
+
+#: ``/debug/profile`` duration cap: the endpoint holds a sampler
+#: thread for the whole capture, so a typo must not pin one for hours.
+_MAX_PROFILE_SECONDS = 30.0
+
+#: One capture at a time (single event loop, so a bool suffices).
+_profiling = False
 
 
 def _response(
@@ -62,6 +83,7 @@ def _response(
 ) -> bytes:
     reason = {
         200: "OK",
+        400: "Bad Request",
         404: "Not Found",
         405: "Method Not Allowed",
         503: "Service Unavailable",
@@ -119,6 +141,17 @@ def handle_admin_request(
             200,
             [status.to_dict() for status in slo_engine.evaluate()],
         )
+    if route == "/costs":
+        if not core.ready:
+            return _json_response(503, {"error": "draining"})
+        ledger = core.ledger if core.ledger is not None else (
+            get_cost_ledger()
+        )
+        if ledger is None:
+            return _json_response(200, {"enabled": False})
+        document = ledger.summary()
+        document["enabled"] = True
+        return _json_response(200, document)
     if route == "/debug/flight":
         recorder = get_flight_recorder()
         if recorder is None:
@@ -130,6 +163,58 @@ def handle_admin_request(
             document["last_dump"] = recorder.last_dump
         return _json_response(200, document)
     return _response(404, f"unknown path {route}\n")
+
+
+async def handle_profile_request(path: str) -> bytes:
+    """``/debug/profile?seconds=N[&hz=H]`` → speedscope JSON response.
+
+    Async on purpose — the capture *is* the wait — and split from
+    :func:`handle_admin_request` so tests can drive it without a
+    socket.  Rejects overlapping captures with 503 rather than
+    stacking sampler threads.
+    """
+    global _profiling
+    _, _, query = path.partition("?")
+    seconds = 1.0
+    hz = 97.0
+    for pair in query.split("&"):
+        key, _, value = pair.partition("=")
+        try:
+            if key == "seconds":
+                seconds = float(value)
+            elif key == "hz":
+                hz = float(value)
+        except ValueError:
+            return _json_response(
+                400, {"error": f"bad {key} value {value!r}"}
+            )
+    if not 0.0 < seconds <= _MAX_PROFILE_SECONDS:
+        return _json_response(
+            400,
+            {
+                "error": (
+                    "seconds must be in "
+                    f"(0, {_MAX_PROFILE_SECONDS:g}], got {seconds:g}"
+                )
+            },
+        )
+    if _profiling:
+        return _json_response(
+            503, {"error": "a profile capture is already running"}
+        )
+    _profiling = True
+    try:
+        try:
+            profiler = SamplingProfiler(hz=hz)
+        except ValueError as error:
+            return _json_response(400, {"error": str(error)})
+        with profiler:
+            await asyncio.sleep(seconds)
+        return _json_response(
+            200, profiler.to_speedscope(name="repro-admin")
+        )
+    finally:
+        _profiling = False
 
 
 async def serve_admin(
@@ -170,6 +255,8 @@ async def serve_admin(
                 writer.write(
                     _response(405, f"method {parts[0]} not allowed\n")
                 )
+            elif parts[1].partition("?")[0] == "/debug/profile":
+                writer.write(await handle_profile_request(parts[1]))
             else:
                 writer.write(
                     handle_admin_request(parts[1], core, slo=slo)

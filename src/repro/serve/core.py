@@ -44,7 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.engine.query import ResilientExecutor
+from repro.engine.query import ResilientExecutor, TopKPlanner
 from repro.exceptions import (
     DeadlineExceededError,
     EngineError,
@@ -54,6 +54,7 @@ from repro.exceptions import (
 )
 from repro.obs import answer_digest, count, get_capture, get_registry
 from repro.obs import trace as obs_trace
+from repro.obs.costs import CostLedger, query_accounting
 from repro.obs.flight import notify_anomaly
 from repro.obs.logging import bind_tenant, get_logger
 from repro.robust import BreakerBoard, Deadline, RetryPolicy
@@ -235,6 +236,16 @@ class ServingCore:
         Optional :class:`~repro.obs.slo.SLOEngine`; every finished
         request is folded into it (outcome, latency, degradation), so
         the admin plane's ``/slo`` reads live burn rates.
+    ledger:
+        Optional :class:`~repro.obs.costs.CostLedger`; every leader
+        execution is metered into it with the request's tenant, and
+        the admin plane's ``/costs`` reads its summary.  ``None``
+        falls back to the ambient ledger (if one is installed).
+    planner:
+        Optional :class:`~repro.engine.query.TopKPlanner` shared by
+        every per-request executor — the hook for a calibrated
+        cost-model planner; ``None`` keeps each executor's default
+        expensive-access heuristic.
     """
 
     def __init__(
@@ -247,6 +258,8 @@ class ServingCore:
         breakers: BreakerBoard | None = None,
         clock: Callable[[], float] = time.monotonic,
         slo: "SLOEngine | None" = None,
+        ledger: CostLedger | None = None,
+        planner: TopKPlanner | None = None,
     ) -> None:
         self.database = database
         self.settings = settings if settings is not None else ServeSettings()
@@ -284,6 +297,8 @@ class ServingCore:
         self._inflight = 0
         self._closed = False
         self.slo = slo
+        self.ledger = ledger
+        self.planner = planner
 
     # ------------------------------------------------------------------
     # The request path
@@ -446,14 +461,30 @@ class ServingCore:
             injector=self.injector,
             breakers=self.breakers,
             seed=self.settings.seed,
+            planner=self.planner,
         )
-        return self.database.topk(
-            request.relation,
-            request.k,
-            request.method,
-            executor=executor,
-            **dict(request.options),
-        )
+        # Claim accounting here, on the worker thread, with the one
+        # piece of identity only the serving layer knows: the tenant.
+        # ``db.topk`` runs in the same thread and sees the claim, so
+        # the query is metered exactly once.
+        with query_accounting(
+            self.ledger, tenant=request.tenant
+        ) as meter:
+            result = self.database.topk(
+                request.relation,
+                request.k,
+                request.method,
+                executor=executor,
+                **dict(request.options),
+            )
+            if meter is not None:
+                meter.finish(
+                    result,
+                    k=request.k,
+                    n=self.database.relation(request.relation).size,
+                    method=request.method,
+                )
+        return result
 
     # ------------------------------------------------------------------
     # Outcome → response

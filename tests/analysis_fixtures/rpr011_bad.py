@@ -1,0 +1,14 @@
+"""RPR011 fixture: resource accounting outside the cost ledger."""
+
+import os
+import resource
+import time
+
+cpu = time.process_time()
+nanos = time.thread_time_ns()
+used = resource.getrusage(resource.RUSAGE_SELF)
+ticks = os.times()
+
+
+def bill(ledger, entry) -> None:
+    ledger.record(entry)

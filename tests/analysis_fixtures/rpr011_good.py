@@ -1,0 +1,15 @@
+# repro: module repro.obs.costs
+"""RPR011 fixture: the chokepoint itself may read the CPU clock,
+and everyone else meters through it."""
+
+import time
+
+from repro.obs.costs import query_accounting
+
+cpu = time.process_time()
+
+
+def bill(result) -> None:
+    with query_accounting() as meter:
+        if meter is not None:
+            meter.finish(result, k=1, n=1, method="expected_rank")

@@ -43,6 +43,7 @@ EXPECTED_LINES = {
     "RPR008": (4, 9, 9),
     "RPR009": (9, 10, 11),
     "RPR010": (11, 15, 17),
+    "RPR011": (7, 8, 9, 10, 14),
 }
 
 
@@ -83,6 +84,7 @@ class TestFixturePairs:
         assert "None" in by_code["RPR008"]
         assert "run_in_executor" in by_code["RPR009"]
         assert "repro.obs.logging" in by_code["RPR010"]
+        assert "query_accounting" in by_code["RPR011"]
 
 
 class TestEngine:

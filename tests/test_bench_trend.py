@@ -1,0 +1,133 @@
+"""Tests for bench-history trend rendering (``repro bench trend``).
+
+The trend reader must survive the realities of an append-only CI log:
+partial writes, runs that renamed kernels (missing metrics become
+gaps, not errors), and histories of one entry where no delta exists
+yet.  The checked-in ``BENCH_history.jsonl`` is loaded as the ground
+truth that the convention round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.trend import load_history, render_trend, trend_table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_HISTORY = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_history.jsonl"
+)
+
+
+def entry(commit: str, metrics: dict) -> dict:
+    return {"commit": commit, "suite": "smoke", "metrics": metrics}
+
+
+class TestLoadHistory:
+    def test_reads_entries_and_reports_problems(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps(entry("aaa", {"m": 1.0}))
+            + "\n"
+            + "{broken json\n"
+            + "\n"  # blank lines are fine
+            + json.dumps({"commit": "bbb"})  # no metrics
+            + "\n"
+            + json.dumps(entry("ccc", {"m": 2.0}))
+            + "\n"
+        )
+        entries, problems = load_history(path)
+        assert [e["commit"] for e in entries] == ["aaa", "ccc"]
+        assert len(problems) == 2
+        assert problems[0].startswith("line 2:")
+        assert "not a history entry" in problems[1]
+
+    def test_missing_file_is_a_problem_not_a_crash(self, tmp_path):
+        entries, problems = load_history(tmp_path / "absent.jsonl")
+        assert entries == []
+        assert len(problems) == 1
+
+    def test_checked_in_history_loads_clean(self):
+        entries, problems = load_history(BENCH_HISTORY)
+        assert problems == []
+        assert entries
+        assert all("metrics" in e for e in entries)
+
+
+class TestTrendTable:
+    def test_values_align_with_commits_and_gap_is_none(self):
+        table = trend_table(
+            [
+                entry("aaa", {"kept": 1.0, "renamed": 5.0}),
+                entry("bbb", {"kept": 2.0}),
+            ]
+        )
+        assert table["commits"] == ["aaa", "bbb"]
+        assert table["metrics"]["kept"]["values"] == [1.0, 2.0]
+        assert table["metrics"]["renamed"]["values"] == [5.0, None]
+
+    def test_delta_is_first_to_last_relative_change(self):
+        table = trend_table(
+            [
+                entry("aaa", {"m": 2.0}),
+                entry("bbb", {"m": 1.0}),
+                entry("ccc", {"m": 3.0}),
+            ]
+        )
+        assert table["metrics"]["m"]["delta"] == 0.5
+
+    def test_delta_none_for_single_run_or_zero_baseline(self):
+        single = trend_table([entry("aaa", {"m": 1.0})])
+        assert single["metrics"]["m"]["delta"] is None
+        zero = trend_table(
+            [entry("aaa", {"m": 0.0}), entry("bbb", {"m": 4.0})]
+        )
+        assert zero["metrics"]["m"]["delta"] is None
+
+    def test_last_windows_the_newest_entries(self):
+        entries = [
+            entry(f"c{i}", {"m": float(i)}) for i in range(5)
+        ]
+        table = trend_table(entries, last=2)
+        assert table["commits"] == ["c3", "c4"]
+        assert table["metrics"]["m"]["delta"] == (4.0 - 3.0) / 3.0
+
+    def test_pattern_filters_metric_names(self):
+        table = trend_table(
+            [
+                entry(
+                    "aaa",
+                    {
+                        "a_erank/uu/n=2000/seconds": 1.0,
+                        "a_erank/uu/n=2000/tuples_accessed": 9.0,
+                    },
+                )
+            ],
+            pattern="*/seconds",
+        )
+        assert list(table["metrics"]) == [
+            "a_erank/uu/n=2000/seconds"
+        ]
+
+
+class TestRenderTrend:
+    def test_renders_gaps_deltas_and_summary_line(self):
+        text = render_trend(
+            trend_table(
+                [
+                    entry("aaa1234", {"m": 1.0, "gone": 2.0}),
+                    entry("bbb5678", {"m": 1.5}),
+                ]
+            )
+        )
+        lines = text.splitlines()
+        assert "aaa1234" in lines[0] and "delta" in lines[0]
+        assert any("+50.0%" in line for line in lines)
+        assert any(
+            "gone" in line and "-" in line for line in lines
+        )
+        assert lines[-1] == "2 metrics over 2 runs"
+
+    def test_empty_history_renders_a_message(self):
+        assert render_trend(trend_table([])) == "no history entries"

@@ -51,8 +51,13 @@ from repro.obs import (
 )
 from repro.obs.logging import bind_tenant, get_logger
 from repro.obs.slo import SLOEngine, SLOSpec, parse_slo_specs
+from repro.obs.costs import CostLedger, set_cost_ledger
+from repro.obs.profiler import validate_speedscope
 from repro.serve import ServeRequest, ServingCore, serve_admin
-from repro.serve.admin import handle_admin_request
+from repro.serve.admin import (
+    handle_admin_request,
+    handle_profile_request,
+)
 
 
 class FakeClock:
@@ -706,3 +711,147 @@ class TestAdminPlane:
 
 def parse_admin_response(raw: bytes) -> tuple[int, dict, str]:
     return parse_http(raw)
+
+
+# ----------------------------------------------------------------------
+# /costs and /debug/profile
+# ----------------------------------------------------------------------
+
+
+class TestCostsEndpoint:
+    def test_reports_disabled_without_a_ledger(self, db, registry):
+        core = ServingCore(db)
+        status, _, body = parse_admin_response(
+            handle_admin_request("/costs", core)
+        )
+        assert status == 200
+        assert json.loads(body) == {"enabled": False}
+
+    def test_serves_per_tenant_ledger_summary(self, db, registry):
+        ledger = CostLedger()
+        core = ServingCore(db, ledger=ledger)
+
+        async def scenario():
+            for tenant in ("acme", "acme", "globex"):
+                response = await core.submit(
+                    ServeRequest(
+                        relation="fig2", k=2, tenant=tenant
+                    )
+                )
+                assert response.status == "ok"
+            return parse_admin_response(
+                handle_admin_request("/costs", core)
+            )
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        document = json.loads(body)
+        assert document["enabled"] is True
+        assert document["queries"] == 3
+        acme = document["tenants"]["acme"]["expected_rank"]
+        assert acme["queries"] == 2
+        assert acme["wall_seconds"] > 0.0
+        assert (
+            document["tenants"]["globex"]["expected_rank"]["queries"]
+            == 1
+        )
+
+    def test_falls_back_to_the_ambient_ledger(self, db, registry):
+        core = ServingCore(db)
+        ledger = CostLedger()
+        previous = set_cost_ledger(ledger)
+        try:
+            status, _, body = parse_admin_response(
+                handle_admin_request("/costs", core)
+            )
+        finally:
+            set_cost_ledger(previous)
+        assert status == 200
+        assert json.loads(body)["enabled"] is True
+
+    def test_draining_core_returns_503(self, db, registry):
+        core = ServingCore(db, ledger=CostLedger())
+
+        async def scenario():
+            await core.drain()
+            return parse_admin_response(
+                handle_admin_request("/costs", core)
+            )
+
+        status, _, body = asyncio.run(scenario())
+        assert status == 503
+        assert json.loads(body) == {"error": "draining"}
+
+
+class TestProfileEndpoint:
+    def run_profile(self, path: str):
+        async def scenario():
+            return parse_admin_response(
+                await handle_profile_request(path)
+            )
+
+        return asyncio.run(scenario())
+
+    def test_returns_a_valid_speedscope_capture(self):
+        status, headers, body = self.run_profile(
+            "/debug/profile?seconds=0.05&hz=200"
+        )
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        document = json.loads(body)
+        validate_speedscope(document)
+        assert document["profiles"][0]["name"] == "repro-admin"
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/debug/profile?seconds=0",
+            "/debug/profile?seconds=-1",
+            "/debug/profile?seconds=31",
+            "/debug/profile?seconds=soon",
+            "/debug/profile?hz=0",
+            "/debug/profile?seconds=0.05&hz=lots",
+        ],
+    )
+    def test_bad_parameters_are_400(self, path):
+        status, _, body = self.run_profile(path)
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_overlapping_captures_are_rejected(self):
+        async def scenario():
+            first = asyncio.ensure_future(
+                handle_profile_request("/debug/profile?seconds=0.3")
+            )
+            await asyncio.sleep(0.05)  # first capture is in flight
+            second = parse_admin_response(
+                await handle_profile_request(
+                    "/debug/profile?seconds=0.05"
+                )
+            )
+            return second, parse_admin_response(await first)
+
+        (second_status, _, second_body), (first_status, _, _) = (
+            asyncio.run(scenario())
+        )
+        assert second_status == 503
+        assert "already running" in json.loads(second_body)["error"]
+        assert first_status == 200  # the in-flight capture completes
+
+    def test_profile_served_over_the_admin_socket(self, db, registry):
+        core = ServingCore(db)
+
+        async def scenario():
+            admin = await serve_admin(core, port=0)
+            port = admin.sockets[0].getsockname()[1]
+            status, _, body = await admin_get(
+                port, "/debug/profile?seconds=0.05"
+            )
+            admin.close()
+            await admin.wait_closed()
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 200
+        validate_speedscope(json.loads(body))

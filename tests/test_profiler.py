@@ -1,0 +1,320 @@
+"""Tests for the sampling profiler (:mod:`repro.obs.profiler`).
+
+The sampling layer is tested without a running sampler thread:
+``sample_once(weight=...)`` against threads parked at known stacks
+makes collapsed output and speedscope documents exact.  Lifecycle
+tests assert the arm/disarm contract — no orphan thread ever survives
+``stop()`` — and a subprocess pair proves the speedscope bytes are
+``PYTHONHASHSEED``-invariant.  The structural validator is exercised
+on both directions: documents the profiler emits pass, and each
+contract violation raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.profiler import (
+    SPEEDSCOPE_SCHEMA_URL,
+    SamplingProfiler,
+    validate_speedscope,
+)
+
+
+class ParkedThread:
+    """A thread waiting inside a recognisable two-frame stack."""
+
+    def __init__(self, name: str = "parked") -> None:
+        self._release = threading.Event()
+        self._parked = threading.Event()
+        self.thread = threading.Thread(
+            target=self._outer, name=name, daemon=True
+        )
+
+    def _outer(self) -> None:
+        self._inner()
+
+    def _inner(self) -> None:
+        self._parked.set()
+        self._release.wait(timeout=30.0)
+
+    def __enter__(self) -> "ParkedThread":
+        self.thread.start()
+        assert self._parked.wait(timeout=10.0)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._release.set()
+        self.thread.join(timeout=10.0)
+
+
+class TestSampling:
+    @staticmethod
+    def total_weight(profiler: SamplingProfiler) -> float:
+        return sum(
+            float(line.rpartition(" ")[2])
+            for line in profiler.collapsed().splitlines()
+        )
+
+    def test_explicit_weights_make_exact_profiles(self):
+        profiler = SamplingProfiler(hz=100.0)
+        with ParkedThread():
+            profiler.sample_once(weight=1.5)
+            profiler.sample_once(weight=0.5)
+        lines = [
+            line
+            for line in profiler.collapsed().splitlines()
+            if "_outer (test_profiler" in line
+        ]
+        [line] = lines  # both samples fold into one stack
+        stack = line.rpartition(" ")[0]
+        assert stack.index("_outer (test_profiler") < stack.index(
+            "_inner (test_profiler"
+        )
+        # The gap weight is shared across every thread observed in
+        # it, so the profile's total tracks wall time exactly even
+        # when unrelated background threads get sampled too.
+        assert self.total_weight(profiler) == pytest.approx(2.0)
+        assert profiler.sample_count == 2
+
+    def test_weight_is_split_across_observed_threads(self):
+        profiler = SamplingProfiler()
+        with ParkedThread("parked-a"), ParkedThread("parked-b"):
+            profiler.sample_once(weight=2.0)
+        document = profiler.to_speedscope()
+        weights = document["profiles"][0]["weights"]
+        assert len(weights) >= 2  # both parked threads observed
+        share = 2.0 / len(weights)
+        assert all(w == pytest.approx(share) for w in weights)
+        assert document["profiles"][0]["endValue"] == pytest.approx(
+            2.0
+        )
+
+    def test_own_thread_is_never_sampled(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once(weight=1.0)  # only this thread runs it
+        own = threading.current_thread()
+        collapsed = profiler.collapsed()
+        assert "test_own_thread_is_never_sampled" not in collapsed
+        assert own.is_alive()
+
+    def test_timeline_caps_but_totals_keep_counting(self):
+        profiler = SamplingProfiler(max_samples=2)
+        with ParkedThread():
+            for _ in range(3):
+                profiler.sample_once(weight=1.0)
+        assert profiler.truncated
+        document = profiler.to_speedscope()
+        assert len(document["profiles"][0]["samples"]) == 2
+        # The collapsed weights still account for all three samples.
+        assert self.total_weight(profiler) == pytest.approx(3.0)
+
+    def test_speedscope_document_passes_its_own_validator(self):
+        profiler = SamplingProfiler()
+        with ParkedThread():
+            profiler.sample_once(weight=0.25)
+        document = profiler.to_speedscope(name="unit")
+        validate_speedscope(document)
+        assert document["$schema"] == SPEEDSCOPE_SCHEMA_URL
+        [profile] = document["profiles"]
+        assert profile["name"] == "unit"
+        assert len(profile["samples"]) == len(profile["weights"])
+        frame_count = len(document["shared"]["frames"])
+        assert all(
+            0 <= index < frame_count
+            for sample in profile["samples"]
+            for index in sample
+        )
+
+    def test_write_txt_and_json_formats(self, tmp_path):
+        profiler = SamplingProfiler()
+        with ParkedThread():
+            profiler.sample_once(weight=1.0)
+        text_path = tmp_path / "profile.txt"
+        json_path = tmp_path / "profile.speedscope.json"
+        profiler.write(text_path)
+        profiler.write(json_path, name="dump")
+        assert text_path.read_text().rstrip("\n") == (
+            profiler.collapsed()
+        )
+        document = json.loads(json_path.read_text())
+        validate_speedscope(document)
+        assert document["profiles"][0]["name"] == "dump"
+
+
+class TestDeterminism:
+    #: Builds one deterministic profile and prints its exact bytes;
+    #: run under different hash seeds, the output must not move.
+    SCRIPT = (
+        "import json, threading\n"
+        "from repro.obs.profiler import SamplingProfiler\n"
+        "release = threading.Event(); parked = threading.Event()\n"
+        "def outer():\n"
+        "    inner()\n"
+        "def inner():\n"
+        "    parked.set(); release.wait(timeout=30.0)\n"
+        "t = threading.Thread(target=outer, daemon=True)\n"
+        "t.start(); parked.wait(timeout=10.0)\n"
+        "p = SamplingProfiler()\n"
+        "p.sample_once(weight=0.125)\n"
+        "p.sample_once(weight=0.25)\n"
+        "release.set(); t.join(timeout=10.0)\n"
+        "print(json.dumps(p.to_speedscope(), sort_keys=True))\n"
+    )
+
+    @pytest.mark.timeout(60)
+    def test_speedscope_bytes_are_hashseed_invariant(self):
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            completed = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True,
+                text=True,
+                env={
+                    **os.environ,
+                    "PYTHONHASHSEED": seed,
+                    "PYTHONPATH": "src",
+                },
+                cwd=str(Path(__file__).resolve().parents[1]),
+                check=True,
+            )
+            outputs.add(completed.stdout)
+        assert len(outputs) == 1
+
+
+class TestLifecycle:
+    def test_start_stop_leaves_no_orphan_thread(self):
+        before = set(threading.enumerate())
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.start()
+        assert profiler.armed
+        assert any(
+            thread.name == "repro-profiler"
+            for thread in threading.enumerate()
+        )
+        profiler.stop()
+        assert not profiler.armed
+        leaked = [
+            thread
+            for thread in threading.enumerate()
+            if thread not in before
+        ]
+        assert leaked == []
+
+    @pytest.mark.timeout(30)
+    def test_armed_profiler_collects_real_samples(self):
+        with ParkedThread():
+            with SamplingProfiler(hz=500.0) as profiler:
+                deadline = time.perf_counter() + 5.0
+                while (
+                    profiler.sample_count == 0
+                    and time.perf_counter() < deadline
+                ):
+                    time.sleep(0.01)
+        assert profiler.sample_count > 0
+        assert "_inner (test_profiler" in profiler.collapsed()
+        validate_speedscope(profiler.to_speedscope())
+        assert profiler.stopped_at is not None
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already armed"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler()
+        profiler.stop()  # never started
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.armed
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0.0)
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=1001.0)
+        with pytest.raises(ValueError, match="max_samples"):
+            SamplingProfiler(max_samples=0)
+
+
+class TestValidator:
+    def valid_document(self) -> dict:
+        return {
+            "$schema": SPEEDSCOPE_SCHEMA_URL,
+            "shared": {"frames": [{"name": "f"}]},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": "x",
+                    "unit": "seconds",
+                    "startValue": 0.0,
+                    "endValue": 1.0,
+                    "samples": [[0]],
+                    "weights": [1.0],
+                }
+            ],
+        }
+
+    def test_valid_document_is_silent(self):
+        validate_speedscope(self.valid_document())
+
+    @pytest.mark.parametrize(
+        ("mutate", "message"),
+        [
+            (lambda d: d.update({"$schema": "x"}), "schema"),
+            (lambda d: d.update({"shared": {}}), "frames"),
+            (
+                lambda d: d["shared"]["frames"].append({"x": 1}),
+                "string name",
+            ),
+            (lambda d: d.update({"profiles": []}), "non-empty"),
+            (
+                lambda d: d["profiles"][0].update(
+                    {"type": "evented"}
+                ),
+                "sampled",
+            ),
+            (
+                lambda d: d["profiles"][0].update({"unit": "volts"}),
+                "unit",
+            ),
+            (
+                lambda d: d["profiles"][0].update({"weights": []}),
+                "lengths differ",
+            ),
+            (
+                lambda d: d["profiles"][0].update(
+                    {"samples": [[7]]}
+                ),
+                "outside the table",
+            ),
+            (
+                lambda d: d["profiles"][0].update(
+                    {"samples": [[True]]}
+                ),
+                "outside the table",
+            ),
+        ],
+    )
+    def test_each_contract_violation_raises(self, mutate, message):
+        document = self.valid_document()
+        mutate(document)
+        with pytest.raises(ValueError, match=message):
+            validate_speedscope(document)
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_speedscope([1, 2, 3])

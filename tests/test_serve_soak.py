@@ -407,3 +407,84 @@ class TestAdminUnderChaos:
             record.get("name") == "serve.request"
             for record in trace_records
         )
+
+
+class TestProfilerOverheadUnderSoak:
+    """An armed sampling profiler must not distort the calm soak.
+
+    The strict 5% gate lives in the CI perf-smoke job where the
+    machine is quiet; here the budget is deliberately loose (1.5x
+    plus a constant floor) so a noisy laptop never flakes, while a
+    pathological profiler — one that serialises the workload or
+    leaks sampler threads — still fails loudly.  The capture itself
+    must come out as a loadable speedscope document, and both the
+    ledger and the answers must be unaffected by sampling.
+    """
+
+    def test_armed_profiler_stays_inside_budget(self, db, registry):
+        import time
+
+        from repro.obs.costs import CostLedger
+        from repro.obs.profiler import (
+            SamplingProfiler,
+            validate_speedscope,
+        )
+
+        requests = soak_requests()
+        settings = ServeSettings(
+            queue_limit=SOAK_REQUESTS + 1,
+            tenant_rate=10_000.0,
+            tenant_burst=float(SOAK_REQUESTS),
+        )
+
+        def run_soak(profiler: SamplingProfiler | None):
+            ledger = CostLedger()
+            core = ServingCore(
+                db,
+                settings=settings,
+                retry=RetryPolicy(max_retries=1, base_delay=0.0),
+                ledger=ledger,
+            )
+
+            async def scenario():
+                responses = await asyncio.gather(
+                    *(core.submit(request) for request in requests)
+                )
+                await core.drain()
+                assert_no_orphan_tasks()
+                return responses
+
+            start = time.perf_counter()
+            if profiler is not None:
+                with profiler:
+                    responses = asyncio.run(scenario())
+            else:
+                responses = asyncio.run(scenario())
+            elapsed = time.perf_counter() - start
+            assert all(r.status == "ok" for r in responses)
+            return elapsed, responses, ledger
+
+        unarmed_seconds, unarmed, _ = run_soak(None)
+        profiler = SamplingProfiler(hz=97.0)
+        armed_seconds, armed, ledger = run_soak(profiler)
+
+        assert armed_seconds <= unarmed_seconds * 1.5 + 0.5, (
+            f"armed soak took {armed_seconds:.3f}s vs "
+            f"{unarmed_seconds:.3f}s unarmed"
+        )
+        # Sampling is observation only: same digests, same ledger
+        # shape, and the dump loads in speedscope.
+        for with_profiler, without in zip(armed, unarmed):
+            assert (
+                with_profiler.answer_digest == without.answer_digest
+            )
+        # The ledger accounts *executions*, not admissions: the
+        # calm soak coalesces 240 requests down to one run per
+        # distinct (relation, k, method).
+        distinct = {
+            (request.relation, request.k, request.method)
+            for request in requests
+        }
+        assert ledger.summary()["queries"] == len(distinct)
+        assert not profiler.armed  # no orphan sampler thread
+        validate_speedscope(profiler.to_speedscope())

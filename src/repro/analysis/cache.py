@@ -1,0 +1,133 @@
+"""Per-file findings cache keyed on content digests.
+
+The flow rules made a full-tree run meaningfully more expensive than
+the old single-pass walk (CFGs, fixpoints, a project-wide call
+graph), and the analysis gate runs on every CI push.  The cache
+brings the warm path back to ~I/O cost: a file whose findings cannot
+have changed is answered from disk without parsing it.
+
+Correctness hinges on the key.  A file's findings depend on three
+things, all captured:
+
+* its own **content digest** (sha256 of the source bytes);
+* the **project digest** — the sorted ``(path, digest)`` pairs of
+  every file in the analysis universe, because call-graph rules
+  (RPR013/RPR016) read other modules: edit ``core.py`` and a finding
+  can appear in ``transport.py`` whose text never changed;
+* the **rules signature** — active rule codes plus the engine's
+  schema version, so selecting different rules or upgrading the
+  analyzer never serves stale verdicts.
+
+A cache file that is missing, unreadable, or from another schema is
+treated as empty — the cache can only ever trade time, never
+answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["AnalysisCache", "content_digest"]
+
+#: Bump when the engine or finding schema changes shape.
+_SCHEMA = 2
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class AnalysisCache:
+    """Findings memo for one analysis universe, persisted as JSON."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != _SCHEMA
+        ):
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    @staticmethod
+    def run_key(
+        universe_digests: dict[str, str],
+        rule_codes: tuple[str, ...],
+    ) -> str:
+        """The shared part of every key: project + rules signature."""
+        hasher = hashlib.sha256()
+        for path in sorted(universe_digests):
+            hasher.update(path.encode())
+            hasher.update(universe_digests[path].encode())
+        hasher.update(",".join(sorted(rule_codes)).encode())
+        hasher.update(str(_SCHEMA).encode())
+        return hasher.hexdigest()
+
+    def get(
+        self, path: str, file_digest: str, run_key: str
+    ) -> list[Finding] | None:
+        """Cached findings, or ``None`` on any mismatch."""
+        entry = self._entries.get(path)
+        if (
+            entry is None
+            or entry.get("digest") != file_digest
+            or entry.get("run") != run_key
+        ):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(**record) for record in entry["findings"]
+            ]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(
+        self,
+        path: str,
+        file_digest: str,
+        run_key: str,
+        findings: list[Finding],
+    ) -> None:
+        self._entries[path] = {
+            "digest": file_digest,
+            "run": run_key,
+            "findings": [
+                finding.to_dict() for finding in findings
+            ],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write back if anything changed; I/O failure is non-fatal
+        (the next run simply starts cold)."""
+        if not self._dirty:
+            return
+        payload = {"schema": _SCHEMA, "entries": self._entries}
+        try:
+            self.path.write_text(
+                json.dumps(payload, indent=None, sort_keys=True)
+            )
+        except OSError:
+            return
+        self._dirty = False

@@ -1,0 +1,609 @@
+"""Per-function control-flow graphs and reaching definitions.
+
+The single-pass rules of :mod:`repro.analysis.rules` match one node at
+a time, which is exactly why ``t = time.time; t()`` dodged RPR004 and
+``rows, _ = rel.rows, None`` dodged RPR003: the violation is a *flow*
+property, visible only by following values through assignments and
+control flow.  This module supplies that layer:
+
+* :func:`build_cfg` — a statement-level control-flow graph for one
+  function (or the module body), with faithful routing for ``if``/
+  loops/``try``/``finally``/``with``, ``break``/``continue``/
+  ``return``/``raise``, and *implicit-raise* edges: any statement that
+  contains a call may abandon the function (or jump to its enclosing
+  ``finally``), which is how a claim token leaks without a single
+  explicit ``return`` in sight;
+* :func:`statement_bindings` — the names a statement binds and, where
+  the syntax permits, the expression each name was bound to
+  (assignments, chained assignments, tuple unpacking paired
+  element-wise, ``with ... as``, augmented targets, walrus);
+* :class:`Dataflow` — reaching definitions over the CFG via a
+  worklist fixpoint, so a rule can ask "which bindings of this name
+  can reach this use?" and resolve alias chains precisely instead of
+  guessing from spelling.
+
+Deliberate approximations, chosen to keep the lint sound for its
+rules rather than a full interpreter: exception edges inside ``try``
+go from every body statement to every handler; a ``finally`` body is
+built once and its continuations are conflated (extra paths, never
+missing ones); nested ``def``/``class`` bodies are separate scopes
+and are not descended into.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence, Union
+
+__all__ = [
+    "CFGNode",
+    "ControlFlowGraph",
+    "Dataflow",
+    "Definition",
+    "ScopeNode",
+    "build_cfg",
+    "header_expressions",
+    "statement_bindings",
+]
+
+ScopeNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+#: One reaching definition: the CFG node index that made it, the name
+#: it bound, and the bound expression (``None`` when unknowable —
+#: parameters, loop targets, augmented assignments, star-unpacking).
+Definition = tuple[int, str, "ast.expr | None"]
+
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+
+# ``ast.TryStar`` appeared in 3.11; fold it into Try handling when
+# present so ``except*`` code does not degrade to a single node.
+_TRY_TYPES: tuple[type[ast.AST], ...] = (ast.Try,)
+if hasattr(ast, "TryStar"):  # pragma: no branch - version constant
+    _TRY_TYPES = (ast.Try, ast.TryStar)
+
+
+class CFGNode:
+    """One statement (or entry/exit marker) in the flow graph."""
+
+    __slots__ = (
+        "index",
+        "kind",
+        "statement",
+        "successors",
+        "raise_successors",
+    )
+
+    def __init__(
+        self, index: int, kind: str, statement: ast.AST | None = None
+    ) -> None:
+        self.index = index
+        self.kind = kind  # "entry" | "exit" | "stmt"
+        self.statement = statement
+        #: Normal control-flow successors.
+        self.successors: list[CFGNode] = []
+        #: Implicit-raise successors: where control lands if this
+        #: statement itself raises (kept separate so a path query can
+        #: exclude the *source* statement's own failure).
+        self.raise_successors: list[CFGNode] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = type(self.statement).__name__ if self.statement else ""
+        return f"<CFGNode {self.index} {self.kind} {label}>"
+
+
+class _LoopFrame:
+    __slots__ = ("identity", "header", "breaks")
+
+    def __init__(self, identity: int, header: CFGNode) -> None:
+        self.identity = identity
+        self.header = header
+        #: Dangling nodes whose next edge is "after the loop".
+        self.breaks: list[CFGNode] = []
+
+
+class _FinallyFrame:
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        #: Abrupt-exit sources that must route through this finally:
+        #: target key -> dangling source nodes.
+        self.pending: dict[object, list[CFGNode]] = {}
+
+
+def _may_raise(expressions: Iterable[ast.AST]) -> bool:
+    """Whether evaluating these expressions can raise (has a call)."""
+    for expression in expressions:
+        for node in ast.walk(expression):
+            if isinstance(
+                node,
+                (ast.Call, ast.Await, ast.Yield, ast.YieldFrom),
+            ):
+                return True
+    return False
+
+
+def header_expressions(statement: ast.stmt) -> list[ast.AST]:
+    """The expressions a compound statement evaluates *itself*.
+
+    Bodies belong to their own CFG nodes; only the header part (the
+    ``if`` test, the ``for`` iterable, the ``with`` context managers)
+    executes at the header node.
+    """
+    if isinstance(statement, (ast.If, ast.While)):
+        return [statement.test]
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return [statement.iter]
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in statement.items]
+    if isinstance(statement, _TRY_TYPES):
+        return []
+    if isinstance(statement, ast.Match):
+        return [statement.subject]
+    if isinstance(statement, ast.ExceptHandler):
+        return [statement.type] if statement.type else []
+    if isinstance(
+        statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        # Decorators and defaults evaluate here, but treating a def as
+        # raise-free keeps claim analysis focused on real work.
+        return []
+    return [statement]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self.frames: list[object] = []
+
+    # ------------------------------------------------------------------
+    def _new(
+        self, kind: str, statement: ast.AST | None = None
+    ) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, statement)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, source: CFGNode, target: CFGNode) -> None:
+        if target not in source.successors:
+            source.successors.append(target)
+
+    def _connect(
+        self, sources: Sequence[CFGNode], target: CFGNode
+    ) -> None:
+        for source in sources:
+            self._edge(source, target)
+
+    def _route(
+        self,
+        sources: Sequence[CFGNode],
+        key: object,
+        *,
+        implicit: bool = False,
+    ) -> None:
+        """Send an abrupt exit toward ``key``, honouring finallys.
+
+        ``key`` is ``"exit"`` or ``("break" | "continue", loop_id)``.
+        The innermost enclosing ``finally`` intercepts the jump; when
+        the finally subgraph is later built, its frontier re-routes to
+        the recorded target (possibly through the next finally out).
+        """
+        if not sources:
+            return
+        for frame in reversed(self.frames):
+            if isinstance(frame, _FinallyFrame):
+                frame.pending.setdefault(key, []).extend(sources)
+                return
+            if (
+                isinstance(frame, _LoopFrame)
+                and isinstance(key, tuple)
+                and frame.identity == key[1]
+            ):
+                if key[0] == "continue":
+                    self._connect(sources, frame.header)
+                else:
+                    frame.breaks.extend(sources)
+                return
+        for source in sources:
+            if implicit:
+                if self.exit not in source.raise_successors:
+                    source.raise_successors.append(self.exit)
+            else:
+                self._edge(source, self.exit)
+
+    def _nearest_loop(self) -> _LoopFrame:
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame):
+                return frame
+        raise ValueError("break/continue outside a loop")
+
+    # ------------------------------------------------------------------
+    def sequence(
+        self, statements: Sequence[ast.stmt], frontier: list[CFGNode]
+    ) -> list[CFGNode]:
+        for statement in statements:
+            frontier = self.statement(statement, frontier)
+        return frontier
+
+    def _simple(
+        self, statement: ast.stmt, frontier: list[CFGNode]
+    ) -> CFGNode:
+        node = self._new("stmt", statement)
+        self._connect(frontier, node)
+        if _may_raise(header_expressions(statement)):
+            self._route([node], "exit", implicit=True)
+        return node
+
+    def statement(
+        self, statement: ast.stmt, frontier: list[CFGNode]
+    ) -> list[CFGNode]:
+        if isinstance(statement, ast.If):
+            header = self._simple(statement, frontier)
+            body = self.sequence(statement.body, [header])
+            orelse = (
+                self.sequence(statement.orelse, [header])
+                if statement.orelse
+                else [header]
+            )
+            return body + orelse
+        if isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._simple(statement, frontier)
+            loop = _LoopFrame(id(statement), header)
+            self.frames.append(loop)
+            body = self.sequence(statement.body, [header])
+            self.frames.pop()
+            self._connect(body, header)
+            after: list[CFGNode] = [header]
+            if isinstance(statement, ast.While) and (
+                isinstance(statement.test, ast.Constant)
+                and bool(statement.test.value)
+            ):
+                after = []  # ``while True`` only leaves via break
+            if statement.orelse:
+                after = self.sequence(statement.orelse, after)
+            return after + loop.breaks
+        if isinstance(statement, _TRY_TYPES):
+            return self._try(statement, frontier)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            header = self._simple(statement, frontier)
+            return self.sequence(statement.body, [header])
+        if isinstance(statement, ast.Match):
+            header = self._simple(statement, frontier)
+            after: list[CFGNode] = [header]
+            for case in statement.cases:
+                after.extend(self.sequence(case.body, [header]))
+            return after
+        if isinstance(statement, ast.Return):
+            node = self._simple(statement, frontier)
+            self._route([node], "exit")
+            return []
+        if isinstance(statement, ast.Raise):
+            node = self._simple(statement, frontier)
+            self._route([node], "exit")
+            return []
+        if isinstance(statement, ast.Break):
+            node = self._simple(statement, frontier)
+            self._route(
+                [node], ("break", self._nearest_loop().identity)
+            )
+            return []
+        if isinstance(statement, ast.Continue):
+            node = self._simple(statement, frontier)
+            self._route(
+                [node], ("continue", self._nearest_loop().identity)
+            )
+            return []
+        return [self._simple(statement, frontier)]
+
+    def _try(
+        self, statement: ast.stmt, frontier: list[CFGNode]
+    ) -> list[CFGNode]:
+        assert isinstance(statement, _TRY_TYPES)
+        frame: _FinallyFrame | None = None
+        if statement.finalbody:
+            frame = _FinallyFrame()
+            self.frames.append(frame)
+        mark = len(self.nodes)
+        body = self.sequence(statement.body, frontier)
+        body_nodes = self.nodes[mark:]
+        handler_frontiers: list[CFGNode] = []
+        for handler in statement.handlers:
+            handler_node = self._new("stmt", handler)
+            self._connect(body_nodes or frontier, handler_node)
+            handler_frontiers.extend(
+                self.sequence(handler.body, [handler_node])
+            )
+        normal = (
+            self.sequence(statement.orelse, body)
+            if statement.orelse
+            else body
+        )
+        normal = normal + handler_frontiers
+        if frame is None:
+            return normal
+        self.frames.pop()
+        pending = frame.pending
+        abrupt_sources = [
+            node for sources in pending.values() for node in sources
+        ]
+        final_frontier = self.sequence(
+            statement.finalbody, normal + abrupt_sources
+        )
+        for key in pending:
+            self._route(final_frontier, key)
+        return final_frontier if normal else []
+
+
+class ControlFlowGraph:
+    """The per-scope graph plus statement lookup and path queries."""
+
+    def __init__(
+        self,
+        scope: ScopeNode,
+        nodes: list[CFGNode],
+        entry: CFGNode,
+        exit_node: CFGNode,
+    ) -> None:
+        self.scope = scope
+        self.nodes = nodes
+        self.entry = entry
+        self.exit = exit_node
+        self.by_statement: dict[ast.AST, CFGNode] = {
+            node.statement: node
+            for node in nodes
+            if node.statement is not None
+        }
+
+    def node_for(self, statement: ast.AST) -> CFGNode | None:
+        return self.by_statement.get(statement)
+
+    def escaping_path_exists(
+        self, start: CFGNode, through: set[CFGNode]
+    ) -> bool:
+        """Whether some path ``start`` → exit avoids every ``through``.
+
+        The first hop ignores ``start``'s own implicit-raise edges (if
+        the statement itself fails, its effect never happened); after
+        that, implicit raises count — they are exactly how cleanup
+        gets skipped.
+        """
+        seen: set[int] = {start.index}
+        stack = [
+            node
+            for node in start.successors
+            if node not in through
+        ]
+        while stack:
+            node = stack.pop()
+            if node.index in seen:
+                continue
+            seen.add(node.index)
+            if node is self.exit:
+                return True
+            for successor in node.successors + node.raise_successors:
+                if successor not in through:
+                    stack.append(successor)
+        return False
+
+
+def build_cfg(scope: ScopeNode) -> ControlFlowGraph:
+    """Build the statement-level CFG for one function or module body."""
+    builder = _Builder()
+    frontier = builder.sequence(scope.body, [builder.entry])
+    builder._connect(frontier, builder.exit)
+    return ControlFlowGraph(
+        scope, builder.nodes, builder.entry, builder.exit
+    )
+
+
+# ----------------------------------------------------------------------
+# Bindings
+# ----------------------------------------------------------------------
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _assign_pairs(
+    target: ast.expr, value: ast.expr | None
+) -> Iterator[tuple[str, ast.expr | None]]:
+    """Pair target names with value expressions where syntax allows.
+
+    ``a, b = x, y`` pairs element-wise; a starred element or a
+    non-tuple right-hand side makes every unpacked name unknowable.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id, value
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        elements = target.elts
+        if (
+            isinstance(value, (ast.Tuple, ast.List))
+            and len(value.elts) == len(elements)
+            and not any(
+                isinstance(element, ast.Starred)
+                for element in elements
+            )
+        ):
+            for element, item in zip(elements, value.elts):
+                yield from _assign_pairs(element, item)
+        else:
+            for name in _target_names(target):
+                yield name, None
+        return
+    # Attribute / Subscript targets bind no scope-level name.
+
+
+def _walrus_bindings(
+    expressions: Iterable[ast.AST],
+) -> Iterator[tuple[str, ast.expr | None]]:
+    for expression in expressions:
+        for node in ast.walk(expression):
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                yield node.target.id, node.value
+
+
+def statement_bindings(
+    statement: ast.AST,
+) -> list[tuple[str, "ast.expr | None"]]:
+    """``(name, value-or-None)`` pairs this statement binds.
+
+    For compound statements only the *header* bindings are reported
+    (the ``for`` target, ``with ... as`` names, ``except ... as``);
+    body statements carry their own bindings at their own CFG nodes.
+    """
+    pairs: list[tuple[str, ast.expr | None]] = []
+    if isinstance(statement, ast.Assign):
+        for target in statement.targets:
+            pairs.extend(_assign_pairs(target, statement.value))
+    elif isinstance(statement, ast.AnnAssign):
+        if statement.value is not None and isinstance(
+            statement.target, ast.Name
+        ):
+            pairs.append((statement.target.id, statement.value))
+    elif isinstance(statement, ast.AugAssign):
+        if isinstance(statement.target, ast.Name):
+            pairs.append((statement.target.id, None))
+    elif isinstance(statement, (ast.For, ast.AsyncFor)):
+        pairs.extend(
+            (name, None) for name in _target_names(statement.target)
+        )
+    elif isinstance(statement, (ast.With, ast.AsyncWith)):
+        for item in statement.items:
+            if item.optional_vars is None:
+                continue
+            if isinstance(item.optional_vars, ast.Name):
+                pairs.append(
+                    (item.optional_vars.id, item.context_expr)
+                )
+            else:
+                pairs.extend(
+                    (name, None)
+                    for name in _target_names(item.optional_vars)
+                )
+    elif isinstance(statement, ast.ExceptHandler):
+        if statement.name:
+            pairs.append((statement.name, None))
+    elif isinstance(
+        statement,
+        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+    ):
+        pairs.append((statement.name, None))
+    if isinstance(statement, ast.stmt):
+        pairs.extend(_walrus_bindings(header_expressions(statement)))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+
+
+class Dataflow:
+    """Reaching definitions for one scope, via worklist fixpoint."""
+
+    def __init__(self, scope: ScopeNode) -> None:
+        self.scope = scope
+        self.cfg = build_cfg(scope)
+        self.bound_names: set[str] = set()
+        self._gen: dict[int, list[Definition]] = {}
+        self._kill: dict[int, set[str]] = {}
+        for node in self.cfg.nodes:
+            if node.kind == "entry" and not isinstance(
+                scope, ast.Module
+            ):
+                parameters = [
+                    (argument.arg, None)
+                    for argument in _all_arguments(scope.args)
+                ]
+                self._seed(node, parameters)
+            elif node.statement is not None:
+                self._seed(node, statement_bindings(node.statement))
+        self._reaching_in = self._solve()
+
+    def _seed(
+        self,
+        node: CFGNode,
+        pairs: Sequence[tuple[str, "ast.expr | None"]],
+    ) -> None:
+        if not pairs:
+            return
+        definitions = [
+            (node.index, name, value) for name, value in pairs
+        ]
+        self._gen[node.index] = definitions
+        self._kill[node.index] = {name for name, _ in pairs}
+        self.bound_names.update(name for name, _ in pairs)
+
+    def _solve(self) -> dict[int, dict[str, set[Definition]]]:
+        predecessors: dict[int, list[CFGNode]] = {
+            node.index: [] for node in self.cfg.nodes
+        }
+        for node in self.cfg.nodes:
+            for successor in node.successors + node.raise_successors:
+                predecessors[successor.index].append(node)
+        reaching_out: dict[int, dict[str, set[Definition]]] = {
+            node.index: {} for node in self.cfg.nodes
+        }
+        reaching_in: dict[int, dict[str, set[Definition]]] = {
+            node.index: {} for node in self.cfg.nodes
+        }
+        worklist = list(self.cfg.nodes)
+        while worklist:
+            node = worklist.pop(0)
+            merged: dict[str, set[Definition]] = {}
+            for predecessor in predecessors[node.index]:
+                for name, defs in reaching_out[
+                    predecessor.index
+                ].items():
+                    merged.setdefault(name, set()).update(defs)
+            reaching_in[node.index] = merged
+            out: dict[str, set[Definition]] = {
+                name: set(defs)
+                for name, defs in merged.items()
+                if name not in self._kill.get(node.index, ())
+            }
+            for definition in self._gen.get(node.index, ()):
+                out.setdefault(definition[1], set()).add(definition)
+            if out != reaching_out[node.index]:
+                reaching_out[node.index] = out
+                for successor in (
+                    node.successors + node.raise_successors
+                ):
+                    if successor not in worklist:
+                        worklist.append(successor)
+        return reaching_in
+
+    def reaching(
+        self, statement: ast.AST, name: str
+    ) -> set[Definition] | None:
+        """Definitions of ``name`` that can reach ``statement``.
+
+        ``None`` when the statement is not in this scope's CFG (it
+        belongs to a nested scope) — distinct from "no definitions
+        reach", which answers an empty set.
+        """
+        node = self.cfg.node_for(statement)
+        if node is None:
+            return None
+        return self._reaching_in[node.index].get(name, set())
+
+
+def _all_arguments(arguments: ast.arguments) -> Iterator[ast.arg]:
+    yield from arguments.posonlyargs
+    yield from arguments.args
+    if arguments.vararg is not None:
+        yield arguments.vararg
+    yield from arguments.kwonlyargs
+    if arguments.kwarg is not None:
+        yield arguments.kwarg

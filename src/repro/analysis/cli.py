@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import traceback
 from pathlib import Path
 from typing import IO, Sequence
 
 from repro.analysis.baseline import Baseline, load_baseline, write_baseline
-from repro.analysis.engine import analyze_paths
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.engine import RunStats, analyze_paths
 from repro.analysis.findings import Finding
 from repro.analysis.rules import RULES, Rule, rules_by_code
 
@@ -92,6 +94,100 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--changed",
+        default=None,
+        metavar="BASE",
+        help=(
+            "analyze only files changed vs this git ref (plus "
+            "untracked ones); the full PATH trees are still indexed "
+            "so cross-file rules see unchanged callees"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "per-file findings cache keyed on content digests; "
+            "created if missing, invalidated automatically when any "
+            "file in the analyzed trees changes"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "report per-rule wall time, file counts, and cache "
+            "traffic on stderr"
+        ),
+    )
+
+
+def _changed_files(
+    base: str, paths: Sequence[str]
+) -> list[Path]:
+    """Python files under ``paths`` changed vs ``base``.
+
+    Changed means different from the git ref (``git diff``) or not
+    tracked at all; deleted files are skipped.  Raises
+    :class:`RuntimeError` when git cannot answer (not a repository,
+    unknown ref) — a pre-commit hook must fail loudly, not silently
+    lint nothing.
+    """
+    collected: set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        result = subprocess.run(
+            command, capture_output=True, text=True
+        )
+        if result.returncode != 0:
+            detail = result.stderr.strip() or "git failed"
+            raise RuntimeError(
+                f"--changed {base}: {detail}"
+            )
+        collected.update(
+            line.strip()
+            for line in result.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    roots = [Path(path).resolve() for path in paths]
+    selected: list[Path] = []
+    for name in sorted(collected):
+        file = Path(name)
+        if not file.is_file():
+            continue  # deleted or renamed away
+        resolved = file.resolve()
+        if any(
+            resolved == root or root in resolved.parents
+            for root in roots
+        ):
+            selected.append(file)
+    return selected
+
+
+def _report_stats(
+    stats: RunStats,
+    cache: AnalysisCache | None,
+    stream: IO[str],
+) -> None:
+    print(
+        f"analysis: {stats.files_analyzed} file(s) analyzed, "
+        f"{stats.files_cached} from cache, "
+        f"{stats.total_seconds:.3f}s total",
+        file=stream,
+    )
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es)",
+            file=stream,
+        )
+    for code in sorted(stats.rule_seconds):
+        milliseconds = stats.rule_seconds[code] * 1000.0
+        print(f"  {code}: {milliseconds:8.1f} ms", file=stream)
 
 
 def _parse_codes(raw: str) -> list[str]:
@@ -219,6 +315,13 @@ def run(
             "error: --write-baseline requires --baseline", file=err
         )
         return EXIT_USAGE
+    if args.write_baseline and args.changed is not None:
+        print(
+            "error: --write-baseline needs a full run; drop "
+            "--changed so unchanged files keep their entries",
+            file=err,
+        )
+        return EXIT_USAGE
     baseline = Baseline()
     if args.baseline is not None and not args.write_baseline:
         try:
@@ -229,8 +332,35 @@ def run(
         except ValueError as error:
             print(f"error: {error}", file=err)
             return EXIT_USAGE
+    selection: Sequence[Path | str] = args.paths
+    project_paths: Sequence[Path | str] | None = None
+    if args.changed is not None:
+        try:
+            changed = _changed_files(args.changed, args.paths)
+        except (OSError, RuntimeError) as error:
+            print(f"error: {error}", file=err)
+            return EXIT_USAGE
+        if not changed:
+            print(
+                f"0 file(s) changed vs {args.changed}; "
+                "nothing to analyze",
+                file=out,
+            )
+            return EXIT_CLEAN
+        selection = changed
+        project_paths = args.paths
+    cache = (
+        AnalysisCache(args.cache) if args.cache is not None else None
+    )
+    stats = RunStats() if args.stats else None
     try:
-        findings = analyze_paths(args.paths, rules=rules)
+        findings = analyze_paths(
+            selection,
+            rules=rules,
+            project_paths=project_paths,
+            cache=cache,
+            stats=stats,
+        )
     except OSError as error:
         print(f"error: {error}", file=err)
         return EXIT_USAGE
@@ -240,6 +370,10 @@ def run(
             file=err,
         )
         return EXIT_INTERNAL_ERROR
+    if cache is not None:
+        cache.save()
+    if stats is not None:
+        _report_stats(stats, cache, err)
     if args.write_baseline:
         previous = None
         if Path(args.baseline).exists():
@@ -263,6 +397,13 @@ def run(
             )
         return EXIT_FINDINGS if reasonless else EXIT_CLEAN
     new, accepted, stale = baseline.partition(findings)
+    if args.changed is not None:
+        # A partial run cannot judge baseline entries for files it
+        # never looked at.
+        analyzed = {Path(file).as_posix() for file in selection}
+        stale = [
+            entry for entry in stale if entry.path in analyzed
+        ]
     if args.json:
         _report_json(out, new, accepted, stale)
     else:
@@ -274,9 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "AST-based invariant linter for the repro codebase: "
-            "determinism, probability-safety, and accounting "
-            "contracts (rules RPR001-RPR008)."
+            "Dataflow- and call-graph-aware invariant linter for "
+            "the repro codebase: determinism, probability-safety, "
+            "accounting, and concurrency contracts (rules "
+            "RPR001-RPR016)."
         ),
     )
     add_arguments(parser)

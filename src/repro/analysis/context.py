@@ -26,7 +26,16 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.cfg import (
+    Dataflow,
+    ScopeNode,
+    statement_bindings,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import ProjectIndex
 
 __all__ = ["ModuleContext", "dotted_name"]
 
@@ -77,6 +86,10 @@ class ModuleContext:
         self.module = self._module_directive() or _derive_module(
             Path(path)
         )
+        #: The project-wide symbol table / call graph, when this
+        #: module is analyzed as part of a multi-file run (the engine
+        #: sets it); ``None`` leaves flow rules intra-module.
+        self.project: "ProjectIndex | None" = None
         self.parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
@@ -90,6 +103,16 @@ class ModuleContext:
 
         self._suppressions: dict[int, frozenset[str]] = {}
         self._scan_suppressions()
+
+        # Flow-analysis caches, built lazily per scope on first use so
+        # node rules that never consult dataflow pay nothing.
+        self._dataflow: dict[ast.AST, Dataflow] = {}
+        self._scope_values: dict[
+            ast.AST, dict[str, list["ast.expr | None"]]
+        ] = {}
+        self._module_bindings: (
+            dict[str, list["ast.expr | None"]] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Directives
@@ -206,3 +229,228 @@ class ModuleContext:
                 ):
                     return True
         return False
+
+    # ------------------------------------------------------------------
+    # Flow analysis (lazy; see repro.analysis.cfg)
+    # ------------------------------------------------------------------
+    def scope_of(self, node: ast.AST) -> ScopeNode:
+        """The nearest enclosing function scope, else the module."""
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return ancestor
+        return self.tree
+
+    def dataflow(self, scope: ScopeNode) -> Dataflow:
+        """Reaching definitions for ``scope`` (built once, cached)."""
+        flow = self._dataflow.get(scope)
+        if flow is None:
+            flow = Dataflow(scope)
+            self._dataflow[scope] = flow
+        return flow
+
+    def statement_of(
+        self, node: ast.AST, flow: Dataflow
+    ) -> ast.AST | None:
+        """The CFG statement of ``flow`` that contains ``node``."""
+        current: ast.AST | None = node
+        while current is not None:
+            if flow.cfg.node_for(current) is not None:
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def scope_binding_values(
+        self, scope: ScopeNode
+    ) -> dict[str, list["ast.expr | None"]]:
+        """Every binding of every name in ``scope``, flow-insensitive.
+
+        Cheap (one pruned walk, no CFG); rules use it both as a fast
+        "is this name even local?" pre-check before paying for
+        dataflow, and as the closure fallback for names bound in an
+        enclosing function.
+        """
+        values = self._scope_values.get(scope)
+        if values is not None:
+            return values
+        values = {}
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for argument in _scope_arguments(scope):
+                values.setdefault(argument.arg, []).append(None)
+        for statement in _scope_statements(scope):
+            for name, value in statement_bindings(statement):
+                values.setdefault(name, []).append(value)
+            if isinstance(statement, (ast.Global, ast.Nonlocal)):
+                for name in statement.names:
+                    values.setdefault(name, []).append(None)
+        self._scope_values[scope] = values
+        return values
+
+    def module_bindings(
+        self,
+    ) -> dict[str, list["ast.expr | None"]]:
+        """Module-level bindings, with function rebinds folded in.
+
+        A name assigned at module scope maps to its bound expressions;
+        any function that declares ``global name`` contributes an
+        unknowable binding, so rebindable injection points (the
+        ``configure(...)`` pattern) resolve as *unknown* rather than
+        as their default value.
+        """
+        if self._module_bindings is not None:
+            return self._module_bindings
+        bindings = dict(self.scope_binding_values(self.tree))
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    bindings.setdefault(name, []).append(None)
+        self._module_bindings = bindings
+        return bindings
+
+    def resolve_targets(
+        self, expression: ast.AST, *, _depth: int = 6
+    ) -> tuple[frozenset[str], bool]:
+        """``(targets, unknown)``: what this expression may denote.
+
+        Chases a ``Name``/``Attribute`` chain through local reaching
+        definitions (flow-sensitive), enclosing-scope bindings
+        (flow-insensitive), single-binding module globals, and import
+        aliases, down to canonical dotted names.  ``unknown`` is True
+        when at least one possible value could not be resolved —
+        parameters, call results, rebindable globals — so callers can
+        stay conservative.
+        """
+        dotted = dotted_name(expression)
+        if dotted is None:
+            return frozenset(), True
+        head, _, rest = dotted.partition(".")
+        head_targets, unknown = self._resolve_head(
+            expression, head, _depth
+        )
+        if head_targets is None:
+            return frozenset({self.canonical(dotted)}), False
+        targets = frozenset(
+            f"{target}.{rest}" if rest else target
+            for target in head_targets
+        )
+        return targets, unknown
+
+    def _resolve_head(
+        self, expression: ast.AST, head: str, depth: int
+    ) -> tuple[set[str] | None, bool]:
+        """Resolve the leading name; ``(None, False)`` means "use the
+        import-alias fallback" (the name is bound nowhere in scope)."""
+        if depth <= 0:
+            return set(), True
+        scope = self.scope_of(expression)
+        seen_global = False
+        while not isinstance(scope, ast.Module):
+            local = self.scope_binding_values(scope)
+            declared_global = any(
+                isinstance(statement, ast.Global)
+                and head in statement.names
+                for statement in _scope_statements(scope)
+            )
+            if declared_global:
+                seen_global = True
+                break
+            if head in local:
+                if scope is self.scope_of(expression):
+                    return self._resolve_local(
+                        expression, head, scope, depth
+                    )
+                return self._resolve_values(local[head], depth)
+            parent_scope = self.scope_of(scope)
+            scope = parent_scope
+        module_values = self.module_bindings().get(head)
+        if module_values is None:
+            if seen_global:
+                return set(), True
+            return None, False
+        return self._resolve_values(module_values, depth)
+
+    def _resolve_local(
+        self,
+        expression: ast.AST,
+        head: str,
+        scope: ScopeNode,
+        depth: int,
+    ) -> tuple[set[str], bool]:
+        flow = self.dataflow(scope)
+        statement = self.statement_of(expression, flow)
+        if statement is None:
+            return set(), True
+        definitions = flow.reaching(statement, head)
+        if not definitions:
+            return set(), True
+        return self._resolve_values(
+            [value for _, _, value in definitions], depth
+        )
+
+    def _resolve_values(
+        self,
+        values: "list[ast.expr | None]",
+        depth: int,
+    ) -> tuple[set[str], bool]:
+        targets: set[str] = set()
+        unknown = False
+        for value in values:
+            if value is None:
+                unknown = True
+                continue
+            sub_targets, sub_unknown = self.resolve_targets(
+                value, _depth=depth - 1
+            )
+            targets.update(sub_targets)
+            unknown = unknown or sub_unknown
+        return targets, unknown
+
+
+def _scope_statements(scope: ScopeNode) -> Iterator[ast.AST]:
+    """Statements lexically in ``scope``, nested scopes excluded.
+
+    Compound bodies are descended into; ``def``/``class`` statements
+    are yielded (they bind their name here) but not entered."""
+    stack: list[ast.AST] = list(reversed(scope.body))
+    while stack:
+        statement = stack.pop()
+        yield statement
+        if isinstance(
+            statement,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            continue
+        for field in (
+            "body",
+            "orelse",
+            "finalbody",
+            "handlers",
+            "cases",
+        ):
+            children = getattr(statement, field, None)
+            if not children:
+                continue
+            for child in reversed(children):
+                if isinstance(child, ast.ExceptHandler):
+                    yield child
+                    stack.extend(reversed(child.body))
+                elif hasattr(ast, "match_case") and isinstance(
+                    child, ast.match_case
+                ):
+                    stack.extend(reversed(child.body))
+                elif isinstance(child, ast.stmt):
+                    stack.append(child)
+
+
+def _scope_arguments(
+    scope: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Iterator[ast.arg]:
+    arguments = scope.args
+    yield from arguments.posonlyargs
+    yield from arguments.args
+    if arguments.vararg is not None:
+        yield arguments.vararg
+    yield from arguments.kwonlyargs
+    if arguments.kwarg is not None:
+        yield arguments.kwarg

@@ -1,11 +1,19 @@
-"""The analysis driver: parse, dispatch, suppress, collect.
+"""The analysis driver: parse, index, dispatch, suppress, collect.
 
-One tree walk serves every rule: the engine groups the active rules
-by the AST node types they registered (:attr:`Rule.node_types`), then
-visits each node exactly once and hands it to the interested rules.
-Findings on lines carrying a ``# repro: noqa`` directive (or with one
-on a comment line directly above) are dropped before they are
-returned.
+The engine runs in two phases.  Phase one parses every file in the
+*analysis universe* and builds the project-wide
+:class:`~repro.analysis.callgraph.ProjectIndex` (symbol table, call
+graph, async/thread coloring, ContextVar registry).  Phase two runs
+the rules file by file: node rules are grouped by the AST node types
+they registered (:attr:`Rule.node_types`) so one tree walk serves all
+of them, and flow rules — those overriding ``check_module`` — get one
+call per module with the index attached to the context.
+
+The universe and the *selection* can differ: ``repro lint --changed``
+analyzes only touched files but still indexes the whole tree, because
+call-graph rules need to see callees in files that did not change.
+An optional :class:`~repro.analysis.cache.AnalysisCache` memoizes
+per-file findings keyed on content + project + rules digests.
 
 A file that does not parse yields a single ``RPR000`` finding rather
 than crashing the run — a syntax error is the most fatal invariant
@@ -15,14 +23,42 @@ violation of all, and the CLI must keep walking the rest of the tree.
 from __future__ import annotations
 
 import ast
+import time
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.cache import AnalysisCache, content_digest
+from repro.analysis.callgraph import ProjectIndex
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
 from repro.analysis.rules import RULES, Rule
 
-__all__ = ["analyze_file", "analyze_paths", "analyze_source"]
+__all__ = [
+    "RunStats",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+]
+
+
+class RunStats:
+    """Observability for one engine run: timings and cache traffic.
+
+    ``rule_seconds`` accumulates wall time per rule code (node rules
+    across every node they saw, flow rules across their module
+    passes); the CLI renders it for the CI budget check.
+    """
+
+    def __init__(self) -> None:
+        self.rule_seconds: dict[str, float] = {}
+        self.files_analyzed = 0
+        self.files_cached = 0
+        self.total_seconds = 0.0
+
+    def charge(self, code: str, seconds: float) -> None:
+        self.rule_seconds[code] = (
+            self.rule_seconds.get(code, 0.0) + seconds
+        )
 
 
 def _position(node: ast.AST) -> tuple[int, int]:
@@ -35,51 +71,93 @@ def _position(node: ast.AST) -> tuple[int, int]:
     return 1, 1
 
 
+def _is_flow_rule(rule: Rule) -> bool:
+    return type(rule).check_module is not Rule.check_module
+
+
+def _parse_error(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=error.lineno or 1,
+        column=(error.offset or 1),
+        code="RPR000",
+        message=f"file does not parse: {error.msg}",
+    )
+
+
+def _check_context(
+    ctx: ModuleContext,
+    active: Sequence[Rule],
+    stats: RunStats | None,
+) -> list[Finding]:
+    """Run every applicable rule over one parsed module."""
+    applicable = [rule for rule in active if rule.applies_to(ctx)]
+    dispatch: dict[type[ast.AST], list[Rule]] = {}
+    flow_rules: list[Rule] = []
+    for rule in applicable:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+        if _is_flow_rule(rule):
+            flow_rules.append(rule)
+    findings: list[Finding] = []
+
+    def _collect(rule: Rule, offender: ast.AST, message: str) -> None:
+        line, column = _position(offender)
+        if ctx.suppressed(line, rule.code):
+            return
+        findings.append(
+            Finding(
+                path=ctx.path,
+                line=line,
+                column=column,
+                code=rule.code,
+                message=message,
+            )
+        )
+
+    if dispatch:
+        for node in ast.walk(ctx.tree):
+            for rule in dispatch.get(type(node), ()):
+                started = time.perf_counter() if stats else 0.0
+                for offender, message in rule.check(node, ctx):
+                    _collect(rule, offender, message)
+                if stats:
+                    stats.charge(
+                        rule.code, time.perf_counter() - started
+                    )
+    for rule in flow_rules:
+        started = time.perf_counter() if stats else 0.0
+        for offender, message in rule.check_module(ctx):
+            _collect(rule, offender, message)
+        if stats:
+            stats.charge(rule.code, time.perf_counter() - started)
+    return sorted(findings)
+
+
 def analyze_source(
     source: str,
     path: str,
     *,
     rules: Sequence[Rule] | None = None,
+    project: ProjectIndex | None = None,
 ) -> list[Finding]:
-    """Run the rules over one module's source text."""
+    """Run the rules over one module's source text.
+
+    Without an explicit ``project``, a single-module index is built
+    so flow rules still work on isolated files (fixtures, stdin).
+    """
     active = tuple(RULES if rules is None else rules)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                column=(error.offset or 1),
-                code="RPR000",
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
+        return [_parse_error(path, error)]
     ctx = ModuleContext(path, source, tree)
-    applicable = [rule for rule in active if rule.applies_to(ctx)]
-    dispatch: dict[type[ast.AST], list[Rule]] = {}
-    for rule in applicable:
-        for node_type in rule.node_types:
-            dispatch.setdefault(node_type, []).append(rule)
-    if not dispatch:
-        return []
-    findings: list[Finding] = []
-    for node in ast.walk(tree):
-        for rule in dispatch.get(type(node), ()):
-            for offender, message in rule.check(node, ctx):
-                line, column = _position(offender)
-                if ctx.suppressed(line, rule.code):
-                    continue
-                findings.append(
-                    Finding(
-                        path=path,
-                        line=line,
-                        column=column,
-                        code=rule.code,
-                        message=message,
-                    )
-                )
-    return sorted(findings)
+    ctx.project = (
+        project
+        if project is not None
+        else ProjectIndex.build([ctx])
+    )
+    return _check_context(ctx, active, None)
 
 
 def analyze_file(
@@ -102,21 +180,119 @@ def _python_files(path: Path) -> Iterable[Path]:
         yield candidate
 
 
-def analyze_paths(
-    paths: Sequence[Path | str],
-    *,
-    rules: Sequence[Rule] | None = None,
-) -> list[Finding]:
-    """Analyze files and directory trees; results sorted by location.
+def _expand(paths: Sequence[Path | str]) -> list[Path]:
+    """Flatten files/trees into a sorted, de-duplicated file list.
 
     Raises :class:`OSError` for a path that does not exist — a typo'd
     invocation must not report a falsely clean run.
     """
-    findings: list[Finding] = []
+    seen: dict[str, Path] = {}
     for entry in paths:
         entry = Path(entry)
         if not entry.exists():
-            raise FileNotFoundError(f"no such file or directory: {entry}")
+            raise FileNotFoundError(
+                f"no such file or directory: {entry}"
+            )
         for file in _python_files(entry):
-            findings.extend(analyze_file(file, rules=rules))
+            seen.setdefault(file.as_posix(), file)
+    return [seen[key] for key in sorted(seen)]
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    project_paths: Sequence[Path | str] | None = None,
+    cache: AnalysisCache | None = None,
+    stats: RunStats | None = None,
+) -> list[Finding]:
+    """Analyze files and directory trees; results sorted by location.
+
+    ``project_paths`` widens the indexing universe beyond the
+    analyzed selection (``--changed`` passes the original trees here
+    so cross-file rules keep seeing unchanged callees).  ``cache``
+    and ``stats`` are optional engine observability; the caller owns
+    ``cache.save()``.
+    """
+    started = time.perf_counter() if stats else 0.0
+    active = tuple(RULES if rules is None else rules)
+    selected = _expand(paths)
+    universe = (
+        _expand([*project_paths, *paths])
+        if project_paths is not None
+        else selected
+    )
+
+    # Digests are cheap (read + hash, no parse); they decide which
+    # selected files the cache already answers.  Parsing the universe
+    # and building the call graph is deferred until the first miss,
+    # so a fully-warm run never touches the AST layer at all.
+    sources = {
+        file.as_posix(): file.read_bytes() for file in universe
+    }
+    digests = {
+        key: content_digest(data) for key, data in sources.items()
+    }
+    run_key = (
+        AnalysisCache.run_key(
+            digests, tuple(rule.code for rule in active)
+        )
+        if cache is not None
+        else ""
+    )
+
+    findings: list[Finding] = []
+    pending: list[str] = []
+    for file in selected:
+        key = file.as_posix()
+        if cache is not None:
+            cached = cache.get(key, digests[key], run_key)
+            if cached is not None:
+                findings.extend(cached)
+                if stats:
+                    stats.files_cached += 1
+                continue
+        pending.append(key)
+
+    if pending:
+        contexts: list[ModuleContext] = []
+        parse_failures: dict[str, Finding] = {}
+        for key in sorted(sources):
+            data = sources[key]
+            try:
+                tree = ast.parse(data.decode(), filename=key)
+            except (SyntaxError, UnicodeDecodeError) as error:
+                if isinstance(error, SyntaxError):
+                    parse_failures[key] = _parse_error(key, error)
+                else:
+                    parse_failures[key] = Finding(
+                        path=key,
+                        line=1,
+                        column=1,
+                        code="RPR000",
+                        message=(
+                            "file does not parse: not valid UTF-8"
+                        ),
+                    )
+                continue
+            contexts.append(ModuleContext(key, data.decode(), tree))
+        project = ProjectIndex.build(contexts)
+        by_path = {ctx.path: ctx for ctx in contexts}
+        for key in pending:
+            failure = parse_failures.get(key)
+            if failure is not None:
+                findings.append(failure)
+                continue
+            ctx = by_path[key]
+            ctx.project = project
+            file_findings = _check_context(ctx, active, stats)
+            findings.extend(file_findings)
+            if stats:
+                stats.files_analyzed += 1
+            if cache is not None:
+                cache.put(
+                    key, digests[key], run_key, file_findings
+                )
+    if stats:
+        stats.total_seconds = time.perf_counter() - started
     return sorted(findings)

@@ -1,12 +1,19 @@
-"""The rule catalogue: nine project-specific invariant checks.
+"""The rule catalogue: sixteen project-specific invariant checks.
 
 Each rule is a small class with a stable ``RPRxxx`` code, a one-line
 summary, a written rationale (also rendered by ``--list-rules`` and
-``docs/static_analysis.md``), the AST node types it wants to see, and
-a ``check`` generator yielding ``(node, message)`` violations.  The
-engine builds a dispatch table from :attr:`Rule.node_types`, so one
-walk of the tree serves every rule — adding a rule is a ~30-line
-class plus a registry entry.
+``docs/static_analysis.md``), and one of two check shapes:
+
+* **node rules** declare :attr:`Rule.node_types` and implement
+  ``check(node, ctx)``; the engine builds a dispatch table so one
+  walk of the tree serves every node rule;
+* **flow rules** override ``check_module(ctx)`` and run once per
+  module with the full :class:`~repro.analysis.context.ModuleContext`
+  — including lazy per-scope dataflow (``ctx.dataflow``) and the
+  project-wide call graph (``ctx.project``) when the engine analyzed
+  more than this one file.
+
+Adding a rule is a ~30-line class plus a registry entry either way.
 
 Messages are deliberately stable strings: the baseline file keys on
 ``(path, code, message)``, so a rewording invalidates accepted
@@ -17,9 +24,14 @@ exceptions — but do it knowingly).
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.context import ModuleContext
+from repro.analysis.callgraph import scope_walk
+from repro.analysis.cfg import Dataflow, header_expressions
+from repro.analysis.context import ModuleContext, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.callgraph import FunctionInfo
 
 __all__ = ["RULES", "Rule", "rules_by_code"]
 
@@ -40,6 +52,14 @@ class Rule:
 
     def check(self, node: ast.AST, ctx: ModuleContext) -> Violation:
         raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+    def check_module(self, ctx: ModuleContext) -> Violation:
+        """Flow-rule hook: one call per module, after parsing.
+
+        The default is a no-op; the engine only invokes this on rules
+        that override it (so node rules pay nothing)."""
+        return
         yield  # pragma: no cover - generator marker
 
 
@@ -268,6 +288,21 @@ def _relation_like(node: ast.AST) -> bool:
     return False
 
 
+def _relation_rows_value(node: ast.AST) -> bool:
+    """Whether a bound expression denotes raw relation rows.
+
+    Matches what a dodger would alias: a ``.rows`` attribute read or
+    anything :func:`_relation_like` itself accepts (possibly wrapped
+    in ``list()``/``sorted()``/...).
+    """
+    unwrapped = _unwrap_iterable(node)
+    if isinstance(unwrapped, ast.Attribute) and (
+        unwrapped.attr == "rows"
+    ):
+        return True
+    return _relation_like(unwrapped)
+
+
 class UncountedRelationIteration(Rule):
     code = "RPR003"
     name = "uncounted-relation-iteration"
@@ -299,6 +334,55 @@ class UncountedRelationIteration(Rule):
                 "score_cursor()/expected_score_cursor() or charge "
                 "the counter explicitly"
             )
+        elif isinstance(iterable, ast.Name) and self._aliased_rows(
+            iterable, ctx
+        ):
+            yield node.iter, (
+                "relation rows reach this loop through an alias "
+                "(assignment or tuple unpacking), bypassing "
+                "AccessCounter/ResilientCursor accounting; use "
+                "score_cursor()/expected_score_cursor() or charge "
+                "the counter explicitly"
+            )
+
+    def _aliased_rows(
+        self, name_node: ast.Name, ctx: ModuleContext, depth: int = 3
+    ) -> bool:
+        """Chase local reaching definitions of an iterated name."""
+        scope = ctx.scope_of(name_node)
+        flow = ctx.dataflow(scope)
+        statement = ctx.statement_of(name_node, flow)
+        if statement is None:
+            return False
+        return self._defs_are_rows(
+            flow, statement, name_node.id, depth
+        )
+
+    def _defs_are_rows(
+        self,
+        flow: Dataflow,
+        statement: ast.AST,
+        name: str,
+        depth: int,
+    ) -> bool:
+        if depth <= 0:
+            return False
+        definitions = flow.reaching(statement, name)
+        if not definitions:
+            return False
+        for def_index, _, value in definitions:
+            if value is None:
+                continue
+            if _relation_rows_value(value):
+                return True
+            chained = _unwrap_iterable(value)
+            if isinstance(chained, ast.Name):
+                def_statement = flow.cfg.nodes[def_index].statement
+                if def_statement is not None and self._defs_are_rows(
+                    flow, def_statement, chained.id, depth - 1
+                ):
+                    return True
+        return False
 
 
 # ----------------------------------------------------------------------
@@ -760,6 +844,424 @@ class AccountingOutsideLedger(Rule):
             )
 
 
+# ----------------------------------------------------------------------
+# Flow rules (RPR012-RPR016): dataflow and call-graph backed
+# ----------------------------------------------------------------------
+
+
+def _enclosing_info(
+    ctx: ModuleContext, node: ast.AST
+) -> "FunctionInfo | None":
+    """The call-graph entry for the def enclosing ``node``, if any."""
+    if ctx.project is None:
+        return None
+    parts: list[str] = []
+    for ancestor in ctx.ancestors(node):
+        if isinstance(
+            ancestor,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            parts.append(ancestor.name)
+    if not parts:
+        return None
+    qualname = ".".join([ctx.module, *reversed(parts)])
+    return ctx.project.functions.get(qualname)
+
+
+#: Reads RPR001/RPR004 forbid by canonical name; RPR012 forbids the
+#: same reads when they arrive laundered through an alias.
+_ALIASABLE_READS = _WALL_CLOCKS | frozenset(
+    f"random.{name}" for name in _GLOBAL_RANDOM
+)
+
+
+class AliasedNondeterminism(Rule):
+    code = "RPR012"
+    name = "aliased-nondeterminism"
+    summary = (
+        "RNG/clock read laundered through an alias "
+        "(t = time.time; t())"
+    )
+    rationale = (
+        "RPR001 and RPR004 match calls by their spelled name, so "
+        "`t = time.time; t()` reads the wall clock without either "
+        "firing — the read is a flow property, not a syntactic one.  "
+        "This rule resolves the called expression through reaching "
+        "definitions (assignments, tuple unpacking, chained aliases, "
+        "single-binding module globals) and flags calls whose every "
+        "possible target is a forbidden global-RNG draw or wall-clock "
+        "read.  Deliberately injectable callables — parameters and "
+        "module globals rebound via `global` (the configure(...) "
+        "pattern) — resolve as unknown and stay exempt: injection is "
+        "the sanctioned fix, laundering is not."
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Violation:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        if ctx.canonical(dotted) in _ALIASABLE_READS:
+            return  # direct call: RPR001/RPR004 already own it
+        targets, unknown = ctx.resolve_targets(node.func)
+        if unknown or not targets:
+            return
+        flagged = sorted(
+            target
+            for target in targets
+            if target in _ALIASABLE_READS
+        )
+        if flagged and len(flagged) == len(targets):
+            yield node, (
+                f"call resolves to {', '.join(flagged)} through an "
+                "alias; aliasing does not make the read "
+                "deterministic — inject a seeded Random or take a "
+                "monotonic clock instead"
+            )
+
+
+class TransitiveBlockingInServe(Rule):
+    code = "RPR013"
+    name = "transitive-blocking-in-serve"
+    summary = (
+        "async serve path reaching a blocking call through helpers"
+    )
+    rationale = (
+        "RPR009 sees one hop: time.sleep() spelled inside an async "
+        "def.  Hide the sleep one plain function away and the event "
+        "loop still stalls, the linter just stops looking.  This "
+        "rule walks the project call graph from every repro.serve "
+        "async def through resolved synchronous callees (imports, "
+        "self-methods, nested defs) and reports the full chain to "
+        "the blocking sink.  Awaited async callees do not propagate "
+        "— awaiting yields the loop — and functions dispatched via "
+        "run_in_executor are referenced, not called, so the "
+        "sanctioned escape hatch stays silent."
+    )
+    node_types = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.serve")
+
+    def check_module(self, ctx: ModuleContext) -> Violation:
+        project = ctx.project
+        if project is None:
+            return
+        for info in project.functions_in(ctx.module):
+            if not info.is_async:
+                continue
+            for site in info.calls:
+                if site.callee is None:
+                    continue
+                callee = project.functions[site.callee]
+                if callee.is_async:
+                    continue
+                path = project.blocking_path(site.callee)
+                if path is None:
+                    continue
+                chain = " -> ".join((callee.name,) + path)
+                yield site.node, (
+                    f"transitively blocks the event loop: {chain}; "
+                    "dispatch the chain via loop.run_in_executor() "
+                    "or make it truly async"
+                )
+
+
+_TASK_SPAWNERS = frozenset(
+    {"asyncio.create_task", "asyncio.ensure_future"}
+)
+
+
+class OrphanedAwaitable(Rule):
+    code = "RPR014"
+    name = "orphaned-awaitable"
+    summary = (
+        "coroutine never awaited, or create_task() handle discarded"
+    )
+    rationale = (
+        "A coroutine called as a bare statement never runs — the "
+        "request it was meant to serve silently does nothing and "
+        "Python's RuntimeWarning lands in whatever stderr nobody "
+        "tails.  A create_task()/ensure_future() whose handle is "
+        "dropped is worse: the event loop holds only a weak "
+        "reference, so the task can be garbage-collected mid-flight "
+        "and its exception is never retrieved.  Store the handle and "
+        "await or cancel it on shutdown (the transport keeps a "
+        "pending set with a done-callback for exactly this).  "
+        "TaskGroup.create_task() is exempt — the group owns its "
+        "children."
+    )
+    node_types = (ast.Expr,)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Violation:
+        assert isinstance(node, ast.Expr)
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        target = ctx.resolve_call(value)
+        dotted = dotted_name(value.func)
+        if target in _TASK_SPAWNERS or (
+            dotted is not None
+            and dotted.endswith(".create_task")
+            and "loop" in dotted.rsplit(".", 2)[-2].lower()
+        ):
+            tail = (target or dotted or "").rpartition(".")[2]
+            yield value, (
+                f"{tail}() handle discarded; the loop keeps only a "
+                "weak reference, so the task can vanish mid-flight "
+                "and its exception is lost — store the handle and "
+                "await or cancel it"
+            )
+            return
+        project = ctx.project
+        if project is None:
+            return
+        info = _enclosing_info(ctx, node)
+        callee = project.resolve_reference(ctx, info, value.func)
+        if callee is not None and callee.is_async:
+            yield value, (
+                f"coroutine {callee.name}() is created but never "
+                "awaited, so its body never runs; await it or wrap "
+                "it in a stored asyncio task"
+            )
+
+
+class ContextVarClaimLeak(Rule):
+    code = "RPR015"
+    name = "contextvar-claim-leak"
+    summary = (
+        "ContextVar .set() whose reset token escapes an exit path"
+    )
+    rationale = (
+        "The capture and accounting chokepoints guard reentrancy "
+        "with a ContextVar claim: token = var.set(...), work, "
+        "var.reset(token).  If any exit path — an early return, or "
+        "an exception out of the work — skips the reset, the context "
+        "stays claimed and every later query in that task is "
+        "silently refused its instrumentation.  This rule finds the "
+        "claim's CFG node and requires that no path reaches the "
+        "function exit without passing a matching reset; try/finally "
+        "satisfies it, straight-line code does not.  Tokens stored "
+        "on attributes (self._token = var.set(...)) are exempt: "
+        "that is the context-manager protocol, whose __exit__ lives "
+        "in another scope."
+    )
+    node_types = (ast.Assign, ast.Expr)
+
+    def _claimed_var(
+        self, value: ast.AST, ctx: ModuleContext
+    ) -> str | None:
+        """The spelled receiver, when it is a known ContextVar."""
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "set"
+        ):
+            return None
+        receiver = dotted_name(value.func.value)
+        if receiver is None or ctx.project is None:
+            return None
+        candidates = {
+            ctx.canonical(receiver),
+            f"{ctx.module}.{receiver}",
+        }
+        if candidates & ctx.project.contextvars:
+            return receiver
+        return None
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Violation:
+        if isinstance(node, ast.Expr):
+            receiver = self._claimed_var(node.value, ctx)
+            if receiver is not None:
+                yield node.value, (
+                    f"{receiver}.set() discards its reset token, so "
+                    "the claim can never be released; bind the "
+                    "token and reset it in a finally block"
+                )
+            return
+        assert isinstance(node, ast.Assign)
+        receiver = self._claimed_var(node.value, ctx)
+        if receiver is None or len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            return  # attribute-stored token: context-manager protocol
+        token = target.id
+        scope = ctx.scope_of(node)
+        flow = ctx.dataflow(scope)
+        claim = flow.cfg.node_for(node)
+        if claim is None:
+            return
+        resets = {
+            cfg_node
+            for cfg_node in flow.cfg.nodes
+            if cfg_node.statement is not None
+            and _resets_claim(cfg_node.statement, receiver, token)
+        }
+        if not resets or flow.cfg.escaping_path_exists(claim, resets):
+            yield node.value, (
+                f"{receiver}.set() token '{token}' is not reset on "
+                "every exit path (an early return or an exception "
+                "skips it); move the reset into a finally block"
+            )
+
+
+def _resets_claim(
+    statement: ast.AST, receiver: str, token: str
+) -> bool:
+    """Whether this CFG statement performs ``receiver.reset(token)``.
+
+    Only the statement's *own* expressions count — a reset buried in
+    a compound statement's body belongs to that body's CFG node."""
+    for expression in header_expressions(statement):  # type: ignore[arg-type]
+        for node in ast.walk(expression):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "reset"
+                and dotted_name(node.func.value) == receiver
+                and any(
+                    isinstance(argument, ast.Name)
+                    and argument.id == token
+                    for argument in node.args
+                )
+            ):
+                return True
+    return False
+
+
+#: Method calls that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "remove", "setdefault", "update",
+    }
+)
+
+
+class CrossContextMutation(Rule):
+    code = "RPR016"
+    name = "cross-context-mutation"
+    summary = (
+        "module global mutated from both event-loop and thread "
+        "contexts without a lock"
+    )
+    rationale = (
+        "The serving core runs coroutines on one event loop and "
+        "kernels on a thread pool; a module-level dict or list "
+        "mutated from both sides is a data race the GIL only "
+        "partially hides (check-then-act sequences interleave, and "
+        "iteration during mutation raises).  This rule colors every "
+        "function by reachability — loop color from async defs, "
+        "thread color from executor/Thread dispatch targets — and "
+        "flags unlocked mutation sites of a module-level mutable "
+        "global touched by both colors.  Sites under `with "
+        "...lock...:` are exempt, as are globals rebound (not "
+        "mutated) via `global`."
+    )
+    node_types = ()
+
+    def check_module(self, ctx: ModuleContext) -> Violation:
+        project = ctx.project
+        if project is None:
+            return
+        mutables = {
+            name
+            for name, values in ctx.module_bindings().items()
+            if len(values) == 1
+            and values[0] is not None
+            and _mutable_default(values[0], ctx)
+        }
+        if not mutables:
+            return
+        sites: dict[str, list[tuple[str, ast.AST]]] = {}
+        for info in project.functions_in(ctx.module):
+            shadowed = ctx.scope_binding_values(info.node)
+            for name in mutables:
+                if name in shadowed:
+                    continue
+                for node in _mutation_sites(info.node, name):
+                    if _under_lock(ctx, node):
+                        continue
+                    sites.setdefault(name, []).append(
+                        (info.qualname, node)
+                    )
+        loop = project.loop_colored()
+        thread = project.thread_colored()
+        for name in sorted(sites):
+            name_sites = sites[name]
+            if not (
+                any(q in loop for q, _ in name_sites)
+                and any(q in thread for q, _ in name_sites)
+            ):
+                continue
+            for qualname, node in name_sites:
+                colors = []
+                if qualname in loop:
+                    colors.append("event-loop")
+                if qualname in thread:
+                    colors.append("thread-pool")
+                if not colors:
+                    continue
+                yield node, (
+                    f"module global '{name}' is mutated from both "
+                    "event-loop and thread-pool contexts without a "
+                    "lock; guard mutations with a threading.Lock "
+                    "or confine them to one context"
+                )
+
+
+def _mutation_sites(
+    scope: "ast.FunctionDef | ast.AsyncFunctionDef", name: str
+) -> Iterator[ast.AST]:
+    """Nodes in ``scope`` that mutate the module global ``name``."""
+    for node in scope_walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            yield node
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == name
+                ):
+                    yield node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == name
+                ):
+                    yield node
+
+
+def _under_lock(ctx: ModuleContext, node: ast.AST) -> bool:
+    """Whether an enclosing ``with`` acquires something lock-like."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                dotted = dotted_name(item.context_expr) or (
+                    dotted_name(item.context_expr.func)
+                    if isinstance(item.context_expr, ast.Call)
+                    else None
+                )
+                if dotted is not None and "lock" in dotted.lower():
+                    return True
+    return False
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     FloatEquality(),
@@ -772,6 +1274,11 @@ RULES: tuple[Rule, ...] = (
     BlockingCallInAsyncServe(),
     UnstructuredLogging(),
     AccountingOutsideLedger(),
+    AliasedNondeterminism(),
+    TransitiveBlockingInServe(),
+    OrphanedAwaitable(),
+    ContextVarClaimLeak(),
+    CrossContextMutation(),
 )
 
 

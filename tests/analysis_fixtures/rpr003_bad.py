@@ -15,3 +15,17 @@ def tids(relation):
 
 def ordered(relation):
     return [row for row in relation.order_by_score()]
+
+
+def unpacked(rel):
+    rows, _ = rel.rows, None
+    return [row.tid for row in rows]
+
+
+def chained(relation):
+    rows = relation.rows
+    alias = rows
+    total = 0.0
+    for row in alias:
+        total += row.score
+    return total

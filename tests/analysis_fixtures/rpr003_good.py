@@ -12,3 +12,8 @@ def drain(cursor):
 def charged(relation, counter):
     counter.charge(len(relation))
     return [row.tid for row in relation.rows]
+
+
+def cursored(relation):
+    rows = relation.score_cursor()
+    return [row.tid for row in rows]

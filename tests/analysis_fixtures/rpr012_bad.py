@@ -1,0 +1,26 @@
+"""RPR012 fixture: RNG/clock reads laundered through aliases."""
+
+import random
+import time
+
+_SNEAKY = time.time
+
+
+def laundered() -> float:
+    clock = time.time
+    return clock()
+
+
+def unpacked() -> float:
+    clock, _ = time.time, None
+    return clock()
+
+
+def chained() -> float:
+    draw = random.random
+    roll = draw
+    return roll()
+
+
+def module_alias() -> float:
+    return _SNEAKY()

@@ -1,0 +1,24 @@
+"""RPR012 fixture: injectable callables stay exempt."""
+
+import time
+
+_clock = time.time
+
+
+def configure(clock) -> None:
+    global _clock
+    _clock = clock
+
+
+def injected(clock=time.monotonic) -> float:
+    return clock()
+
+
+def rebound() -> float:
+    reader = time.time
+    reader = time.monotonic
+    return reader()
+
+
+def module_injectable() -> float:
+    return _clock()

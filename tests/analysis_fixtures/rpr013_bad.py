@@ -1,0 +1,27 @@
+# repro: module repro.serve.fixture13
+"""RPR013 fixture: blocking sinks hidden behind sync helpers."""
+
+import time
+
+
+async def handle(request):
+    relay(request)
+    return prepare(request)
+
+
+def relay(request):
+    nap()
+    return request
+
+
+def prepare(request):
+    return load(request)
+
+
+def load(request):
+    with open(request) as stream:
+        return stream.read()
+
+
+def nap():
+    time.sleep(0.1)

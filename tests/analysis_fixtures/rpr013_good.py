@@ -1,0 +1,20 @@
+# repro: module repro.serve.fixture13
+"""RPR013 fixture: executor dispatch and async chains pass."""
+
+import asyncio
+import time
+
+
+async def handle(loop, pool, request):
+    await stage(request)
+    return await loop.run_in_executor(pool, grind, request)
+
+
+async def stage(request):
+    await asyncio.sleep(0)
+    return request
+
+
+def grind(request):
+    time.sleep(0.1)
+    return request

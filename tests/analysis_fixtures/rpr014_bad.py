@@ -1,0 +1,14 @@
+"""RPR014 fixture: orphaned coroutines and dropped task handles."""
+
+import asyncio
+
+
+async def work() -> None:
+    await asyncio.sleep(0)
+
+
+async def main(loop) -> None:
+    work()
+    asyncio.create_task(work())
+    asyncio.ensure_future(work())
+    loop.create_task(work())

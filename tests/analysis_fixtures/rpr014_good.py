@@ -1,0 +1,20 @@
+"""RPR014 fixture: awaited coroutines and stored task handles."""
+
+import asyncio
+
+
+async def work() -> None:
+    await asyncio.sleep(0)
+
+
+async def main(loop) -> None:
+    await work()
+    task = asyncio.create_task(work())
+    await task
+    handle = loop.create_task(work())
+    handle.cancel()
+
+
+async def grouped() -> None:
+    async with asyncio.TaskGroup() as group:
+        group.create_task(work())

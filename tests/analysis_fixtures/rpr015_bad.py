@@ -1,0 +1,23 @@
+"""RPR015 fixture: ContextVar claim tokens that escape a path."""
+
+import contextvars
+
+_claimed = contextvars.ContextVar("claimed", default=False)
+
+
+def leaky(run) -> None:
+    token = _claimed.set(True)
+    run()
+    _claimed.reset(token)
+
+
+def early_exit(run, ready) -> None:
+    token = _claimed.set(True)
+    if not ready:
+        return
+    run()
+    _claimed.reset(token)
+
+
+def discarded() -> None:
+    _claimed.set(True)

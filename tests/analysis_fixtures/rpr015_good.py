@@ -1,0 +1,31 @@
+"""RPR015 fixture: claims released on every exit path."""
+
+import contextvars
+
+_claimed = contextvars.ContextVar("claimed", default=False)
+
+
+def guarded(run) -> None:
+    token = _claimed.set(True)
+    try:
+        run()
+    finally:
+        _claimed.reset(token)
+
+
+def branched(run, ready) -> None:
+    token = _claimed.set(True)
+    try:
+        if ready:
+            run()
+    finally:
+        _claimed.reset(token)
+
+
+class Claim:
+    def __enter__(self):
+        self._token = _claimed.set(True)
+        return self
+
+    def __exit__(self, kind, value, trace):
+        _claimed.reset(self._token)

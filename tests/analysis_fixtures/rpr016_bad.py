@@ -1,0 +1,19 @@
+# repro: module repro.serve.fixture16
+"""RPR016 fixture: module state mutated from both colors."""
+
+import asyncio
+
+_SEEN: dict = {}
+_EVENTS: list = []
+
+
+async def handle(key, loop, pool):
+    _SEEN[key] = True
+    _EVENTS.append(key)
+    await asyncio.sleep(0)
+    return loop.run_in_executor(pool, record, key)
+
+
+def record(key):
+    _SEEN.setdefault(key, False)
+    _EVENTS.append(key)

@@ -1,0 +1,22 @@
+# repro: module repro.serve.fixture16
+"""RPR016 fixture: locked mutation and single-color state."""
+
+import asyncio
+import threading
+
+_lock = threading.Lock()
+_SEEN: dict = {}
+_LOOP_ONLY: list = []
+
+
+async def handle(key, loop, pool):
+    with _lock:
+        _SEEN[key] = True
+    _LOOP_ONLY.append(key)
+    await asyncio.sleep(0)
+    return loop.run_in_executor(pool, record, key)
+
+
+def record(key):
+    with _lock:
+        _SEEN.setdefault(key, False)
